@@ -1,0 +1,30 @@
+//! Criterion bench for synthetic trace generation (one machine-day at the
+//! paper's 6-second sampling = 14 400 samples).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use fgcs_trace::{TraceConfig, TraceGenerator};
+
+fn bench_trace_gen(c: &mut Criterion) {
+    c.bench_function("generate_machine_day_lab", |b| {
+        let gen = TraceGenerator::new(TraceConfig::lab_machine(1));
+        b.iter(|| gen.generate_days(1))
+    });
+
+    c.bench_function("generate_machine_week_lab", |b| {
+        let gen = TraceGenerator::new(TraceConfig::lab_machine(1));
+        b.iter(|| gen.generate_days(7))
+    });
+
+    c.bench_function("generate_machine_day_server", |b| {
+        let gen = TraceGenerator::new(TraceConfig::server_machine(1));
+        b.iter(|| gen.generate_days(1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_trace_gen
+}
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Ablation study of the availability model's design choices (DESIGN.md §5):
+//!
+//! * **SMP** — the paper's predictor as-is,
+//! * **MARKOV** — first-order Markov chain (geometric holding times):
+//!   removes the semi-Markov structure,
+//! * **NO-FOLD** — transient >Th2 spikes classified as S3 instead of being
+//!   folded into the surrounding operational state,
+//! * **ALL-DAYS** — statistics drawn from both weekdays and weekends
+//!   instead of same-type days only.
+//!
+//! Metric: mean relative TR error over 24 start hours (machines' test days
+//! pooled per window), weekdays, 1:1 split — the Figure-5 protocol.
+//!
+//! Run: `cargo run --release -p fgcs-bench --bin ablation_model
+//!       [--machines N] [--days D]`
+
+use fgcs_bench::{per_machine, pct, Testbed, WINDOW_HOURS};
+use fgcs_core::classify::StateClassifier;
+use fgcs_core::log::{DayLog, HistoryStore, StateLog};
+use fgcs_core::predictor::{
+    evaluate_window, evaluate_window_markov, SmpPredictor, WindowEvaluation,
+};
+use fgcs_core::window::{DayType, TimeWindow};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |key: &str, default: usize| {
+        args.iter()
+            .position(|a| a == key)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let machines = get("--machines", 8);
+    let days = get("--days", 90);
+
+    let tb = Testbed::generate(2006, machines, days);
+
+    // Histories without transient folding, for the NO-FOLD variant.
+    let unfolded: Vec<HistoryStore> = tb
+        .traces
+        .iter()
+        .map(|t| {
+            let classifier = StateClassifier::new(tb.model).without_transient_folding();
+            let mut store = HistoryStore::new();
+            for d in 0..t.days() {
+                let states = classifier.classify(t.day_samples(d));
+                store.push_day(DayLog::new(d, StateLog::new(t.step_secs, states)));
+            }
+            store
+        })
+        .collect();
+
+    println!("# Model ablations: mean relative TR error, weekdays, {machines} machines x {days} days");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10}",
+        "window_hr", "SMP", "MARKOV", "NO-FOLD", "ALL-DAYS"
+    );
+
+    for &hours in &WINDOW_HOURS {
+        // For each variant: per-machine evaluations at each start hour.
+        type Evals = Vec<Option<WindowEvaluation>>;
+        type VariantRow = (Evals, Evals, Evals, Evals);
+        let per: Vec<VariantRow> = per_machine(machines, |mi| {
+            let (train, test) = tb.histories[mi].split_ratio(1, 1);
+            let (utrain, utest) = unfolded[mi].split_ratio(1, 1);
+            let base = SmpPredictor::new(tb.model);
+            let all_days = SmpPredictor::new(tb.model).with_all_day_types();
+            let mut smp = Vec::new();
+            let mut markov = Vec::new();
+            let mut nofold = Vec::new();
+            let mut alldays = Vec::new();
+            for start in 0..24u32 {
+                let w = TimeWindow::from_hours(f64::from(start), hours);
+                smp.push(evaluate_window(&base, &train, &test, DayType::Weekday, w).ok());
+                markov.push(
+                    evaluate_window_markov(&base, &train, &test, DayType::Weekday, w).ok(),
+                );
+                nofold.push(evaluate_window(&base, &utrain, &utest, DayType::Weekday, w).ok());
+                alldays.push(evaluate_window(&all_days, &train, &test, DayType::Weekday, w).ok());
+            }
+            (smp, markov, nofold, alldays)
+        });
+
+        let pooled_mean_err = |pick: &dyn Fn(&VariantRow) -> &Evals| -> Option<f64> {
+            let mut errors = Vec::new();
+            for start in 0..24usize {
+                let (mut pred, mut emp, mut n) = (0.0, 0.0, 0usize);
+                for row in &per {
+                    if let Some(e) = &pick(row)[start] {
+                        pred += e.predicted * e.days_used as f64;
+                        emp += e.empirical * e.days_used as f64;
+                        n += e.days_used;
+                    }
+                }
+                if n > 0 && emp > 0.0 {
+                    errors.push((pred - emp).abs() / emp);
+                }
+            }
+            (!errors.is_empty()).then(|| fgcs_math::stats::mean(&errors))
+        };
+        let fmt = |e: Option<f64>| e.map(pct).unwrap_or_else(|| "-".into());
+
+        println!(
+            "{:>10} {:>10} {:>10} {:>10} {:>10}",
+            hours,
+            fmt(pooled_mean_err(&|r| &r.0)),
+            fmt(pooled_mean_err(&|r| &r.1)),
+            fmt(pooled_mean_err(&|r| &r.2)),
+            fmt(pooled_mean_err(&|r| &r.3)),
+        );
+    }
+    println!("# MARKOV degrades with window length (holding-time structure matters). NO-FOLD");
+    println!("# misclassifies every transient spike as failure and collapses ('-' = empirical");
+    println!("# TR hit zero for all windows). ALL-DAYS is harmless on this trace because its");
+    println!("# weekends are weekdays scaled down; the paper's separation pays off when the");
+    println!("# two day types have structurally different patterns.");
+}

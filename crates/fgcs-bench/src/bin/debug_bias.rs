@@ -1,0 +1,34 @@
+//! Diagnostic: predicted vs empirical TR per start hour (not a paper
+//! figure; used to separate predictor bias from test-set sampling noise).
+
+use fgcs_bench::Testbed;
+use fgcs_core::predictor::{evaluate_window, SmpPredictor};
+use fgcs_core::window::{DayType, TimeWindow};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let hours: f64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(10.0);
+    let tb = Testbed::generate(2006, 4, 90);
+    println!("window length {hours}h, weekdays, 1:1 split; per start hour, averaged over machines");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}",
+        "start", "predicted", "empirical", "rel_err"
+    );
+    for start in 0..24u32 {
+        let window = TimeWindow::from_hours(f64::from(start), hours);
+        let mut preds = Vec::new();
+        let mut emps = Vec::new();
+        for h in &tb.histories {
+            let (train, test) = h.split_ratio(1, 1);
+            let p = SmpPredictor::new(tb.model);
+            if let Ok(eval) = evaluate_window(&p, &train, &test, DayType::Weekday, window) {
+                preds.push(eval.predicted);
+                emps.push(eval.empirical);
+            }
+        }
+        let p = fgcs_math::stats::mean(&preds);
+        let e = fgcs_math::stats::mean(&emps);
+        let err = if e > 0.0 { (p - e).abs() / e } else { f64::NAN };
+        println!("{start:>6} {p:>10.3} {e:>10.3} {:>9.1}%", 100.0 * err);
+    }
+}

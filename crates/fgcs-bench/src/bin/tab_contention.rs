@@ -1,0 +1,56 @@
+//! §3.2 empirical contention study (summarised from the companion paper):
+//! the host-CPU reduction-rate curves that justify the two thresholds
+//! Th1/Th2, regenerated from the analytic contention model.
+//!
+//! Outputs:
+//! * reduction rate vs isolated host load `L_H` (10–100 %), for host-group
+//!   sizes 1–5, at guest priority 0 (default) and 19 (lowest),
+//! * the derived thresholds for a 5 % noticeable-slowdown limit,
+//! * the memory-isolation observation: CPU priority cannot fix thrashing.
+//!
+//! Run: `cargo run --release -p fgcs-bench --bin tab_contention`
+
+use fgcs_sim::contention::{CpuContentionModel, GuestPriority, MemoryModel};
+
+fn main() {
+    let model = CpuContentionModel::default();
+
+    for (label, priority) in [
+        ("guest priority 0 (default)", GuestPriority::Default),
+        ("guest priority 19 (lowest)", GuestPriority::Lowest),
+    ] {
+        println!("\n# Host CPU usage reduction rate, {label}");
+        print!("{:>8}", "L_H%");
+        for size in 1..=5usize {
+            print!(" {:>9}", format!("group={size}"));
+        }
+        println!();
+        for l in 1..=10usize {
+            let total = l as f64 / 10.0;
+            print!("{:>8}", l * 10);
+            for size in 1..=5usize {
+                let demands = vec![total / size as f64; size];
+                let r = model.host_reduction_rate(&demands, priority);
+                print!(" {:>8.1}%", 100.0 * r);
+            }
+            println!();
+        }
+    }
+
+    let (th1, th2) = model.thresholds(0.05);
+    println!("\n# thresholds at the 5% noticeable-slowdown limit (single-process host group):");
+    println!("Th1 (renice needed above)    = {:.1}% (paper testbed: 20%)", 100.0 * th1);
+    println!("Th2 (terminate needed above) = {:.1}% (paper testbed: 60%)", 100.0 * th2);
+
+    println!("\n# §3.2.2 memory isolation (384 MB Unix machine, 100 MB guest):");
+    let mem = MemoryModel::paper_unix();
+    for host_ws in [100.0, 200.0, 236.0, 280.0, 340.0] {
+        let fits = mem.guest_fits(host_ws, 100.0);
+        let thr = mem.throughput_factor(host_ws + 100.0);
+        println!(
+            "host WS {host_ws:>5} MB: guest fits = {fits:<5} throughput factor = {thr:.2} priority helps = {}",
+            mem.priority_can_help(host_ws, 100.0)
+        );
+    }
+    println!("# paper: changing CPU priority does little to prevent thrashing once memory is overcommitted");
+}

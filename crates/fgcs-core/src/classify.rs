@@ -1,0 +1,284 @@
+//! Classification of monitor samples into the five availability states,
+//! including the transient-spike folding of paper §3.3.
+//!
+//! The raw per-sample rule is:
+//!
+//! * not alive → `S5`
+//! * free memory below the guest working set → `S4`
+//! * `L_H > Th2` → `S3` candidate
+//! * `Th1 ≤ L_H ≤ Th2` → `S2`
+//! * `L_H < Th1` → `S1`
+//!
+//! A run of `S3` candidates *shorter than the transient tolerance* does not
+//! represent CPU unavailability: the guest is merely suspended and resumes
+//! when the spike passes ("we find it very common that the host CPU load
+//! which exceeds Th2 will drop down shortly after several seconds"). Such
+//! runs are folded into the operational state surrounding them.
+
+use crate::model::{AvailabilityModel, LoadSample};
+use crate::state::State;
+
+/// Classifies sample streams into state sequences under a given model.
+#[derive(Debug, Clone, Copy)]
+pub struct StateClassifier {
+    model: AvailabilityModel,
+    /// When `false`, transient >Th2 excursions are *not* folded back into
+    /// S1/S2 — every above-threshold sample becomes S3. Used by the
+    /// transient-folding ablation.
+    fold_transients: bool,
+}
+
+impl StateClassifier {
+    /// Creates a classifier with transient folding enabled (the paper's
+    /// behaviour).
+    #[must_use]
+    pub fn new(model: AvailabilityModel) -> StateClassifier {
+        StateClassifier {
+            model,
+            fold_transients: true,
+        }
+    }
+
+    /// Disables transient folding (ablation).
+    #[must_use]
+    pub fn without_transient_folding(mut self) -> StateClassifier {
+        self.fold_transients = false;
+        self
+    }
+
+    /// The model this classifier uses.
+    #[must_use]
+    pub fn model(&self) -> &AvailabilityModel {
+        &self.model
+    }
+
+    /// Classifies a single sample without transient context.
+    ///
+    /// Excursions above `Th2` are reported as `S3`; use [`Self::classify`]
+    /// on a whole sequence to get transient folding.
+    #[must_use]
+    pub fn classify_sample(&self, s: &LoadSample) -> State {
+        if !s.alive {
+            State::S5
+        } else if s.free_mem_mb < self.model.guest_working_set_mb {
+            State::S4
+        } else if s.host_cpu > self.model.th2 {
+            State::S3
+        } else if s.host_cpu >= self.model.th1 {
+            State::S2
+        } else {
+            State::S1
+        }
+    }
+
+    /// Classifies a uniformly sampled sequence, applying transient folding.
+    ///
+    /// ```
+    /// use fgcs_core::classify::StateClassifier;
+    /// use fgcs_core::model::{AvailabilityModel, LoadSample};
+    /// use fgcs_core::state::State;
+    ///
+    /// let classifier = StateClassifier::new(AvailabilityModel::default());
+    /// // A 5-sample spike above Th2 inside light load: folded into S1.
+    /// let mut samples = vec![LoadSample { host_cpu: 0.1, free_mem_mb: 400.0, alive: true }; 30];
+    /// for s in &mut samples[10..15] { s.host_cpu = 0.9; }
+    /// let states = classifier.classify(&samples);
+    /// assert!(states.iter().all(|&s| s == State::S1));
+    /// ```
+    #[must_use]
+    pub fn classify(&self, samples: &[LoadSample]) -> Vec<State> {
+        let mut states: Vec<State> = samples.iter().map(|s| self.classify_sample(s)).collect();
+        if self.fold_transients {
+            self.fold(&mut states);
+        }
+        states
+    }
+
+    /// Folds short `S3` runs into the neighbouring operational state.
+    ///
+    /// A run qualifies as transient when it is strictly shorter than the
+    /// tolerance (in steps) *and* at least one neighbouring sample is
+    /// operational. The preceding state wins when both neighbours are
+    /// operational — the guest was running at that priority when the spike
+    /// hit and resumes in the same configuration.
+    fn fold(&self, states: &mut [State]) {
+        let tol = self.model.transient_tolerance_steps();
+        if tol == 0 {
+            return;
+        }
+        let n = states.len();
+        let mut i = 0;
+        while i < n {
+            if states[i] != State::S3 {
+                i += 1;
+                continue;
+            }
+            // Find the end of this S3 run.
+            let start = i;
+            while i < n && states[i] == State::S3 {
+                i += 1;
+            }
+            let run_len = i - start;
+            if run_len >= tol {
+                continue; // steady overload: genuine S3
+            }
+            let before = (start > 0).then(|| states[start - 1]);
+            let after = (i < n).then(|| states[i]);
+            let fold_to = match (before, after) {
+                (Some(b), _) if b.is_operational() => Some(b),
+                (_, Some(a)) if a.is_operational() => Some(a),
+                _ => None,
+            };
+            if let Some(target) = fold_to {
+                for s in &mut states[start..start + run_len] {
+                    *s = target;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> AvailabilityModel {
+        AvailabilityModel::default()
+    }
+
+    fn sample(cpu: f64) -> LoadSample {
+        LoadSample {
+            host_cpu: cpu,
+            free_mem_mb: 1024.0,
+            alive: true,
+        }
+    }
+
+    #[test]
+    fn per_sample_thresholds() {
+        let c = StateClassifier::new(model());
+        assert_eq!(c.classify_sample(&sample(0.05)), State::S1);
+        assert_eq!(c.classify_sample(&sample(0.19)), State::S1);
+        assert_eq!(c.classify_sample(&sample(0.20)), State::S2);
+        assert_eq!(c.classify_sample(&sample(0.60)), State::S2);
+        assert_eq!(c.classify_sample(&sample(0.61)), State::S3);
+        assert_eq!(c.classify_sample(&sample(1.0)), State::S3);
+    }
+
+    #[test]
+    fn memory_thrashing_beats_cpu() {
+        let c = StateClassifier::new(model());
+        let s = LoadSample {
+            host_cpu: 0.9,
+            free_mem_mb: 10.0,
+            alive: true,
+        };
+        assert_eq!(c.classify_sample(&s), State::S4);
+    }
+
+    #[test]
+    fn revocation_beats_everything() {
+        let c = StateClassifier::new(model());
+        assert_eq!(c.classify_sample(&LoadSample::revoked()), State::S5);
+    }
+
+    #[test]
+    fn short_spike_folds_into_preceding_state() {
+        let c = StateClassifier::new(model());
+        // tolerance = 10 steps; a 3-step spike inside S1 should vanish.
+        let mut samples = vec![sample(0.1); 20];
+        for s in &mut samples[5..8] {
+            *s = sample(0.9);
+        }
+        let states = c.classify(&samples);
+        assert!(states.iter().all(|&s| s == State::S1), "{states:?}");
+    }
+
+    #[test]
+    fn spike_inside_s2_folds_into_s2() {
+        let c = StateClassifier::new(model());
+        let mut samples = vec![sample(0.4); 20];
+        for s in &mut samples[10..12] {
+            *s = sample(0.95);
+        }
+        let states = c.classify(&samples);
+        assert!(states.iter().all(|&s| s == State::S2), "{states:?}");
+    }
+
+    #[test]
+    fn long_overload_stays_s3() {
+        let c = StateClassifier::new(model());
+        // tolerance = 10 steps; a 10-step run is steady overload.
+        let mut samples = vec![sample(0.1); 30];
+        for s in &mut samples[5..15] {
+            *s = sample(0.9);
+        }
+        let states = c.classify(&samples);
+        assert_eq!(states[5], State::S3);
+        assert_eq!(states[14], State::S3);
+        assert_eq!(states[4], State::S1);
+        assert_eq!(states[15], State::S1);
+    }
+
+    #[test]
+    fn spike_at_sequence_start_folds_forward() {
+        let c = StateClassifier::new(model());
+        let mut samples = vec![sample(0.3); 20];
+        for s in &mut samples[0..3] {
+            *s = sample(0.9);
+        }
+        let states = c.classify(&samples);
+        assert!(states.iter().all(|&s| s == State::S2), "{states:?}");
+    }
+
+    #[test]
+    fn spike_bounded_by_failures_is_not_folded() {
+        let c = StateClassifier::new(model());
+        // S5 | S3-spike | S5: no operational neighbour, stays S3.
+        let mut samples = vec![LoadSample::revoked(); 10];
+        for s in &mut samples[4..6] {
+            *s = sample(0.9);
+        }
+        let states = c.classify(&samples);
+        assert_eq!(states[4], State::S3);
+        assert_eq!(states[5], State::S3);
+    }
+
+    #[test]
+    fn ablation_disables_folding() {
+        let c = StateClassifier::new(model()).without_transient_folding();
+        let mut samples = vec![sample(0.1); 20];
+        samples[5] = sample(0.9);
+        let states = c.classify(&samples);
+        assert_eq!(states[5], State::S3);
+    }
+
+    #[test]
+    fn whole_sequence_spike_with_no_neighbours() {
+        let c = StateClassifier::new(model());
+        let samples = vec![sample(0.9); 5]; // shorter than tolerance
+        let states = c.classify(&samples);
+        // Nothing to fold into: remains S3.
+        assert!(states.iter().all(|&s| s == State::S3));
+    }
+
+    #[test]
+    fn empty_sequence_is_fine() {
+        let c = StateClassifier::new(model());
+        assert!(c.classify(&[]).is_empty());
+    }
+
+    #[test]
+    fn adjacent_spikes_fold_independently() {
+        let c = StateClassifier::new(model());
+        let mut samples = vec![sample(0.1); 40];
+        for s in &mut samples[5..8] {
+            *s = sample(0.9);
+        }
+        for s in &mut samples[20..24] {
+            *s = sample(0.9);
+        }
+        let states = c.classify(&samples);
+        assert!(states.iter().all(|&s| s == State::S1), "{states:?}");
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! # fgcs-core
+//!
+//! The primary contribution of *Ren, Lee, Eigenmann, Bagchi: "Resource
+//! Availability Prediction in Fine-Grained Cycle Sharing Systems"
+//! (HPDC 2006)*:
+//!
+//! * a **five-state resource availability model** ([`state::State`],
+//!   [`model::AvailabilityModel`]) combining unavailability due to excessive
+//!   resource contention (UEC: CPU overload S3, memory thrashing S4) with
+//!   unavailability due to resource revocation (URR: S5),
+//! * **classification** of monitor samples into those states with
+//!   transient-spike folding ([`classify::StateClassifier`]),
+//! * per-day **history logs** and the store the statistics are drawn from
+//!   ([`log::HistoryStore`]),
+//! * a **discrete-time semi-Markov process** whose parameters (`Q`, `H`)
+//!   are estimated from the corresponding windows of the most recent
+//!   same-type days ([`smp::SmpParams`]), and the sparse Eq.-3 solver for
+//!   the interval transition probabilities ([`smp::SparseSolver`]),
+//! * the end-to-end **temporal reliability predictor** and its evaluation
+//!   harness ([`predictor::SmpPredictor`], [`predictor::evaluate_window`]).
+//!
+//! Temporal reliability `TR(W)` is the probability that a machine never
+//! enters a failure state (S3/S4/S5) throughout a future time window `W` —
+//! the quantity a job scheduler uses to place guest jobs on machines with
+//! high expected availability.
+
+pub mod classify;
+pub mod error;
+pub mod log;
+pub mod model;
+pub mod predictor;
+pub mod smp;
+pub mod state;
+pub mod window;
+
+pub use classify::StateClassifier;
+pub use error::CoreError;
+pub use log::{DayLog, HistoryStore, StateLog};
+pub use model::{AvailabilityModel, LoadSample};
+pub use predictor::{
+    empirical_tr, evaluate_window, evaluate_window_markov, SmpPredictor, TrPrediction,
+    WindowEvaluation,
+};
+pub use smp::{CompactSolver, DenseSolver, IntervalProbs, MarkovChain, SmpParams, SparseSolver};
+pub use state::State;
+pub use window::{DayType, TimeWindow, SECS_PER_DAY};

@@ -1,0 +1,495 @@
+//! History logs: per-day state sequences collected by the State Manager and
+//! the store the predictor draws its statistics from (paper §5).
+
+use serde::{Deserialize, Serialize};
+
+use crate::classify::StateClassifier;
+use crate::error::CoreError;
+use crate::model::{AvailabilityModel, LoadSample};
+use crate::state::State;
+use crate::window::{DayType, TimeWindow};
+
+/// A uniformly sampled state sequence with its discretisation step.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateLog {
+    step_secs: u32,
+    states: Vec<State>,
+}
+
+impl StateLog {
+    /// Wraps a state sequence sampled every `step_secs` seconds.
+    ///
+    /// # Panics
+    /// Panics if `step_secs == 0`.
+    #[must_use]
+    pub fn new(step_secs: u32, states: Vec<State>) -> StateLog {
+        assert!(step_secs > 0, "step must be positive");
+        StateLog { step_secs, states }
+    }
+
+    /// The discretisation step in seconds.
+    #[must_use]
+    pub fn step_secs(&self) -> u32 {
+        self.step_secs
+    }
+
+    /// The state sequence.
+    #[must_use]
+    pub fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` when the log holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The samples covering `window` (inclusive of both fence posts, i.e.
+    /// `window.steps() + 1` samples so that `steps` transitions are
+    /// observable), or an error if the log is too short.
+    pub fn window_slice(&self, window: TimeWindow) -> Result<&[State], CoreError> {
+        let start = window.start_step(self.step_secs);
+        let steps = window.steps(self.step_secs);
+        let end = start + steps + 1;
+        if end > self.states.len() {
+            return Err(CoreError::WindowOutOfRange {
+                window,
+                log_len: self.states.len(),
+                needed: end,
+            });
+        }
+        Ok(&self.states[start..end])
+    }
+
+    /// Overwrites `len` samples starting at `start` with `state`, clamping
+    /// to the log's end. Used by the noise-injection experiments (§7.3).
+    pub fn overwrite(&mut self, start: usize, len: usize, state: State) {
+        let n = self.states.len();
+        let end = (start + len).min(n);
+        for s in &mut self.states[start.min(n)..end] {
+            *s = state;
+        }
+    }
+
+    /// Number of *unavailability occurrences*: transitions from an
+    /// operational (or log-start) position into a failure state. This is the
+    /// quantity the paper reports as 405–453 per machine over 3 months.
+    #[must_use]
+    pub fn unavailability_occurrences(&self) -> usize {
+        let mut count = 0;
+        let mut prev_failure = true; // suppress counting if log starts failed
+        for &s in &self.states {
+            if s.is_failure() && !prev_failure {
+                count += 1;
+            }
+            prev_failure = s.is_failure();
+        }
+        count
+    }
+}
+
+/// One machine-day of availability states, tagged with its position in the
+/// trace and its day type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DayLog {
+    /// Zero-based day index within the trace (day 0 is a Monday).
+    pub day_index: usize,
+    /// Weekday or weekend.
+    pub day_type: DayType,
+    /// The day's state sequence.
+    pub log: StateLog,
+}
+
+impl DayLog {
+    /// Builds a day log, deriving the day type from the index.
+    #[must_use]
+    pub fn new(day_index: usize, log: StateLog) -> DayLog {
+        DayLog {
+            day_index,
+            day_type: DayType::of_day(day_index),
+            log,
+        }
+    }
+}
+
+/// The history store the State Manager keeps: an ordered collection of day
+/// logs for one machine. Prediction for a window on a weekday (weekend) uses
+/// the corresponding window of the most recent weekdays (weekends) — §4.2.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistoryStore {
+    days: Vec<DayLog>,
+}
+
+impl HistoryStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> HistoryStore {
+        HistoryStore::default()
+    }
+
+    /// Builds a history store by classifying a stream of monitor samples.
+    ///
+    /// The stream must hold whole days (`model.samples_per_day()` samples
+    /// each); `first_day_index` anchors the weekday/weekend calendar.
+    ///
+    /// Classification (including transient folding) runs per day, matching
+    /// the per-day logs the State Manager keeps.
+    pub fn from_samples(
+        model: &AvailabilityModel,
+        samples: &[LoadSample],
+        first_day_index: usize,
+    ) -> Result<HistoryStore, CoreError> {
+        let per_day = model.samples_per_day();
+        if per_day == 0 || !samples.len().is_multiple_of(per_day) {
+            return Err(CoreError::PartialDay {
+                samples: samples.len(),
+                per_day,
+            });
+        }
+        let classifier = StateClassifier::new(*model);
+        let mut store = HistoryStore::new();
+        for (i, chunk) in samples.chunks(per_day).enumerate() {
+            let states = classifier.classify(chunk);
+            store.push_day(DayLog::new(
+                first_day_index + i,
+                StateLog::new(model.monitor_period_secs, states),
+            ));
+        }
+        Ok(store)
+    }
+
+    /// Appends a day log (days are expected in chronological order).
+    pub fn push_day(&mut self, day: DayLog) {
+        self.days.push(day);
+    }
+
+    /// All day logs in chronological order.
+    #[must_use]
+    pub fn days(&self) -> &[DayLog] {
+        &self.days
+    }
+
+    /// Mutable access to the day logs (noise injection / failure-injection
+    /// experiments).
+    #[must_use]
+    pub fn days_mut(&mut self) -> &mut [DayLog] {
+        &mut self.days
+    }
+
+    /// Number of stored days.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.days.len()
+    }
+
+    /// `true` when no days are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.days.is_empty()
+    }
+
+    /// The states covering `window` anchored at the day stored at position
+    /// `pos`: the `window.steps() + 1` fence-post samples. For windows that
+    /// cross midnight the sequence is stitched from this day and the *next
+    /// chronological* day (which must be stored at `pos + 1` with a
+    /// consecutive day index).
+    ///
+    /// Returns `None` when the logs do not cover the window.
+    #[must_use]
+    pub fn window_states(&self, pos: usize, window: TimeWindow) -> Option<Vec<State>> {
+        let day = self.days.get(pos)?;
+        let step = day.log.step_secs();
+        let start = window.start_step(step);
+        let steps = window.steps(step);
+        // Windows that fit inside this day's log (including the closing
+        // fence post) need no stitching; everything else — windows crossing
+        // midnight, or ending exactly at midnight, whose final fence post
+        // is the next day's first sample — continues into the next
+        // chronological day.
+        if start + steps < day.log.len() {
+            return Some(day.log.states()[start..start + steps + 1].to_vec());
+        }
+        let next = self.days.get(pos + 1)?;
+        if next.day_index != day.day_index + 1 || next.log.step_secs() != step {
+            return None;
+        }
+        let first_len = day.log.len().checked_sub(start)?;
+        let rest = (steps + 1).checked_sub(first_len)?;
+        if rest > next.log.len() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(steps + 1);
+        out.extend_from_slice(&day.log.states()[start..]);
+        out.extend_from_slice(&next.log.states()[..rest]);
+        Some(out)
+    }
+
+    /// The window state sequences of the most recent `max_days` days of the
+    /// given type (all matching days if `max_days` is `None`; empty for
+    /// `Some(0)`), most recent first. A cross-midnight window belongs to the
+    /// day it *starts* on.
+    ///
+    /// Days whose logs do not cover the window are skipped.
+    #[must_use]
+    pub fn recent_windows(
+        &self,
+        day_type: DayType,
+        window: TimeWindow,
+        max_days: Option<usize>,
+    ) -> Vec<Vec<State>> {
+        if max_days == Some(0) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for pos in (0..self.days.len()).rev() {
+            if self.days[pos].day_type != day_type {
+                continue;
+            }
+            if let Some(states) = self.window_states(pos, window) {
+                out.push(states);
+                if let Some(n) = max_days {
+                    if out.len() >= n {
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Splits the store into (training, test) parts by a `train:test` ratio,
+    /// preserving chronological order (training is the *earlier* part, as in
+    /// the paper's experiments).
+    ///
+    /// # Panics
+    /// Panics if the ratio parts are both zero.
+    #[must_use]
+    pub fn split_ratio(&self, train: usize, test: usize) -> (HistoryStore, HistoryStore) {
+        assert!(train + test > 0, "ratio must be positive");
+        let n_train = self.days.len() * train / (train + test);
+        let (a, b) = self.days.split_at(n_train);
+        (
+            HistoryStore { days: a.to_vec() },
+            HistoryStore { days: b.to_vec() },
+        )
+    }
+
+    /// Serialises the store to JSON (the on-disk format the State Manager
+    /// persists its history logs in).
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string(self).map_err(|e| e.to_string())
+    }
+
+    /// Deserialises a store from JSON.
+    pub fn from_json(json: &str) -> Result<HistoryStore, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Total unavailability occurrences across all stored days.
+    #[must_use]
+    pub fn unavailability_occurrences(&self) -> usize {
+        // Count per day, plus failures that begin exactly at a day boundary
+        // after an operational day end.
+        let mut total = 0;
+        let mut prev_last_failure: Option<bool> = None;
+        for day in &self.days {
+            let states = day.log.states();
+            total += day.log.unavailability_occurrences();
+            if let (Some(false), Some(first)) = (prev_last_failure, states.first()) {
+                if first.is_failure() {
+                    total += 1;
+                }
+            }
+            prev_last_failure = states.last().map(|s| s.is_failure());
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_of(states: Vec<State>) -> StateLog {
+        StateLog::new(6, states)
+    }
+
+    #[test]
+    fn window_slice_is_inclusive_of_fence_posts() {
+        // 1-minute day at 6s step = 10 samples.
+        let log = log_of(vec![State::S1; 14_400]);
+        let w = TimeWindow::new(60, 60); // 10 steps
+        let slice = log.window_slice(w).unwrap();
+        assert_eq!(slice.len(), 11);
+    }
+
+    #[test]
+    fn window_slice_out_of_range_errors() {
+        let log = log_of(vec![State::S1; 100]);
+        let w = TimeWindow::new(0, 6 * 200);
+        assert!(matches!(
+            log.window_slice(w),
+            Err(CoreError::WindowOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn unavailability_occurrences_counts_entries() {
+        use State::*;
+        let log = log_of(vec![S1, S1, S3, S3, S1, S5, S5, S2, S4, S4]);
+        // Entries into failure: at index 2 (S3), 5 (S5), 8 (S4).
+        assert_eq!(log.unavailability_occurrences(), 3);
+    }
+
+    #[test]
+    fn unavailability_ignores_leading_failure() {
+        use State::*;
+        let log = log_of(vec![S5, S5, S1, S3]);
+        assert_eq!(log.unavailability_occurrences(), 1);
+    }
+
+    #[test]
+    fn from_samples_rejects_partial_days() {
+        let model = AvailabilityModel::default();
+        let samples = vec![LoadSample::idle(512.0); 100];
+        assert!(matches!(
+            HistoryStore::from_samples(&model, &samples, 0),
+            Err(CoreError::PartialDay { .. })
+        ));
+    }
+
+    #[test]
+    fn from_samples_builds_tagged_days() {
+        let model = AvailabilityModel::default();
+        let per_day = model.samples_per_day();
+        let samples = vec![LoadSample::idle(512.0); per_day * 7];
+        let store = HistoryStore::from_samples(&model, &samples, 0).unwrap();
+        assert_eq!(store.len(), 7);
+        assert_eq!(store.days()[0].day_type, DayType::Weekday);
+        assert_eq!(store.days()[5].day_type, DayType::Weekend);
+        assert!(store.days()[0].log.states().iter().all(|&s| s == State::S1));
+    }
+
+    #[test]
+    fn recent_windows_filters_by_day_type_and_limits() {
+        let mut store = HistoryStore::new();
+        for day in 0..14 {
+            store.push_day(DayLog::new(day, log_of(vec![State::S1; 14_400])));
+        }
+        let w = TimeWindow::from_hours(8.0, 1.0);
+        let weekdays = store.recent_windows(DayType::Weekday, w, None);
+        assert_eq!(weekdays.len(), 10);
+        let weekends = store.recent_windows(DayType::Weekend, w, Some(3));
+        assert_eq!(weekends.len(), 3);
+    }
+
+    #[test]
+    fn recent_windows_skips_short_days() {
+        let mut store = HistoryStore::new();
+        store.push_day(DayLog::new(0, log_of(vec![State::S1; 100]))); // truncated day
+        store.push_day(DayLog::new(1, log_of(vec![State::S1; 14_400])));
+        let w = TimeWindow::from_hours(8.0, 1.0);
+        let windows = store.recent_windows(DayType::Weekday, w, None);
+        assert_eq!(windows.len(), 1);
+    }
+
+    #[test]
+    fn window_states_stitches_across_midnight() {
+        let mut store = HistoryStore::new();
+        store.push_day(DayLog::new(0, log_of(vec![State::S1; 14_400])));
+        store.push_day(DayLog::new(1, log_of(vec![State::S2; 14_400])));
+        // 23:00 + 2h crosses midnight: 1200 steps, 1201 samples.
+        let w = TimeWindow::from_hours(23.0, 2.0);
+        let states = store.window_states(0, w).unwrap();
+        assert_eq!(states.len(), 1201);
+        // First hour (600 fence posts) from day 0, remainder from day 1.
+        assert_eq!(states[0], State::S1);
+        assert_eq!(states[599], State::S1);
+        assert_eq!(states[600], State::S2);
+        assert_eq!(states[1200], State::S2);
+    }
+
+    #[test]
+    fn window_states_requires_consecutive_next_day() {
+        let mut store = HistoryStore::new();
+        store.push_day(DayLog::new(0, log_of(vec![State::S1; 14_400])));
+        store.push_day(DayLog::new(2, log_of(vec![State::S2; 14_400]))); // gap
+        let w = TimeWindow::from_hours(23.0, 2.0);
+        assert_eq!(store.window_states(0, w), None);
+    }
+
+    #[test]
+    fn window_states_none_without_next_day() {
+        let mut store = HistoryStore::new();
+        store.push_day(DayLog::new(0, log_of(vec![State::S1; 14_400])));
+        let w = TimeWindow::from_hours(23.0, 2.0);
+        assert_eq!(store.window_states(0, w), None);
+        // An in-day window still works.
+        assert!(store.window_states(0, TimeWindow::from_hours(8.0, 1.0)).is_some());
+    }
+
+    #[test]
+    fn recent_windows_includes_cross_midnight_days() {
+        let mut store = HistoryStore::new();
+        for day in 0..7 {
+            store.push_day(DayLog::new(day, log_of(vec![State::S1; 14_400])));
+        }
+        let w = TimeWindow::from_hours(23.0, 2.0);
+        // Days 0..4 are weekdays; day 4 (Friday) stitches into day 5
+        // (Saturday) which exists, so all 5 weekdays qualify.
+        let windows = store.recent_windows(DayType::Weekday, w, None);
+        assert_eq!(windows.len(), 5);
+        // Saturday (5) stitches into Sunday (6); Sunday has no successor.
+        let weekend = store.recent_windows(DayType::Weekend, w, None);
+        assert_eq!(weekend.len(), 1);
+    }
+
+    #[test]
+    fn split_ratio_preserves_order_and_counts() {
+        let mut store = HistoryStore::new();
+        for day in 0..10 {
+            store.push_day(DayLog::new(day, log_of(vec![State::S1; 10])));
+        }
+        let (train, test) = store.split_ratio(6, 4);
+        assert_eq!(train.len(), 6);
+        assert_eq!(test.len(), 4);
+        assert_eq!(train.days()[0].day_index, 0);
+        assert_eq!(test.days()[0].day_index, 6);
+    }
+
+    #[test]
+    fn store_unavailability_spans_day_boundaries() {
+        use State::*;
+        let mut store = HistoryStore::new();
+        store.push_day(DayLog::new(0, log_of(vec![S1, S1])));
+        store.push_day(DayLog::new(1, log_of(vec![S5, S1]))); // entry at boundary
+        store.push_day(DayLog::new(2, log_of(vec![S1, S3]))); // entry mid-day
+        assert_eq!(store.unavailability_occurrences(), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut store = HistoryStore::new();
+        store.push_day(DayLog::new(0, log_of(vec![State::S1, State::S3])));
+        let json = serde_json::to_string(&store).unwrap();
+        let back: HistoryStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(store, back);
+    }
+
+    #[test]
+    fn json_persistence_round_trips() {
+        let mut store = HistoryStore::new();
+        store.push_day(DayLog::new(3, log_of(vec![State::S2, State::S5, State::S1])));
+        let json = store.to_json().unwrap();
+        let back = HistoryStore::from_json(&json).unwrap();
+        assert_eq!(store, back);
+        assert!(HistoryStore::from_json("{not json").is_err());
+    }
+}

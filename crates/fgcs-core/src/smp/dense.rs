@@ -1,0 +1,228 @@
+//! A general dense interval-transition solver over all five states.
+//!
+//! This implements the full discrete-time SMP interval transition equation
+//! (paper Eq. 2, before sparsity is applied):
+//!
+//! ```text
+//! P_{i,j}(m) = δ_{ij} · W_i(m) + Σ_{l=1..m} Σ_k q_{i,k}(l) · P_{k,j}(m-l)
+//! ```
+//!
+//! where `W_i(m) = 1 - Σ_{l≤m} Σ_k q_{i,k}(l)` is the probability the first
+//! sojourn in `i` is still in progress at `m`. Failure states have empty
+//! kernel rows and are therefore absorbing.
+//!
+//! The dense solver exists (a) to cross-validate the sparse Eq.-3 solver —
+//! they must agree exactly on the six probabilities the sparse solver
+//! computes — and (b) as the ablation baseline quantifying what the paper's
+//! §5.3 sparsity optimisation buys.
+
+use crate::error::CoreError;
+use crate::state::State;
+
+use super::params::SmpParams;
+
+/// Dense 5-state interval transition probabilities.
+#[derive(Debug, Clone)]
+pub struct DenseSolver {
+    /// `kernel[i][k][l]` over the full 5×5 state space (failure rows zero).
+    kernel: Vec<Vec<Vec<f64>>>,
+    horizon: usize,
+}
+
+impl DenseSolver {
+    /// Expands the sparse parameters into a full 5×5 kernel.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)]
+    pub fn from_params(params: &SmpParams) -> DenseSolver {
+        let horizon = params.horizon();
+        let mut kernel = vec![vec![vec![0.0; horizon + 1]; 5]; 5];
+        for from in State::OPERATIONAL {
+            for to in State::ALL {
+                for l in 1..=horizon {
+                    kernel[from.index()][to.index()][l] = params.kernel_at(from, to, l);
+                }
+            }
+        }
+        DenseSolver { kernel, horizon }
+    }
+
+    /// The horizon (in steps) this solver can compute to.
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Computes the full interval transition matrix `P(m)` for
+    /// `m = 0..=steps`; returns `probs[m][i][j]`.
+    // Index-based loops mirror the paper's matrix equations more readably
+    // than iterator chains over four nesting levels.
+    #[allow(clippy::needless_range_loop)]
+    pub fn interval_matrix(&self, steps: usize) -> Result<Vec<[[f64; 5]; 5]>, CoreError> {
+        if steps > self.horizon {
+            return Err(CoreError::HorizonTooLong {
+                requested: steps,
+                available: self.horizon,
+            });
+        }
+        // Sojourn-survival term W_i(m).
+        let mut survival = vec![[1.0_f64; 5]; steps + 1];
+        for i in 0..5 {
+            let mut cumulative = 0.0;
+            for (m, surv) in survival.iter_mut().enumerate().skip(1) {
+                for k in 0..5 {
+                    cumulative += self.kernel[i][k][m];
+                }
+                surv[i] = (1.0 - cumulative).max(0.0);
+            }
+        }
+
+        let mut probs = vec![[[0.0_f64; 5]; 5]; steps + 1];
+        for i in 0..5 {
+            probs[0][i][i] = 1.0;
+        }
+        for m in 1..=steps {
+            for i in 0..5 {
+                for j in 0..5 {
+                    let mut acc = if i == j { survival[m][i] } else { 0.0 };
+                    for l in 1..=m {
+                        for k in 0..5 {
+                            let q = self.kernel[i][k][l];
+                            if q != 0.0 {
+                                acc += q * probs[m - l][k][j];
+                            }
+                        }
+                    }
+                    probs[m][i][j] = acc.clamp(0.0, 1.0);
+                }
+            }
+        }
+        Ok(probs)
+    }
+
+    /// Temporal reliability computed densely:
+    /// `TR = 1 - Σ_{j∈{3,4,5}} P_{init,j}(steps)`.
+    pub fn temporal_reliability(&self, init: State, steps: usize) -> Result<f64, CoreError> {
+        if init.is_failure() {
+            return Err(CoreError::FailureInitialState(init));
+        }
+        let probs = self.interval_matrix(steps)?;
+        let row = &probs[steps][init.index()];
+        let fail: f64 = State::FAILURE.iter().map(|s| row[s.index()]).sum();
+        Ok((1.0 - fail).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smp::solver::SparseSolver;
+    use State::*;
+
+    fn rich_kernel(horizon: usize) -> SmpParams {
+        let mut kernel: [[Vec<f64>; 4]; 2] = Default::default();
+        for row in &mut kernel {
+            for col in row.iter_mut() {
+                *col = vec![0.0; horizon + 1];
+            }
+        }
+        // S1 row: [S2, S3, S4, S5]
+        kernel[0][0][2] = 0.35;
+        kernel[0][0][5] = 0.15;
+        kernel[0][1][4] = 0.08;
+        kernel[0][2][7] = 0.04;
+        kernel[0][3][9] = 0.02;
+        // S2 row: [S1, S3, S4, S5]
+        kernel[1][0][3] = 0.5;
+        kernel[1][1][2] = 0.12;
+        kernel[1][2][6] = 0.05;
+        kernel[1][3][8] = 0.03;
+        SmpParams::from_kernel(6, kernel)
+    }
+
+    #[test]
+    fn rows_of_interval_matrix_sum_to_one() {
+        let params = rich_kernel(30);
+        let dense = DenseSolver::from_params(&params);
+        let probs = dense.interval_matrix(30).unwrap();
+        for (m, mat) in probs.iter().enumerate() {
+            for (i, row) in mat.iter().enumerate() {
+                let total: f64 = row.iter().sum();
+                assert!(
+                    (total - 1.0).abs() < 1e-9,
+                    "row {i} at m={m} sums to {total}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failure_states_are_absorbing() {
+        let params = rich_kernel(20);
+        let dense = DenseSolver::from_params(&params);
+        let probs = dense.interval_matrix(20).unwrap();
+        for s in State::FAILURE {
+            let i = s.index();
+            for mat in &probs {
+                assert_eq!(mat[i][i], 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_matches_sparse_on_all_six_probabilities() {
+        let params = rich_kernel(30);
+        let dense = DenseSolver::from_params(&params);
+        let sparse = SparseSolver::new(&params);
+        for steps in [0, 1, 5, 17, 30] {
+            let mat = dense.interval_matrix(steps).unwrap();
+            let six = sparse.interval_probabilities(steps).unwrap();
+            for (j, fail) in State::FAILURE.iter().enumerate() {
+                let want1 = mat[steps][S1.index()][fail.index()];
+                let want2 = mat[steps][S2.index()][fail.index()];
+                assert!(
+                    (six.p1[j] - want1).abs() < 1e-9,
+                    "P(1,{fail}) at {steps}: sparse {} dense {want1}",
+                    six.p1[j]
+                );
+                assert!(
+                    (six.p2[j] - want2).abs() < 1e-9,
+                    "P(2,{fail}) at {steps}: sparse {} dense {want2}",
+                    six.p2[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_and_sparse_reliability_agree_on_estimated_kernel() {
+        use crate::smp::params::SmpParams;
+        // Estimate from a synthetic structured day.
+        let day: Vec<State> = (0..200)
+            .map(|i| match i % 37 {
+                0..=19 => S1,
+                20..=29 => S2,
+                30..=33 => S3,
+                _ => S1,
+            })
+            .collect();
+        let windows: Vec<&[State]> = vec![&day];
+        let params = SmpParams::estimate(&windows, 6, 100);
+        let dense = DenseSolver::from_params(&params);
+        let sparse = SparseSolver::new(&params);
+        for init in [S1, S2] {
+            for steps in [10, 50, 100] {
+                let a = dense.temporal_reliability(init, steps).unwrap();
+                let b = sparse.temporal_reliability(init, steps).unwrap();
+                assert!((a - b).abs() < 1e-9, "init {init} steps {steps}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_rejects_failure_init_and_long_horizon() {
+        let params = rich_kernel(10);
+        let dense = DenseSolver::from_params(&params);
+        assert!(dense.temporal_reliability(S4, 5).is_err());
+        assert!(dense.temporal_reliability(S1, 11).is_err());
+    }
+}

@@ -1,0 +1,23 @@
+//! The discrete-time semi-Markov process (SMP) model of paper §4.
+//!
+//! * [`params`] — estimation of the SMP parameters (the transition matrix
+//!   `Q` and holding-time mass functions `H`, stored jointly as the
+//!   semi-Markov kernel `q_{i,k}(l) = Q_i(k) · H_{i,k}(l)`) from history
+//!   logs,
+//! * [`solver`] — the sparse recursion of paper Eq. 3, which computes the
+//!   six interval transition probabilities `P_{1,j}`, `P_{2,j}`
+//!   (`j ∈ {3,4,5}`) needed for temporal reliability,
+//! * [`dense`] — a general 5-state interval-transition solver used to
+//!   cross-validate the sparse one and as the ablation baseline.
+
+pub mod compact;
+pub mod dense;
+pub mod markov;
+pub mod params;
+pub mod solver;
+
+pub use compact::CompactSolver;
+pub use dense::DenseSolver;
+pub use markov::MarkovChain;
+pub use params::SmpParams;
+pub use solver::{IntervalProbs, SparseSolver};

@@ -1,0 +1,458 @@
+//! Estimation of the semi-Markov kernel from history logs.
+//!
+//! The paper computes the SMP parameters "via the statistics on history
+//! logs" of the same time window on the most recent same-type days (§4.2),
+//! and stores `Q` and `H(m)` as an 8-element structure thanks to the model's
+//! sparsity (§5.3): transitions only leave the two operational states, each
+//! towards the other operational state or one of the three absorbing failure
+//! states — `2 × 4 = 8` (state, target) pairs.
+//!
+//! We estimate the *kernel* `q_{i,k}(l) = Pr{next state k, holding time l |
+//! entered i}` directly with a discrete-time product-limit (Kaplan–Meier
+//! style) estimator, because window-bounded logs are right-censored: a
+//! sojourn still in progress when the window ends tells us the holding time
+//! exceeded the observed span but not where the process went next. Ignoring
+//! censored sojourns would wildly overestimate failure probabilities on
+//! quiet machines (most windows contain a single uninterrupted S1 sojourn).
+//! `Q` and `H` are recovered as `Q_i(k) = Σ_l q_{i,k}(l)` and
+//! `H_{i,k}(l) = q_{i,k}(l) / Q_i(k)`.
+//!
+//! The first sojourn of a window is left-truncated (the machine entered its
+//! state before the window opened). We treat it as entered at the window
+//! start; this conditions the statistics on the state occupied at the
+//! window's start time-of-day, which matches how the predictor is invoked
+//! (the initial state is the state observed at submission time).
+
+use serde::{Deserialize, Serialize};
+
+use crate::state::State;
+
+/// Index of the kernel's source states: 0 → S1, 1 → S2.
+const SOURCES: [State; 2] = [State::S1, State::S2];
+
+/// Targets for each source, in kernel index order:
+/// `[other operational, S3, S4, S5]`.
+#[must_use]
+fn targets_of(source_idx: usize) -> [State; 4] {
+    let other = SOURCES[1 - source_idx];
+    [other, State::S3, State::S4, State::S5]
+}
+
+/// Maps a target state to its kernel index for the given source, if the
+/// transition is representable (self-transitions are not).
+fn target_index(source_idx: usize, target: State) -> Option<usize> {
+    targets_of(source_idx).iter().position(|&t| t == target)
+}
+
+/// The estimated SMP parameters: the sparse semi-Markov kernel
+/// `q_{i,k}(l)` for `i ∈ {S1, S2}`, `k ∈ {other, S3, S4, S5}` and
+/// `l ∈ 1..=horizon` steps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmpParams {
+    step_secs: u32,
+    horizon: usize,
+    /// `kernel[i][k][l]`; index `l = 0` is unused and kept at 0 so that the
+    /// solver can index by holding time directly.
+    kernel: [[Vec<f64>; 4]; 2],
+    /// Number of sojourns observed per source state (diagnostics).
+    sojourns: [usize; 2],
+}
+
+/// One observed sojourn: how long the process was seen in a state and how
+/// (or whether) it left.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sojourn {
+    /// Transitioned to `target` exactly `duration` steps after entry.
+    Completed { duration: usize, target: State },
+    /// Still in the state when the window closed; no transition observed
+    /// through `at_risk` steps after entry.
+    Censored { at_risk: usize },
+}
+
+impl SmpParams {
+    /// Estimates the kernel from a set of window slices (each slice being
+    /// the `steps + 1` fence-post samples of one historical day's window)
+    /// with holding times resolved up to `horizon` steps.
+    ///
+    /// Slices shorter than 2 samples contribute nothing. Slices may have
+    /// different lengths (e.g. when mixing day logs of different coverage).
+    #[must_use]
+    pub fn estimate(windows: &[&[State]], step_secs: u32, horizon: usize) -> SmpParams {
+        assert!(step_secs > 0, "step must be positive");
+        // events[i][k][l] — transitions to target k at duration l;
+        // risk_diff[i][l] — difference array for the at-risk counts.
+        let mut events = [
+            [
+                vec![0u64; horizon + 1],
+                vec![0u64; horizon + 1],
+                vec![0u64; horizon + 1],
+                vec![0u64; horizon + 1],
+            ],
+            [
+                vec![0u64; horizon + 1],
+                vec![0u64; horizon + 1],
+                vec![0u64; horizon + 1],
+                vec![0u64; horizon + 1],
+            ],
+        ];
+        let mut risk_diff = [vec![0i64; horizon + 2], vec![0i64; horizon + 2]];
+        let mut sojourns = [0usize; 2];
+
+        for window in windows {
+            for (source_idx, sojourn) in decompose(window) {
+                sojourns[source_idx] += 1;
+                match sojourn {
+                    Sojourn::Completed { duration, target } => {
+                        let capped = duration.min(horizon);
+                        if capped >= 1 {
+                            risk_diff[source_idx][1] += 1;
+                            risk_diff[source_idx][capped + 1] -= 1;
+                        }
+                        if duration <= horizon {
+                            if let Some(k) = target_index(source_idx, target) {
+                                events[source_idx][k][duration] += 1;
+                            }
+                        }
+                    }
+                    Sojourn::Censored { at_risk } => {
+                        let capped = at_risk.min(horizon);
+                        if capped >= 1 {
+                            risk_diff[source_idx][1] += 1;
+                            risk_diff[source_idx][capped + 1] -= 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Product-limit: q_{i,k}(l) = S_i(l-1) * h_{i,k}(l),
+        // S_i(l) = S_i(l-1) * (1 - Σ_k h_{i,k}(l)).
+        let mut kernel: [[Vec<f64>; 4]; 2] = [
+            [
+                vec![0.0; horizon + 1],
+                vec![0.0; horizon + 1],
+                vec![0.0; horizon + 1],
+                vec![0.0; horizon + 1],
+            ],
+            [
+                vec![0.0; horizon + 1],
+                vec![0.0; horizon + 1],
+                vec![0.0; horizon + 1],
+                vec![0.0; horizon + 1],
+            ],
+        ];
+        for i in 0..2 {
+            let mut at_risk: i64 = 0;
+            let mut survival = 1.0_f64;
+            for l in 1..=horizon {
+                at_risk += risk_diff[i][l];
+                if at_risk <= 0 {
+                    break; // no information at longer durations
+                }
+                let n = at_risk as f64;
+                let mut total_hazard = 0.0;
+                for k in 0..4 {
+                    let h = events[i][k][l] as f64 / n;
+                    kernel[i][k][l] = survival * h;
+                    total_hazard += h;
+                }
+                survival *= (1.0 - total_hazard).max(0.0);
+            }
+        }
+
+        SmpParams {
+            step_secs,
+            horizon,
+            kernel,
+            sojourns,
+        }
+    }
+
+    /// The discretisation step `d` in seconds.
+    #[must_use]
+    pub fn step_secs(&self) -> u32 {
+        self.step_secs
+    }
+
+    /// The maximum holding time (in steps) the kernel resolves.
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Number of sojourns that informed the estimate for each source state.
+    #[must_use]
+    pub fn sojourn_counts(&self) -> [usize; 2] {
+        self.sojourns
+    }
+
+    /// Kernel value `q_{from,to}(holding)`; 0 for unrepresentable pairs or
+    /// out-of-range holding times.
+    #[must_use]
+    pub fn kernel_at(&self, from: State, to: State, holding: usize) -> f64 {
+        let Some(i) = SOURCES.iter().position(|&s| s == from) else {
+            return 0.0;
+        };
+        let Some(k) = target_index(i, to) else {
+            return 0.0;
+        };
+        if holding == 0 || holding > self.horizon {
+            return 0.0;
+        }
+        self.kernel[i][k][holding]
+    }
+
+    /// Raw kernel row for a source state index (0 → S1, 1 → S2), in target
+    /// order `[other, S3, S4, S5]`. Used by the solvers.
+    #[must_use]
+    pub(crate) fn row(&self, source_idx: usize) -> &[Vec<f64>; 4] {
+        &self.kernel[source_idx]
+    }
+
+    /// The embedded transition probability `Q_i(k) = Σ_l q_{i,k}(l)`.
+    ///
+    /// Rows may sum to less than 1: the deficit is the estimated probability
+    /// of remaining in the state beyond the horizon (right-censoring mass).
+    #[must_use]
+    pub fn q(&self, from: State, to: State) -> f64 {
+        let Some(i) = SOURCES.iter().position(|&s| s == from) else {
+            return 0.0;
+        };
+        let Some(k) = target_index(i, to) else {
+            return 0.0;
+        };
+        self.kernel[i][k][1..].iter().sum()
+    }
+
+    /// The holding-time mass function `H_{i,k}(l) = q_{i,k}(l) / Q_i(k)` for
+    /// `l ∈ 0..=horizon`, or `None` when the transition has zero estimated
+    /// probability (H is then undefined).
+    #[must_use]
+    pub fn holding_pmf(&self, from: State, to: State) -> Option<Vec<f64>> {
+        let total = self.q(from, to);
+        if total <= 0.0 {
+            return None;
+        }
+        let i = SOURCES.iter().position(|&s| s == from)?;
+        let k = target_index(i, to)?;
+        Some(self.kernel[i][k].iter().map(|v| v / total).collect())
+    }
+
+    /// Builds parameters directly from a kernel (used by tests and the
+    /// noise-free analytic fixtures).
+    ///
+    /// # Panics
+    /// Panics if the rows have inconsistent lengths.
+    #[must_use]
+    pub fn from_kernel(step_secs: u32, kernel: [[Vec<f64>; 4]; 2]) -> SmpParams {
+        let horizon = kernel[0][0].len().saturating_sub(1);
+        for row in &kernel {
+            for col in row {
+                assert_eq!(col.len(), horizon + 1, "inconsistent kernel row lengths");
+            }
+        }
+        SmpParams {
+            step_secs,
+            horizon,
+            kernel,
+            sojourns: [0, 0],
+        }
+    }
+}
+
+/// Decomposes a window slice into sojourns of the two operational states.
+/// Failure-state runs are skipped (nothing transitions out of them in the
+/// model); the run following a failure is treated as freshly entered.
+fn decompose(window: &[State]) -> Vec<(usize, Sojourn)> {
+    let mut out = Vec::new();
+    let len = window.len();
+    let mut start = 0;
+    while start < len {
+        let state = window[start];
+        let mut end = start;
+        while end + 1 < len && window[end + 1] == state {
+            end += 1;
+        }
+        if let Some(source_idx) = SOURCES.iter().position(|&s| s == state) {
+            if end + 1 < len {
+                out.push((
+                    source_idx,
+                    Sojourn::Completed {
+                        duration: end + 1 - start,
+                        target: window[end + 1],
+                    },
+                ));
+            } else {
+                let at_risk = end - start; // last sample gives no transition info
+                if at_risk >= 1 {
+                    out.push((source_idx, Sojourn::Censored { at_risk }));
+                }
+            }
+        }
+        start = end + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use State::*;
+
+    #[test]
+    fn decompose_identifies_completed_and_censored() {
+        let w = [S1, S1, S2, S2, S2, S1];
+        let s = decompose(&w);
+        assert_eq!(
+            s,
+            vec![
+                (0, Sojourn::Completed { duration: 2, target: S2 }),
+                (1, Sojourn::Completed { duration: 3, target: S1 }),
+                // trailing single-sample S1 run: no at-risk time, dropped
+            ]
+        );
+    }
+
+    #[test]
+    fn decompose_censors_trailing_run() {
+        let w = [S1, S1, S1, S1];
+        let s = decompose(&w);
+        assert_eq!(s, vec![(0, Sojourn::Censored { at_risk: 3 })]);
+    }
+
+    #[test]
+    fn decompose_skips_failure_runs() {
+        let w = [S1, S3, S3, S2, S2];
+        let s = decompose(&w);
+        assert_eq!(
+            s,
+            vec![
+                (0, Sojourn::Completed { duration: 1, target: S3 }),
+                (1, Sojourn::Censored { at_risk: 1 }),
+            ]
+        );
+    }
+
+    #[test]
+    fn all_identical_window_yields_no_failure_mass() {
+        let w = vec![S1; 101];
+        let p = SmpParams::estimate(&[&w], 6, 100);
+        for to in [S2, S3, S4, S5] {
+            assert_eq!(p.q(S1, to), 0.0);
+        }
+        assert_eq!(p.sojourn_counts(), [1, 0]);
+    }
+
+    #[test]
+    fn deterministic_transition_estimated_exactly() {
+        // Every day: 5 steps of S1, then S3 for the rest (11 samples = 10 steps).
+        let day: Vec<State> = (0..11).map(|i| if i < 5 { S1 } else { S3 }).collect();
+        let windows: Vec<&[State]> = vec![&day, &day, &day];
+        let p = SmpParams::estimate(&windows, 6, 10);
+        assert!((p.q(S1, S3) - 1.0).abs() < 1e-12);
+        let pmf = p.holding_pmf(S1, S3).unwrap();
+        assert!((pmf[5] - 1.0).abs() < 1e-12);
+        assert_eq!(p.kernel_at(S1, S3, 5), 1.0);
+        assert_eq!(p.kernel_at(S1, S3, 4), 0.0);
+    }
+
+    #[test]
+    fn censoring_prevents_overestimation() {
+        // 8 quiet days (never leave S1) + 2 failing days (S1 -> S3 at step 5).
+        let quiet = vec![S1; 11];
+        let failing: Vec<State> = (0..11).map(|i| if i < 5 { S1 } else { S3 }).collect();
+        let mut windows: Vec<&[State]> = vec![&quiet; 8];
+        windows.push(&failing);
+        windows.push(&failing);
+        let p = SmpParams::estimate(&windows, 6, 10);
+        // Naive completed-only estimation would give Q(S1->S3) = 1.0.
+        // The product-limit estimate is the empirical hazard at step 5:
+        // 2 events among 10 at risk -> Q = 0.2.
+        assert!((p.q(S1, S3) - 0.2).abs() < 1e-9, "q = {}", p.q(S1, S3));
+    }
+
+    #[test]
+    fn rows_are_subprobabilities() {
+        let day: Vec<State> = (0..21)
+            .map(|i| match i % 7 {
+                0..=2 => S1,
+                3..=4 => S2,
+                _ => S1,
+            })
+            .collect();
+        let windows: Vec<&[State]> = vec![&day];
+        let p = SmpParams::estimate(&windows, 6, 20);
+        for from in [S1, S2] {
+            let total: f64 = [S1, S2, S3, S4, S5]
+                .into_iter()
+                .map(|to| p.q(from, to))
+                .sum();
+            assert!(total <= 1.0 + 1e-9, "row {from} sums to {total}");
+        }
+    }
+
+    #[test]
+    fn holding_pmf_sums_to_one_when_defined() {
+        let day: Vec<State> = (0..31)
+            .map(|i| if i % 10 < 6 { S1 } else { S2 })
+            .collect();
+        let windows: Vec<&[State]> = vec![&day, &day];
+        let p = SmpParams::estimate(&windows, 6, 30);
+        if let Some(pmf) = p.holding_pmf(S1, S2) {
+            let total: f64 = pmf.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "pmf sums to {total}");
+        } else {
+            panic!("expected S1->S2 transitions to be observed");
+        }
+    }
+
+    #[test]
+    fn holding_pmf_none_for_unobserved_transition() {
+        let day = vec![S1; 11];
+        let windows: Vec<&[State]> = vec![&day];
+        let p = SmpParams::estimate(&windows, 6, 10);
+        assert!(p.holding_pmf(S1, S5).is_none());
+    }
+
+    #[test]
+    fn kernel_ignores_failure_sources_and_self_transitions() {
+        let day: Vec<State> = (0..11).map(|i| if i < 5 { S1 } else { S3 }).collect();
+        let windows: Vec<&[State]> = vec![&day];
+        let p = SmpParams::estimate(&windows, 6, 10);
+        assert_eq!(p.q(S3, S1), 0.0);
+        assert_eq!(p.q(S1, S1), 0.0);
+        assert_eq!(p.kernel_at(S5, S1, 3), 0.0);
+    }
+
+    #[test]
+    fn empty_windows_give_empty_kernel() {
+        let p = SmpParams::estimate(&[], 6, 10);
+        assert_eq!(p.sojourn_counts(), [0, 0]);
+        assert_eq!(p.q(S1, S3), 0.0);
+    }
+
+    #[test]
+    fn horizon_caps_contributions() {
+        // Transition at duration 8 with horizon 5: no event mass within horizon.
+        let day: Vec<State> = (0..11).map(|i| if i < 8 { S1 } else { S3 }).collect();
+        let windows: Vec<&[State]> = vec![&day];
+        let p = SmpParams::estimate(&windows, 6, 5);
+        assert_eq!(p.q(S1, S3), 0.0);
+        assert_eq!(p.horizon(), 5);
+    }
+
+    #[test]
+    fn from_kernel_round_trips() {
+        let mut kernel: [[Vec<f64>; 4]; 2] = Default::default();
+        for row in &mut kernel {
+            for col in row.iter_mut() {
+                *col = vec![0.0; 6];
+            }
+        }
+        kernel[0][1][3] = 0.25; // q_{S1,S3}(3)
+        let p = SmpParams::from_kernel(6, kernel);
+        assert_eq!(p.horizon(), 5);
+        assert_eq!(p.kernel_at(S1, S3, 3), 0.25);
+        assert_eq!(p.q(S1, S3), 0.25);
+    }
+}

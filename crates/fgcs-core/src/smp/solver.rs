@@ -1,0 +1,267 @@
+//! The sparse interval-transition solver of paper Eq. 3 (§5.3).
+//!
+//! Exploiting the kernel's sparsity, only six interval transition
+//! probabilities are needed for temporal reliability: `P_{1,j}(m)` and
+//! `P_{2,j}(m)` for `j ∈ {S3, S4, S5}`. Since the failure states are
+//! absorbing (`P_{j,j}(m) = 1`), the recursion is
+//!
+//! ```text
+//! P_{1,j}(m) = Σ_{l=1..m} [ q_{1,2}(l) · P_{2,j}(m-l) + q_{1,j}(l) ]
+//! P_{2,j}(m) = Σ_{l=1..m} [ q_{2,1}(l) · P_{1,j}(m-l) + q_{2,j}(l) ]
+//! ```
+//!
+//! computed iteratively for `m = 1..T/d` in `O((T/d)²)` — matching the
+//! superlinear computation-time growth the paper measures in Figure 4.
+//! Temporal reliability is then `TR = 1 - Σ_j P_{init,j}(T/d)` (Eq. 2).
+
+use crate::error::CoreError;
+use crate::state::State;
+
+use super::params::SmpParams;
+
+/// The six per-step probability curves `(P_{1,j}(m), P_{2,j}(m))`,
+/// `j ∈ {S3, S4, S5}`, produced by one run of the recursion.
+pub(crate) type SixCurves = ([Vec<f64>; 3], [Vec<f64>; 3]);
+
+/// The six interval transition probabilities at the requested horizon:
+/// `p1[j]` = `P_{S1,S(3+j)}`, `p2[j]` = `P_{S2,S(3+j)}` for `j ∈ {0,1,2}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalProbs {
+    /// `P_{1,3}, P_{1,4}, P_{1,5}` at the horizon.
+    pub p1: [f64; 3],
+    /// `P_{2,3}, P_{2,4}, P_{2,5}` at the horizon.
+    pub p2: [f64; 3],
+}
+
+impl IntervalProbs {
+    /// Probability of hitting *any* failure state from the given initial
+    /// state within the horizon.
+    ///
+    /// # Panics
+    /// Panics for failure initial states (the caller validates these).
+    #[must_use]
+    pub fn failure_probability(&self, init: State) -> f64 {
+        let row = match init {
+            State::S1 => &self.p1,
+            State::S2 => &self.p2,
+            s => panic!("failure_probability undefined for failure state {s}"),
+        };
+        row.iter().sum::<f64>().clamp(0.0, 1.0)
+    }
+}
+
+/// Solver over an estimated kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct SparseSolver<'a> {
+    params: &'a SmpParams,
+}
+
+impl<'a> SparseSolver<'a> {
+    /// Wraps the estimated parameters.
+    #[must_use]
+    pub fn new(params: &'a SmpParams) -> SparseSolver<'a> {
+        SparseSolver { params }
+    }
+
+    /// Runs the recursion up to `steps` and returns the full per-step curves
+    /// of the six probabilities: `(p1[j][m], p2[j][m])`.
+    fn run(&self, steps: usize) -> Result<SixCurves, CoreError> {
+        if steps > self.params.horizon() {
+            return Err(CoreError::HorizonTooLong {
+                requested: steps,
+                available: self.params.horizon(),
+            });
+        }
+        // Kernel rows: row(0) = from S1 with targets [S2, S3, S4, S5],
+        // row(1) = from S2 with targets [S1, S3, S4, S5].
+        let q1 = self.params.row(0);
+        let q2 = self.params.row(1);
+
+        let mut p1: [Vec<f64>; 3] = [vec![0.0; steps + 1], vec![0.0; steps + 1], vec![0.0; steps + 1]];
+        let mut p2: [Vec<f64>; 3] = [vec![0.0; steps + 1], vec![0.0; steps + 1], vec![0.0; steps + 1]];
+
+        for m in 1..=steps {
+            for j in 0..3 {
+                // Target index j+1 is the failure state S(3+j) in the kernel
+                // row layout [other, S3, S4, S5].
+                let mut acc1 = 0.0;
+                let mut acc2 = 0.0;
+                for l in 1..=m {
+                    acc1 += q1[0][l] * p2[j][m - l] + q1[j + 1][l];
+                    acc2 += q2[0][l] * p1[j][m - l] + q2[j + 1][l];
+                }
+                p1[j][m] = acc1.clamp(0.0, 1.0);
+                p2[j][m] = acc2.clamp(0.0, 1.0);
+            }
+        }
+        Ok((p1, p2))
+    }
+
+    /// The six interval transition probabilities at horizon `steps`.
+    pub fn interval_probabilities(&self, steps: usize) -> Result<IntervalProbs, CoreError> {
+        let (p1, p2) = self.run(steps)?;
+        Ok(IntervalProbs {
+            p1: [p1[0][steps], p1[1][steps], p1[2][steps]],
+            p2: [p2[0][steps], p2[1][steps], p2[2][steps]],
+        })
+    }
+
+    /// Temporal reliability `TR = 1 - Σ_j P_{init,j}(steps)` for an
+    /// operational initial state.
+    pub fn temporal_reliability(&self, init: State, steps: usize) -> Result<f64, CoreError> {
+        if init.is_failure() {
+            return Err(CoreError::FailureInitialState(init));
+        }
+        let probs = self.interval_probabilities(steps)?;
+        Ok((1.0 - probs.failure_probability(init)).clamp(0.0, 1.0))
+    }
+
+    /// The whole reliability curve `TR(m)` for `m = 0..=steps` (an
+    /// extension beyond the paper: useful for schedulers comparing horizons
+    /// without re-running the recursion).
+    pub fn reliability_curve(&self, init: State, steps: usize) -> Result<Vec<f64>, CoreError> {
+        if init.is_failure() {
+            return Err(CoreError::FailureInitialState(init));
+        }
+        let (p1, p2) = self.run(steps)?;
+        let row = match init {
+            State::S1 => &p1,
+            _ => &p2,
+        };
+        Ok((0..=steps)
+            .map(|m| (1.0 - (row[0][m] + row[1][m] + row[2][m])).clamp(0.0, 1.0))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use State::*;
+
+    /// A kernel with a single deterministic transition S1 -> S3 at holding 3.
+    fn kernel_one_shot(horizon: usize, prob: f64) -> SmpParams {
+        let mut kernel: [[Vec<f64>; 4]; 2] = Default::default();
+        for row in &mut kernel {
+            for col in row.iter_mut() {
+                *col = vec![0.0; horizon + 1];
+            }
+        }
+        kernel[0][1][3] = prob; // q_{S1,S3}(3)
+        SmpParams::from_kernel(6, kernel)
+    }
+
+    #[test]
+    fn empty_kernel_gives_perfect_reliability() {
+        let p = SmpParams::estimate(&[], 6, 50);
+        let s = SparseSolver::new(&p);
+        assert_eq!(s.temporal_reliability(S1, 50).unwrap(), 1.0);
+        assert_eq!(s.temporal_reliability(S2, 50).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn one_shot_failure_shows_up_after_holding_time() {
+        let p = kernel_one_shot(10, 0.4);
+        let s = SparseSolver::new(&p);
+        let curve = s.reliability_curve(S1, 10).unwrap();
+        assert_eq!(curve[0], 1.0);
+        assert_eq!(curve[2], 1.0); // before the holding time elapses
+        assert!((curve[3] - 0.6).abs() < 1e-12);
+        assert!((curve[10] - 0.6).abs() < 1e-12); // no further mass
+    }
+
+    #[test]
+    fn failure_init_is_rejected() {
+        let p = kernel_one_shot(10, 0.4);
+        let s = SparseSolver::new(&p);
+        assert!(matches!(
+            s.temporal_reliability(S3, 5),
+            Err(CoreError::FailureInitialState(S3))
+        ));
+    }
+
+    #[test]
+    fn horizon_overflow_is_rejected() {
+        let p = kernel_one_shot(10, 0.4);
+        let s = SparseSolver::new(&p);
+        assert!(matches!(
+            s.temporal_reliability(S1, 11),
+            Err(CoreError::HorizonTooLong { requested: 11, available: 10 })
+        ));
+    }
+
+    #[test]
+    fn reliability_is_monotone_non_increasing() {
+        // Richer kernel: S1 <-> S2 churn plus failure leaks.
+        let horizon = 40;
+        let mut kernel: [[Vec<f64>; 4]; 2] = Default::default();
+        for row in &mut kernel {
+            for col in row.iter_mut() {
+                *col = vec![0.0; horizon + 1];
+            }
+        }
+        kernel[0][0][2] = 0.5; // S1 -> S2 at 2
+        kernel[0][1][4] = 0.1; // S1 -> S3 at 4
+        kernel[0][3][6] = 0.05; // S1 -> S5 at 6
+        kernel[1][0][3] = 0.6; // S2 -> S1 at 3
+        kernel[1][2][5] = 0.2; // S2 -> S4 at 5
+        let p = SmpParams::from_kernel(6, kernel);
+        let s = SparseSolver::new(&p);
+        for init in [S1, S2] {
+            let curve = s.reliability_curve(init, horizon).unwrap();
+            for w in curve.windows(2) {
+                assert!(w[1] <= w[0] + 1e-12, "TR increased: {} -> {}", w[0], w[1]);
+            }
+            assert!(curve.iter().all(|tr| (0.0..=1.0).contains(tr)));
+        }
+    }
+
+    #[test]
+    fn two_hop_failure_path_composes() {
+        // S1 -> S2 at 1 (prob 1), S2 -> S3 at 1 (prob 1): failure by m = 2.
+        let horizon = 5;
+        let mut kernel: [[Vec<f64>; 4]; 2] = Default::default();
+        for row in &mut kernel {
+            for col in row.iter_mut() {
+                *col = vec![0.0; horizon + 1];
+            }
+        }
+        kernel[0][0][1] = 1.0;
+        kernel[1][1][1] = 1.0;
+        let p = SmpParams::from_kernel(6, kernel);
+        let s = SparseSolver::new(&p);
+        let curve = s.reliability_curve(S1, 5).unwrap();
+        assert_eq!(curve[0], 1.0);
+        assert_eq!(curve[1], 1.0); // at m=1 we are in S2, still operational
+        assert!((curve[2] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_probs_split_by_failure_state() {
+        let horizon = 8;
+        let mut kernel: [[Vec<f64>; 4]; 2] = Default::default();
+        for row in &mut kernel {
+            for col in row.iter_mut() {
+                *col = vec![0.0; horizon + 1];
+            }
+        }
+        kernel[0][1][2] = 0.2; // S1 -> S3
+        kernel[0][2][3] = 0.3; // S1 -> S4
+        kernel[0][3][4] = 0.1; // S1 -> S5
+        let p = SmpParams::from_kernel(6, kernel);
+        let s = SparseSolver::new(&p);
+        let probs = s.interval_probabilities(8).unwrap();
+        assert!((probs.p1[0] - 0.2).abs() < 1e-12);
+        assert!((probs.p1[1] - 0.3).abs() < 1e-12);
+        assert!((probs.p1[2] - 0.1).abs() < 1e-12);
+        assert_eq!(probs.p2, [0.0; 3]);
+        assert!((probs.failure_probability(S1) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_steps_reliability_is_one() {
+        let p = kernel_one_shot(10, 1.0);
+        let s = SparseSolver::new(&p);
+        assert_eq!(s.temporal_reliability(S1, 0).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Regularised linear least squares on the normal equations.
+//!
+//! Used by the MA/ARMA estimators in `fgcs-timeseries` (Hannan–Rissanen
+//! second stage). The design matrices there are tall and thin (hundreds of
+//! rows, ≤ 32 columns), so forming `AᵀA` explicitly is accurate enough,
+//! especially with the small ridge term we add when the system is close to
+//! singular.
+
+use crate::matrix::{Matrix, MatrixError};
+
+/// Result of a least-squares fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LsqFit {
+    /// Estimated coefficients, one per design-matrix column.
+    pub coeffs: Vec<f64>,
+    /// Residual sum of squares at the solution.
+    pub rss: f64,
+    /// Whether the ridge fallback was used because `AᵀA` was singular.
+    pub ridged: bool,
+}
+
+/// Errors from [`solve_least_squares`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LsqError {
+    /// Fewer rows than columns: the system is underdetermined.
+    Underdetermined {
+        /// Rows of the design matrix.
+        rows: usize,
+        /// Columns of the design matrix.
+        cols: usize,
+    },
+    /// Design matrix and response length disagree.
+    LengthMismatch {
+        /// Rows of the design matrix.
+        rows: usize,
+        /// Length of the response vector.
+        responses: usize,
+    },
+    /// The normal equations stayed singular even after ridging.
+    Singular(MatrixError),
+}
+
+impl std::fmt::Display for LsqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LsqError::Underdetermined { rows, cols } => {
+                write!(f, "underdetermined system: {rows} rows < {cols} cols")
+            }
+            LsqError::LengthMismatch { rows, responses } => {
+                write!(f, "{rows} rows but {responses} responses")
+            }
+            LsqError::Singular(e) => write!(f, "normal equations singular: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LsqError {}
+
+/// Solves `min ||A x - b||²` via the normal equations `AᵀA x = Aᵀb`.
+///
+/// If `AᵀA` is numerically singular, retries with a small ridge term
+/// (`λ = 1e-8 · max |AᵀA|` added to the diagonal) and flags the result.
+pub fn solve_least_squares(a: &Matrix, b: &[f64]) -> Result<LsqFit, LsqError> {
+    let (rows, cols) = (a.rows(), a.cols());
+    if b.len() != rows {
+        return Err(LsqError::LengthMismatch {
+            rows,
+            responses: b.len(),
+        });
+    }
+    if rows < cols {
+        return Err(LsqError::Underdetermined { rows, cols });
+    }
+    let at = a.transpose();
+    let ata = &at * a;
+    let atb = at.mul_vec(b);
+
+    let (coeffs, ridged) = match ata.solve(&atb) {
+        Ok(x) => (x, false),
+        Err(_) => {
+            let lambda = 1e-8 * ata.max_abs().max(1.0);
+            let mut ridge = ata.clone();
+            for i in 0..cols {
+                ridge[(i, i)] += lambda;
+            }
+            let x = ridge.solve(&atb).map_err(LsqError::Singular)?;
+            (x, true)
+        }
+    };
+
+    let fitted = a.mul_vec(&coeffs);
+    let rss = fitted
+        .iter()
+        .zip(b)
+        .map(|(f, y)| (y - f) * (y - f))
+        .sum::<f64>();
+    Ok(LsqFit {
+        coeffs,
+        rss,
+        ridged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn exact_system_recovers_coefficients() {
+        // y = 2 x1 - 3 x2, no noise.
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[1.0, 1.0],
+            &[2.0, -1.0],
+        ]);
+        let b: Vec<f64> = (0..4)
+            .map(|i| 2.0 * a[(i, 0)] - 3.0 * a[(i, 1)])
+            .collect();
+        let fit = solve_least_squares(&a, &b).unwrap();
+        assert!(approx_eq(fit.coeffs[0], 2.0, 1e-10));
+        assert!(approx_eq(fit.coeffs[1], -3.0, 1e-10));
+        assert!(fit.rss < 1e-18);
+        assert!(!fit.ridged);
+    }
+
+    #[test]
+    fn overdetermined_noisy_system_minimises_rss() {
+        let a = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0], &[1.0]]);
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let fit = solve_least_squares(&a, &b).unwrap();
+        // Best constant fit is the mean, 2.5.
+        assert!(approx_eq(fit.coeffs[0], 2.5, 1e-12));
+        assert!(approx_eq(fit.rss, 5.0, 1e-10)); // (1.5² + .5² + .5² + 1.5²) = 5
+    }
+
+    #[test]
+    fn collinear_columns_use_ridge() {
+        // Two identical columns: AᵀA singular, ridge picks the minimum-norm-ish
+        // solution without erroring.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let b = [2.0, 4.0, 6.0];
+        let fit = solve_least_squares(&a, &b).unwrap();
+        assert!(fit.ridged);
+        // Fitted values should still reproduce b.
+        let fitted = a.mul_vec(&fit.coeffs);
+        for (f, y) in fitted.iter().zip(&b) {
+            assert!(approx_eq(*f, *y, 1e-4), "fitted {f} vs {y}");
+        }
+    }
+
+    #[test]
+    fn underdetermined_is_error() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        assert!(matches!(
+            solve_least_squares(&a, &[1.0]),
+            Err(LsqError::Underdetermined { rows: 1, cols: 3 })
+        ));
+    }
+
+    #[test]
+    fn mismatched_response_is_error() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        assert!(matches!(
+            solve_least_squares(&a, &[1.0]),
+            Err(LsqError::LengthMismatch { .. })
+        ));
+    }
+}

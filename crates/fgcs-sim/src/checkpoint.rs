@@ -1,0 +1,183 @@
+//! Failure-aware checkpointing: turning the availability prediction into a
+//! checkpoint-interval decision.
+//!
+//! This implements the proactive job management the paper motivates in §1
+//! ("turning on checkpointing adaptively based on the results of
+//! availability prediction") and defers to future work in §8 — the subject
+//! of the authors' follow-up paper.
+//!
+//! The adaptive policy converts the predicted temporal reliability over the
+//! job's expected runtime into an effective failure rate
+//! `λ = −ln(TR) / T`, then applies Young's first-order optimal interval
+//! `τ* = √(2·C/λ)` (C = checkpoint cost). A machine predicted to be very
+//! reliable gets sparse (or no) checkpoints; a risky one checkpoints often.
+
+use crate::guest::{CheckpointConfig, GuestJob};
+
+/// How to checkpoint guest jobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CheckpointPolicy {
+    /// No checkpointing: a kill restarts the job from scratch.
+    None,
+    /// A fixed interval regardless of the target machine.
+    Fixed {
+        /// Work seconds between checkpoints.
+        interval_secs: f64,
+        /// Cost of one checkpoint in work seconds.
+        cost_secs: f64,
+    },
+    /// Interval chosen per placement from the predicted temporal
+    /// reliability (Young's formula).
+    Adaptive {
+        /// Cost of one checkpoint in work seconds.
+        cost_secs: f64,
+        /// Intervals are clamped to at least this (avoid checkpoint storms
+        /// on hopeless machines).
+        min_interval_secs: f64,
+        /// Reliability above which checkpointing is skipped entirely.
+        skip_above_tr: f64,
+    },
+}
+
+impl CheckpointPolicy {
+    /// A reasonable adaptive default: 30 s checkpoints, ≥ 5 min apart,
+    /// skipped when the window is ≥ 99 % reliable.
+    #[must_use]
+    pub fn adaptive() -> CheckpointPolicy {
+        CheckpointPolicy::Adaptive {
+            cost_secs: 30.0,
+            min_interval_secs: 300.0,
+            skip_above_tr: 0.99,
+        }
+    }
+
+    /// Configures `job`'s checkpointing for a placement whose predicted
+    /// temporal reliability over the job's runtime is `predicted_tr`
+    /// (`None` when no prediction was available).
+    #[must_use]
+    pub fn apply(&self, job: GuestJob, predicted_tr: Option<f64>) -> GuestJob {
+        match *self {
+            CheckpointPolicy::None => job,
+            CheckpointPolicy::Fixed {
+                interval_secs,
+                cost_secs,
+            } => job.with_checkpointing(CheckpointConfig {
+                interval_secs,
+                cost_secs,
+            }),
+            CheckpointPolicy::Adaptive {
+                cost_secs,
+                min_interval_secs,
+                skip_above_tr,
+            } => {
+                let horizon = job.remaining_secs().max(1.0);
+                // Without a prediction, assume a mediocre machine.
+                let tr = predicted_tr.unwrap_or(0.5).clamp(1e-6, 1.0);
+                if tr >= skip_above_tr {
+                    return job; // reliable enough: checkpointing not worth it
+                }
+                let lambda = -(tr.ln()) / horizon;
+                let interval = youngs_interval(lambda, cost_secs).max(min_interval_secs);
+                if interval >= horizon {
+                    return job; // one checkpoint would never fire
+                }
+                job.with_checkpointing(CheckpointConfig {
+                    interval_secs: interval,
+                    cost_secs,
+                })
+            }
+        }
+    }
+}
+
+/// Young's first-order optimal checkpoint interval `√(2·C/λ)` for failure
+/// rate `λ` (per second) and checkpoint cost `C` (seconds).
+///
+/// Returns `f64::INFINITY` for a zero failure rate.
+#[must_use]
+pub fn youngs_interval(failure_rate: f64, cost_secs: f64) -> f64 {
+    if failure_rate <= 0.0 {
+        return f64::INFINITY;
+    }
+    (2.0 * cost_secs / failure_rate).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn youngs_formula_scales_as_sqrt() {
+        let a = youngs_interval(1e-4, 30.0);
+        let b = youngs_interval(4e-4, 30.0);
+        assert!((a / b - 2.0).abs() < 1e-9, "quadrupled rate halves interval");
+        assert_eq!(youngs_interval(0.0, 30.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn none_policy_leaves_job_untouched() {
+        let job = GuestJob::new(1, 3600.0, 50.0);
+        let out = CheckpointPolicy::None.apply(job.clone(), Some(0.2));
+        assert_eq!(out, job);
+    }
+
+    #[test]
+    fn fixed_policy_always_checkpoints() {
+        let job = GuestJob::new(1, 3600.0, 50.0);
+        let out = CheckpointPolicy::Fixed {
+            interval_secs: 600.0,
+            cost_secs: 10.0,
+        }
+        .apply(job, Some(1.0));
+        assert_eq!(
+            out.checkpoint,
+            Some(CheckpointConfig {
+                interval_secs: 600.0,
+                cost_secs: 10.0
+            })
+        );
+    }
+
+    #[test]
+    fn adaptive_skips_reliable_machines() {
+        let job = GuestJob::new(1, 3600.0, 50.0);
+        let out = CheckpointPolicy::adaptive().apply(job, Some(0.995));
+        assert_eq!(out.checkpoint, None);
+    }
+
+    #[test]
+    fn adaptive_checkpoints_risky_machines_more_often() {
+        let job = GuestJob::new(1, 8.0 * 3600.0, 50.0);
+        let risky = CheckpointPolicy::adaptive()
+            .apply(job.clone(), Some(0.05))
+            .checkpoint
+            .expect("risky machine must checkpoint");
+        let safer = CheckpointPolicy::adaptive()
+            .apply(job, Some(0.7))
+            .checkpoint
+            .expect("moderately risky machine must checkpoint");
+        assert!(
+            risky.interval_secs < safer.interval_secs,
+            "risky {} vs safer {}",
+            risky.interval_secs,
+            safer.interval_secs
+        );
+        assert!(risky.interval_secs >= 300.0, "min interval respected");
+    }
+
+    #[test]
+    fn adaptive_without_prediction_uses_prior() {
+        let job = GuestJob::new(1, 4.0 * 3600.0, 50.0);
+        let out = CheckpointPolicy::adaptive().apply(job, None);
+        assert!(out.checkpoint.is_some(), "prior of 0.5 should checkpoint");
+    }
+
+    #[test]
+    fn adaptive_skips_when_interval_exceeds_job() {
+        // Short job on a mildly risky machine: one checkpoint would never
+        // fire before completion.
+        let job = GuestJob::new(1, 120.0, 50.0);
+        let out = CheckpointPolicy::adaptive().apply(job, Some(0.9));
+        assert_eq!(out.checkpoint, None);
+    }
+}

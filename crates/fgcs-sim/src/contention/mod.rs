@@ -1,0 +1,14 @@
+//! Resource-contention models: the analytic stand-in for the paper's §3.2
+//! empirical studies on real Linux/Unix machines.
+//!
+//! * [`cpu`] — a two-priority time-sharing CPU model that reproduces the
+//!   host-CPU reduction-rate curves of §3.2.1 and from which the two
+//!   thresholds `Th1`/`Th2` emerge,
+//! * [`memory`] — a working-set/physical-memory model with thrashing
+//!   (§3.2.2): CPU priority does nothing once memory is overcommitted.
+
+pub mod cpu;
+pub mod memory;
+
+pub use cpu::{Allocation, CpuContentionModel, GuestPriority};
+pub use memory::MemoryModel;

@@ -1,0 +1,278 @@
+//! Resource publication and discovery — the iShare P2P layer (paper §5.1:
+//! "a P2P network is applied for resource publication and discovery", and
+//! the client's Job Scheduler "queries the gateways on the available
+//! machines for their temporal reliability").
+//!
+//! We model the layer's *observable semantics* rather than its wire
+//! protocol: gateways periodically publish advertisements containing their
+//! current state and a temporal-reliability snapshot at a few standard
+//! horizons; clients discover candidates from the directory, which may be
+//! **stale** — an ad survives until its TTL expires, so a client can act on
+//! a picture that is up to one publication interval old. This is exactly
+//! the failure mode a decentralised deployment has, and the tests pin it
+//! down.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The reliability horizons (seconds) every advertisement carries.
+pub const AD_HORIZONS_SECS: [u32; 4] = [1800, 3600, 2 * 3600, 4 * 3600];
+
+/// One gateway's advertisement of its machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceAd {
+    /// The advertising node.
+    pub node_id: u64,
+    /// Tick at which the ad was published.
+    pub published_at: u64,
+    /// Whether the machine could accept a guest when the ad was made.
+    pub available: bool,
+    /// Host CPU load at publication time.
+    pub host_load: f64,
+    /// Free memory at publication time (MB).
+    pub free_mem_mb: f64,
+    /// `(horizon_secs, predicted TR)` pairs at [`AD_HORIZONS_SECS`];
+    /// empty when the node had no usable history yet.
+    pub tr_snapshot: Vec<(u32, f64)>,
+}
+
+impl ResourceAd {
+    /// The advertised TR at the smallest horizon ≥ `horizon_secs`
+    /// (conservative: a longer-horizon TR under-promises), or the longest
+    /// available horizon when the request exceeds them all.
+    #[must_use]
+    pub fn tr_at(&self, horizon_secs: u32) -> Option<f64> {
+        let mut best: Option<(u32, f64)> = None;
+        for &(h, tr) in &self.tr_snapshot {
+            if h >= horizon_secs {
+                match best {
+                    Some((bh, _)) if bh <= h => {}
+                    _ => best = Some((h, tr)),
+                }
+            }
+        }
+        best.map(|(_, tr)| tr)
+            .or_else(|| self.tr_snapshot.iter().map(|&(_, tr)| tr).next_back())
+    }
+}
+
+/// The (logically centralised) view of the publication overlay: maps node
+/// ids to their freshest advertisement and expires them by TTL.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceDirectory {
+    ads: HashMap<u64, ResourceAd>,
+    /// Ads older than this many ticks are invisible to queries.
+    ttl_ticks: u64,
+}
+
+impl ResourceDirectory {
+    /// Creates a directory with the given advertisement TTL.
+    #[must_use]
+    pub fn new(ttl_ticks: u64) -> ResourceDirectory {
+        ResourceDirectory {
+            ads: HashMap::new(),
+            ttl_ticks,
+        }
+    }
+
+    /// Publishes (or refreshes) a node's advertisement.
+    pub fn publish(&mut self, ad: ResourceAd) {
+        self.ads.insert(ad.node_id, ad);
+    }
+
+    /// Removes a node's advertisement (graceful departure).
+    pub fn withdraw(&mut self, node_id: u64) {
+        self.ads.remove(&node_id);
+    }
+
+    /// All live (non-expired) advertisements at `now`, in node-id order.
+    #[must_use]
+    pub fn live_ads(&self, now: u64) -> Vec<&ResourceAd> {
+        let mut ads: Vec<&ResourceAd> = self
+            .ads
+            .values()
+            .filter(|ad| now.saturating_sub(ad.published_at) <= self.ttl_ticks)
+            .collect();
+        ads.sort_by_key(|ad| ad.node_id);
+        ads
+    }
+
+    /// Discovery query: live, available nodes with at least `min_free_mb`
+    /// of memory, ranked by advertised TR at `horizon_secs` (descending).
+    #[must_use]
+    pub fn discover(&self, now: u64, horizon_secs: u32, min_free_mb: f64) -> Vec<u64> {
+        let mut ranked: Vec<(u64, f64)> = self
+            .live_ads(now)
+            .into_iter()
+            .filter(|ad| ad.available && ad.free_mem_mb >= min_free_mb)
+            .map(|ad| (ad.node_id, ad.tr_at(horizon_secs).unwrap_or(0.5)))
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("TR values are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        ranked.into_iter().map(|(id, _)| id).collect()
+    }
+
+    /// Number of stored ads (live or expired).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ads.len()
+    }
+
+    /// `true` when no ads are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ads.is_empty()
+    }
+}
+
+/// Builds an advertisement from a live host node.
+#[must_use]
+pub fn advertise(node: &crate::node::HostNode, now: u64) -> ResourceAd {
+    let tr_snapshot = AD_HORIZONS_SECS
+        .iter()
+        .filter_map(|&h| node.predict_tr(h).ok().map(|tr| (h, tr)))
+        .collect();
+    ResourceAd {
+        node_id: node.id,
+        published_at: now,
+        available: node.available(),
+        host_load: node.current_host_load().unwrap_or(1.0),
+        free_mem_mb: f64::MAX, // trace-level free memory is in the samples
+        tr_snapshot,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ad(node_id: u64, published_at: u64, tr_1h: f64) -> ResourceAd {
+        ResourceAd {
+            node_id,
+            published_at,
+            available: true,
+            host_load: 0.1,
+            free_mem_mb: 400.0,
+            tr_snapshot: vec![(1800, (tr_1h + 0.05).min(1.0)), (3600, tr_1h)],
+        }
+    }
+
+    #[test]
+    fn publish_and_discover_ranks_by_tr() {
+        let mut dir = ResourceDirectory::new(100);
+        dir.publish(ad(1, 0, 0.4));
+        dir.publish(ad(2, 0, 0.9));
+        dir.publish(ad(3, 0, 0.7));
+        assert_eq!(dir.discover(10, 3600, 0.0), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn expired_ads_are_invisible() {
+        let mut dir = ResourceDirectory::new(100);
+        dir.publish(ad(1, 0, 0.9));
+        dir.publish(ad(2, 150, 0.4));
+        assert_eq!(dir.discover(200, 3600, 0.0), vec![2]);
+        assert_eq!(dir.live_ads(200).len(), 1);
+        assert_eq!(dir.len(), 2, "expired ads remain stored until refreshed");
+    }
+
+    #[test]
+    fn republishing_refreshes_the_ad() {
+        let mut dir = ResourceDirectory::new(100);
+        dir.publish(ad(1, 0, 0.2));
+        dir.publish(ad(1, 500, 0.8));
+        assert_eq!(dir.len(), 1);
+        let ads = dir.live_ads(510);
+        assert_eq!(ads[0].tr_at(3600), Some(0.8));
+    }
+
+    #[test]
+    fn unavailable_and_memory_poor_nodes_filtered() {
+        let mut dir = ResourceDirectory::new(100);
+        let mut busy = ad(1, 0, 0.9);
+        busy.available = false;
+        dir.publish(busy);
+        let mut small = ad(2, 0, 0.9);
+        small.free_mem_mb = 50.0;
+        dir.publish(small);
+        dir.publish(ad(3, 0, 0.5));
+        assert_eq!(dir.discover(1, 3600, 100.0), vec![3]);
+    }
+
+    #[test]
+    fn withdraw_removes_node() {
+        let mut dir = ResourceDirectory::new(100);
+        dir.publish(ad(1, 0, 0.9));
+        dir.withdraw(1);
+        assert!(dir.is_empty());
+        assert!(dir.discover(1, 3600, 0.0).is_empty());
+    }
+
+    #[test]
+    fn tr_at_picks_smallest_covering_horizon() {
+        let ad = ResourceAd {
+            node_id: 1,
+            published_at: 0,
+            available: true,
+            host_load: 0.0,
+            free_mem_mb: 100.0,
+            tr_snapshot: vec![(1800, 0.9), (3600, 0.8), (7200, 0.6)],
+        };
+        assert_eq!(ad.tr_at(1000), Some(0.9));
+        assert_eq!(ad.tr_at(1800), Some(0.9));
+        assert_eq!(ad.tr_at(2000), Some(0.8));
+        assert_eq!(ad.tr_at(7000), Some(0.6));
+        // Beyond all horizons: fall back to the longest one.
+        assert_eq!(ad.tr_at(20_000), Some(0.6));
+    }
+
+    #[test]
+    fn tr_at_empty_snapshot_is_none() {
+        let ad = ResourceAd {
+            node_id: 1,
+            published_at: 0,
+            available: true,
+            host_load: 0.0,
+            free_mem_mb: 100.0,
+            tr_snapshot: vec![],
+        };
+        assert_eq!(ad.tr_at(3600), None);
+    }
+
+    #[test]
+    fn stale_directory_can_mislead_clients() {
+        // The decentralisation trade-off the TTL models: a node that died
+        // right after publishing keeps being discovered until its ad ages
+        // out.
+        let mut dir = ResourceDirectory::new(50);
+        dir.publish(ad(1, 100, 0.95)); // node dies at tick 101
+        assert_eq!(dir.discover(140, 3600, 0.0), vec![1], "stale hit");
+        assert!(dir.discover(151, 3600, 0.0).is_empty(), "TTL expiry");
+    }
+
+    #[test]
+    fn advertise_reflects_node_state() {
+        use fgcs_core::model::{AvailabilityModel, LoadSample};
+        use fgcs_trace::MachineTrace;
+        let model = AvailabilityModel::default();
+        let trace = MachineTrace {
+            machine_id: 9,
+            step_secs: 6,
+            first_day_index: 0,
+            physical_mem_mb: 512.0,
+            samples: vec![LoadSample::idle(400.0); 8 * model.samples_per_day()],
+        };
+        let mut node = crate::node::HostNode::new(trace, model);
+        node.warm_up(7);
+        let ad = advertise(&node, node.tick());
+        assert_eq!(ad.node_id, 9);
+        assert!(ad.available);
+        assert_eq!(ad.tr_snapshot.len(), AD_HORIZONS_SECS.len());
+        for &(_, tr) in &ad.tr_snapshot {
+            assert_eq!(tr, 1.0, "quiet machine advertises perfect TR");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! # fgcs-sim
+//!
+//! A discrete-event simulation of an iShare-style fine-grained cycle
+//! sharing system (paper §5, Figure 2) — the substitute for the authors'
+//! unreleased production system:
+//!
+//! * [`contention`] — the analytic CPU/memory contention models that stand
+//!   in for the §3.2 empirical studies (and from which `Th1`/`Th2` emerge),
+//! * [`monitor`] — the non-intrusive Resource Monitor with heartbeat-gap
+//!   URR detection (§5.2),
+//! * [`state_manager`] — online state classification, history logging and
+//!   the prediction endpoint,
+//! * [`gateway`] — the guest control ladder: renice → suspend → resume /
+//!   terminate,
+//! * [`guest`] — CPU-bound guest jobs with optional checkpointing, and
+//!   [`checkpoint`] — failure-aware (prediction-driven) checkpoint policies,
+//! * [`node`] / [`cluster`] — one host node replaying a trace, and a fleet
+//!   of them running a workload,
+//! * [`scheduler`] — the client-side Job Scheduler with the proactive
+//!   (max-reliability) policy and prediction-oblivious baselines,
+//! * [`event`] — a deterministic event queue for workload construction.
+
+pub mod checkpoint;
+pub mod cluster;
+pub mod contention;
+pub mod directory;
+pub mod event;
+pub mod gateway;
+pub mod guest;
+pub mod migration;
+pub mod monitor;
+pub mod node;
+pub mod scheduler;
+pub mod state_manager;
+
+pub use checkpoint::{youngs_interval, CheckpointPolicy};
+pub use cluster::{group_records, Cluster, GroupRecord, JobRecord, JobSpec};
+pub use contention::{CpuContentionModel, GuestPriority, MemoryModel};
+pub use directory::{advertise, ResourceAd, ResourceDirectory};
+pub use event::EventQueue;
+pub use gateway::{Gateway, GuestAction};
+pub use guest::{CheckpointConfig, GuestJob, GuestOutcome, GuestStatus};
+pub use migration::MigrationPolicy;
+pub use monitor::{MonitorReport, ResourceMonitor};
+pub use node::{GuestRecord, HostNode};
+pub use scheduler::{JobScheduler, SchedulingPolicy};
+pub use state_manager::{OnlineDecision, StateManager};

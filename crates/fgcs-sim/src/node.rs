@@ -1,0 +1,371 @@
+//! A host node: trace replay + State Manager + Gateway + (at most) one
+//! guest process, wired together exactly as in the paper's Figure 2.
+
+use fgcs_core::model::AvailabilityModel;
+use fgcs_core::state::State;
+use fgcs_trace::MachineTrace;
+
+use crate::contention::CpuContentionModel;
+use crate::gateway::{action_priority, Gateway, GuestAction};
+use crate::guest::{GuestJob, GuestOutcome, GuestStatus};
+use crate::state_manager::StateManager;
+
+/// A finished guest run on this node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuestRecord {
+    /// The job as it left the node (progress reflects checkpoints).
+    pub job: GuestJob,
+    /// How the run ended.
+    pub outcome: GuestOutcome,
+    /// Tick at which the job was launched on this node.
+    pub launched_at: u64,
+}
+
+/// One simulated FGCS host node.
+#[derive(Debug, Clone)]
+pub struct HostNode {
+    /// Node identifier (the trace's machine id).
+    pub id: u64,
+    trace: MachineTrace,
+    manager: StateManager,
+    gateway: Gateway,
+    cpu_model: CpuContentionModel,
+    guest: Option<(GuestJob, GuestStatus, u64)>,
+    cursor: usize,
+    records: Vec<GuestRecord>,
+}
+
+impl HostNode {
+    /// Creates a node replaying `trace` under `model`.
+    #[must_use]
+    pub fn new(trace: MachineTrace, model: AvailabilityModel) -> HostNode {
+        let manager = StateManager::new(model, trace.first_day_index);
+        HostNode {
+            id: trace.machine_id,
+            trace,
+            manager,
+            gateway: Gateway::default(),
+            cpu_model: CpuContentionModel::default(),
+            guest: None,
+            cursor: 0,
+            records: Vec::new(),
+        }
+    }
+
+    /// Replays the first `days` of the trace into the history store without
+    /// accepting guests — the training phase of the experiments.
+    pub fn warm_up(&mut self, days: usize) {
+        let until = (days * self.trace.samples_per_day()).min(self.trace.samples.len());
+        while self.cursor < until {
+            self.step();
+        }
+    }
+
+    /// Current tick (sample index into the trace).
+    #[must_use]
+    pub fn tick(&self) -> u64 {
+        self.cursor as u64
+    }
+
+    /// Total ticks available in the trace.
+    #[must_use]
+    pub fn total_ticks(&self) -> u64 {
+        self.trace.samples.len() as u64
+    }
+
+    /// The monitoring period in seconds.
+    #[must_use]
+    pub fn step_secs(&self) -> u32 {
+        self.trace.step_secs
+    }
+
+    /// The node's accumulated history (for schedulers and experiments).
+    #[must_use]
+    pub fn history(&self) -> &fgcs_core::log::HistoryStore {
+        self.manager.history()
+    }
+
+    /// Whether a guest is currently assigned (running or suspended).
+    #[must_use]
+    pub fn busy(&self) -> bool {
+        self.guest.is_some()
+    }
+
+    /// The host load of the sample about to be replayed (what a scheduler
+    /// could observe by probing the node now).
+    #[must_use]
+    pub fn current_host_load(&self) -> Option<f64> {
+        self.trace.samples.get(self.cursor).map(|s| s.host_cpu)
+    }
+
+    /// Whether the machine is alive at the current cursor.
+    #[must_use]
+    pub fn alive(&self) -> bool {
+        self.trace
+            .samples
+            .get(self.cursor)
+            .map(|s| s.alive)
+            .unwrap_or(false)
+    }
+
+    /// Predicted temporal reliability over the next `horizon_secs` from the
+    /// node's own history (§5.1: the gateway answers the client's query).
+    pub fn predict_tr(&self, horizon_secs: u32) -> Result<f64, fgcs_core::error::CoreError> {
+        self.manager.predict_tr(horizon_secs)
+    }
+
+    /// Whether the node can accept a guest right now: not busy, alive, and
+    /// not currently observed in a failure state.
+    #[must_use]
+    pub fn available(&self) -> bool {
+        !self.busy()
+            && self.alive()
+            && !self.manager.currently_failed()
+            && self.cursor < self.trace.samples.len()
+    }
+
+    /// Launches a guest job. Returns the job back when the node is busy,
+    /// dead, currently failed, or out of trace.
+    pub fn submit(&mut self, job: GuestJob) -> Result<(), GuestJob> {
+        if !self.available() {
+            return Err(job);
+        }
+        self.gateway.reset();
+        self.guest = Some((
+            job,
+            GuestStatus::Running(crate::contention::GuestPriority::Default),
+            self.cursor as u64,
+        ));
+        Ok(())
+    }
+
+    /// Advances one monitoring period. Returns `false` when the trace is
+    /// exhausted.
+    pub fn step(&mut self) -> bool {
+        let Some(&sample) = self.trace.samples.get(self.cursor) else {
+            return false;
+        };
+        self.cursor += 1;
+        let truth = if sample.alive { Some(sample) } else { None };
+        let decision = self.manager.observe(truth);
+
+        if let Some((mut job, _status, launched_at)) = self.guest.take() {
+            let action = self.gateway.step(decision);
+            match action {
+                GuestAction::Kill(reason) => {
+                    job.rollback();
+                    self.records.push(GuestRecord {
+                        job,
+                        outcome: GuestOutcome::Killed {
+                            at_tick: self.cursor as u64 - 1,
+                            reason,
+                        },
+                        launched_at,
+                    });
+                }
+                GuestAction::Suspend => {
+                    self.guest = Some((job, GuestStatus::Suspended, launched_at));
+                }
+                running => {
+                    let priority = action_priority(running)
+                        .expect("running action always maps to a priority");
+                    let alloc = self
+                        .cpu_model
+                        .allocate(&[sample.host_cpu], 1.0, priority)
+                        .guest;
+                    let done = job.advance(alloc, f64::from(self.trace.step_secs));
+                    if done {
+                        self.records.push(GuestRecord {
+                            job,
+                            outcome: GuestOutcome::Completed {
+                                at_tick: self.cursor as u64,
+                            },
+                            launched_at,
+                        });
+                    } else {
+                        self.guest = Some((job, GuestStatus::Running(priority), launched_at));
+                    }
+                }
+            }
+        }
+
+        // Day boundary bookkeeping is handled inside the manager (it closes
+        // a day automatically after samples_per_day observations).
+        self.cursor < self.trace.samples.len() || self.finish_trailing_day()
+    }
+
+    fn finish_trailing_day(&mut self) -> bool {
+        self.manager.end_day();
+        false
+    }
+
+    /// Recalls (migrates away) the current guest: an out-of-band checkpoint
+    /// is taken and the job is returned for re-placement. Returns `None`
+    /// when no guest is assigned.
+    pub fn recall_guest(&mut self) -> Option<GuestJob> {
+        self.guest.take().map(|(mut job, _status, _launched)| {
+            job.force_checkpoint();
+            job
+        })
+    }
+
+    /// Remaining work of the currently assigned guest, if any.
+    #[must_use]
+    pub fn guest_remaining_secs(&self) -> Option<f64> {
+        self.guest.as_ref().map(|(job, _, _)| job.remaining_secs())
+    }
+
+    /// Drains the finished-guest records.
+    pub fn take_records(&mut self) -> Vec<GuestRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// The manager's last observed operational state.
+    #[must_use]
+    pub fn last_operational(&self) -> State {
+        self.manager.last_operational()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgcs_core::model::LoadSample;
+
+    fn quiet_trace(days: usize) -> MachineTrace {
+        let model = AvailabilityModel::default();
+        MachineTrace {
+            machine_id: 7,
+            step_secs: 6,
+            first_day_index: 0,
+            physical_mem_mb: 512.0,
+            samples: vec![LoadSample::idle(400.0); days * model.samples_per_day()],
+        }
+    }
+
+    #[test]
+    fn quiet_node_completes_guest_at_full_speed() {
+        let mut node = HostNode::new(quiet_trace(1), AvailabilityModel::default());
+        let job = GuestJob::new(1, 600.0, 50.0); // 10 minutes of work
+        node.submit(job).unwrap();
+        for _ in 0..200 {
+            node.step();
+        }
+        let records = node.take_records();
+        assert_eq!(records.len(), 1);
+        match records[0].outcome {
+            GuestOutcome::Completed { at_tick } => {
+                // 600 s of work at ~full speed = ~100 ticks.
+                assert!(at_tick <= 105, "completed at {at_tick}");
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn busy_node_rejects_second_guest() {
+        let mut node = HostNode::new(quiet_trace(1), AvailabilityModel::default());
+        node.submit(GuestJob::new(1, 1e6, 50.0)).unwrap();
+        assert!(node.submit(GuestJob::new(2, 10.0, 50.0)).is_err());
+    }
+
+    #[test]
+    fn overloaded_node_kills_guest() {
+        let model = AvailabilityModel::default();
+        let mut trace = quiet_trace(1);
+        // Steady overload from tick 10 on.
+        for s in &mut trace.samples[10..200] {
+            s.host_cpu = 0.95;
+        }
+        let mut node = HostNode::new(trace, model);
+        node.submit(GuestJob::new(1, 1e6, 50.0)).unwrap();
+        for _ in 0..300 {
+            node.step();
+        }
+        let records = node.take_records();
+        assert_eq!(records.len(), 1);
+        assert!(matches!(
+            records[0].outcome,
+            GuestOutcome::Killed {
+                reason: State::S3,
+                ..
+            }
+        ));
+        assert!(!node.busy());
+    }
+
+    #[test]
+    fn transient_spike_only_suspends() {
+        let model = AvailabilityModel::default();
+        let mut trace = quiet_trace(1);
+        for s in &mut trace.samples[10..14] {
+            s.host_cpu = 0.95; // 4 ticks < 10-tick tolerance
+        }
+        let mut node = HostNode::new(trace, model);
+        node.submit(GuestJob::new(1, 1e9, 50.0)).unwrap();
+        for _ in 0..100 {
+            node.step();
+        }
+        assert!(node.busy(), "guest should have survived the spike");
+        assert!(node.take_records().is_empty());
+    }
+
+    #[test]
+    fn revocation_kills_guest() {
+        let model = AvailabilityModel::default();
+        let mut trace = quiet_trace(1);
+        for s in &mut trace.samples[20..100] {
+            *s = LoadSample::revoked();
+        }
+        let mut node = HostNode::new(trace, model);
+        node.submit(GuestJob::new(1, 1e9, 50.0)).unwrap();
+        for _ in 0..120 {
+            node.step();
+        }
+        let records = node.take_records();
+        assert_eq!(records.len(), 1);
+        assert!(matches!(
+            records[0].outcome,
+            GuestOutcome::Killed {
+                reason: State::S5,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn dead_node_rejects_submission() {
+        let model = AvailabilityModel::default();
+        let mut trace = quiet_trace(1);
+        trace.samples[0] = LoadSample::revoked();
+        let mut node = HostNode::new(trace, model);
+        assert!(node.submit(GuestJob::new(1, 10.0, 50.0)).is_err());
+    }
+
+    #[test]
+    fn warm_up_builds_history_and_allows_prediction() {
+        // Warm a full week so the current day (Monday) has weekday history.
+        let mut node = HostNode::new(quiet_trace(8), AvailabilityModel::default());
+        node.warm_up(7);
+        assert_eq!(node.history().len(), 7);
+        let tr = node.predict_tr(3600).unwrap();
+        assert_eq!(tr, 1.0);
+    }
+
+    #[test]
+    fn trace_end_reported() {
+        let mut node = HostNode::new(quiet_trace(1), AvailabilityModel::default());
+        let per_day = 14_400;
+        for i in 0..per_day {
+            let more = node.step();
+            if i + 1 < per_day {
+                assert!(more);
+            } else {
+                assert!(!more);
+            }
+        }
+        assert!(!node.step());
+        // The trailing day was finalised exactly once.
+        assert_eq!(node.history().len(), 1);
+    }
+}

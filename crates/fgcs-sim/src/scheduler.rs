@@ -1,0 +1,272 @@
+//! The client-side Job Scheduler (paper §5.1): "the client's Job Scheduler
+//! queries the gateways on the available machines for their temporal
+//! reliability within the future time window of job execution, and decides
+//! on which machine(s) the job would be executed."
+//!
+//! Several placement policies are provided so the proactive (prediction-
+//! driven) scheduler can be compared against prediction-oblivious
+//! baselines, quantifying the §1 claim that proactive management improves
+//! job response times.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::checkpoint::CheckpointPolicy;
+use crate::guest::GuestJob;
+use crate::node::HostNode;
+
+/// Placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulingPolicy {
+    /// Pick the free node with the highest predicted temporal reliability
+    /// over the job's estimated runtime (the paper's proposal).
+    MaxReliability,
+    /// Pick a uniformly random free node (prediction-oblivious baseline).
+    Random,
+    /// Cycle through free nodes in order (prediction-oblivious baseline).
+    RoundRobin,
+    /// Pick the free node with the lowest instantaneous host load — a
+    /// reactive heuristic with information but no forecast.
+    LeastLoaded,
+    /// Maximise predicted reliability × expected speed: `TR · (1 − L_H)`.
+    /// Temporal reliability alone ignores that a safe-but-busy machine runs
+    /// the guest slowly; this extension folds the instantaneous leftover
+    /// capacity into the score.
+    ReliabilitySpeed,
+}
+
+/// A job-placement engine over a set of nodes.
+#[derive(Debug)]
+pub struct JobScheduler {
+    policy: SchedulingPolicy,
+    rng: ChaCha8Rng,
+    rr_cursor: usize,
+    /// Multiplier applied to the job's remaining work to estimate the
+    /// reliability window (slack for contention-induced slowdown).
+    pub runtime_slack: f64,
+    /// Checkpointing applied to jobs at placement time.
+    pub checkpoint: CheckpointPolicy,
+}
+
+impl JobScheduler {
+    /// Creates a scheduler with the given policy; `seed` only matters for
+    /// [`SchedulingPolicy::Random`].
+    #[must_use]
+    pub fn new(policy: SchedulingPolicy, seed: u64) -> JobScheduler {
+        JobScheduler {
+            policy,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            rr_cursor: 0,
+            runtime_slack: 1.3,
+            checkpoint: CheckpointPolicy::None,
+        }
+    }
+
+    /// Sets the checkpoint policy applied at placement time.
+    #[must_use]
+    pub fn with_checkpoint_policy(mut self, policy: CheckpointPolicy) -> JobScheduler {
+        self.checkpoint = policy;
+        self
+    }
+
+    /// Configures a job's checkpointing for a placement on `node`,
+    /// consulting the node's prediction when the policy is adaptive.
+    pub fn configure_job(&self, node: &HostNode, job: GuestJob) -> GuestJob {
+        let tr = match self.checkpoint {
+            CheckpointPolicy::Adaptive { .. } => {
+                let horizon = (job.remaining_secs() * self.runtime_slack) as u32;
+                node.predict_tr(horizon.max(60)).ok()
+            }
+            _ => None,
+        };
+        self.checkpoint.apply(job, tr)
+    }
+
+    /// The active policy.
+    #[must_use]
+    pub fn policy(&self) -> SchedulingPolicy {
+        self.policy
+    }
+
+    /// Chooses a node index for `job` among `nodes`, or `None` when no node
+    /// can accept it right now.
+    pub fn choose(&mut self, nodes: &[HostNode], job: &GuestJob) -> Option<usize> {
+        let candidates: Vec<usize> = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.available())
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        match self.policy {
+            SchedulingPolicy::Random => {
+                Some(candidates[self.rng.gen_range(0..candidates.len())])
+            }
+            SchedulingPolicy::RoundRobin => {
+                let pick = candidates[self.rr_cursor % candidates.len()];
+                self.rr_cursor += 1;
+                Some(pick)
+            }
+            SchedulingPolicy::LeastLoaded => candidates.into_iter().min_by(|&a, &b| {
+                let la = nodes[a].current_host_load().unwrap_or(1.0);
+                let lb = nodes[b].current_host_load().unwrap_or(1.0);
+                la.partial_cmp(&lb).expect("loads are finite")
+            }),
+            SchedulingPolicy::MaxReliability => {
+                let horizon = (job.remaining_secs() * self.runtime_slack) as u32;
+                let mut best: Option<(usize, f64)> = None;
+                for i in candidates {
+                    // Nodes without usable history fall back to a neutral
+                    // prior rather than being excluded.
+                    let tr = nodes[i].predict_tr(horizon.max(60)).unwrap_or(0.5);
+                    if best.map(|(_, b)| tr > b).unwrap_or(true) {
+                        best = Some((i, tr));
+                    }
+                }
+                best.map(|(i, _)| i)
+            }
+            SchedulingPolicy::ReliabilitySpeed => {
+                let horizon = (job.remaining_secs() * self.runtime_slack) as u32;
+                let mut best: Option<(usize, f64)> = None;
+                for i in candidates {
+                    let tr = nodes[i].predict_tr(horizon.max(60)).unwrap_or(0.5);
+                    let speed = 1.0 - nodes[i].current_host_load().unwrap_or(1.0);
+                    let score = tr * speed.max(0.0);
+                    if best.map(|(_, b)| score > b).unwrap_or(true) {
+                        best = Some((i, score));
+                    }
+                }
+                best.map(|(i, _)| i)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgcs_core::model::{AvailabilityModel, LoadSample};
+    use fgcs_trace::MachineTrace;
+
+    fn node_with_load(id: u64, cpu: f64, days: usize, warm: usize) -> HostNode {
+        let model = AvailabilityModel::default();
+        let samples = vec![
+            LoadSample {
+                host_cpu: cpu,
+                free_mem_mb: 400.0,
+                alive: true,
+            };
+            days * model.samples_per_day()
+        ];
+        let trace = MachineTrace {
+            machine_id: id,
+            step_secs: 6,
+            first_day_index: 0,
+            physical_mem_mb: 512.0,
+            samples,
+        };
+        let mut n = HostNode::new(trace, model);
+        n.warm_up(warm);
+        n
+    }
+
+    #[test]
+    fn least_loaded_picks_quietest() {
+        let nodes = vec![
+            node_with_load(0, 0.5, 1, 0),
+            node_with_load(1, 0.1, 1, 0),
+            node_with_load(2, 0.3, 1, 0),
+        ];
+        let mut s = JobScheduler::new(SchedulingPolicy::LeastLoaded, 1);
+        let job = GuestJob::new(1, 600.0, 50.0);
+        assert_eq!(s.choose(&nodes, &job), Some(1));
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let nodes = vec![
+            node_with_load(0, 0.1, 1, 0),
+            node_with_load(1, 0.1, 1, 0),
+        ];
+        let mut s = JobScheduler::new(SchedulingPolicy::RoundRobin, 1);
+        let job = GuestJob::new(1, 600.0, 50.0);
+        assert_eq!(s.choose(&nodes, &job), Some(0));
+        assert_eq!(s.choose(&nodes, &job), Some(1));
+        assert_eq!(s.choose(&nodes, &job), Some(0));
+    }
+
+    #[test]
+    fn max_reliability_prefers_reliable_history() {
+        // Node 0: history full of failures; node 1: quiet history.
+        let model = AvailabilityModel::default();
+        let per_day = model.samples_per_day();
+        let mut bad_samples = Vec::new();
+        for _ in 0..3 {
+            for i in 0..per_day {
+                // Heavy overload through the middle of every day.
+                let cpu = if i % 200 < 60 { 0.95 } else { 0.1 };
+                bad_samples.push(LoadSample {
+                    host_cpu: cpu,
+                    free_mem_mb: 400.0,
+                    alive: true,
+                });
+            }
+        }
+        let bad_trace = MachineTrace {
+            machine_id: 0,
+            step_secs: 6,
+            first_day_index: 0,
+            physical_mem_mb: 512.0,
+            samples: bad_samples,
+        };
+        let mut bad = HostNode::new(bad_trace, model);
+        bad.warm_up(2);
+        let good = node_with_load(1, 0.1, 3, 2);
+        let nodes = vec![bad, good];
+        let mut s = JobScheduler::new(SchedulingPolicy::MaxReliability, 1);
+        let job = GuestJob::new(1, 3600.0, 50.0);
+        assert_eq!(s.choose(&nodes, &job), Some(1));
+    }
+
+    #[test]
+    fn reliability_speed_balances_both_signals() {
+        // Node 0: quiet history but currently loaded (slow). Node 1: quiet
+        // history and currently idle. The combined policy must pick node 1.
+        let busy_now = node_with_load(0, 0.55, 3, 2);
+        let idle_now = node_with_load(1, 0.05, 3, 2);
+        let nodes = vec![busy_now, idle_now];
+        let mut s = JobScheduler::new(SchedulingPolicy::ReliabilitySpeed, 1);
+        let job = GuestJob::new(1, 3600.0, 50.0);
+        assert_eq!(s.choose(&nodes, &job), Some(1));
+    }
+
+    #[test]
+    fn no_free_node_returns_none() {
+        let mut busy = node_with_load(0, 0.1, 1, 0);
+        busy.submit(GuestJob::new(9, 1e9, 50.0)).unwrap();
+        let nodes = vec![busy];
+        let mut s = JobScheduler::new(SchedulingPolicy::Random, 1);
+        assert_eq!(s.choose(&nodes, &GuestJob::new(1, 10.0, 50.0)), None);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let nodes = vec![
+            node_with_load(0, 0.1, 1, 0),
+            node_with_load(1, 0.1, 1, 0),
+            node_with_load(2, 0.1, 1, 0),
+        ];
+        let job = GuestJob::new(1, 10.0, 50.0);
+        let picks_a: Vec<_> = {
+            let mut s = JobScheduler::new(SchedulingPolicy::Random, 42);
+            (0..10).map(|_| s.choose(&nodes, &job)).collect()
+        };
+        let picks_b: Vec<_> = {
+            let mut s = JobScheduler::new(SchedulingPolicy::Random, 42);
+            (0..10).map(|_| s.choose(&nodes, &job)).collect()
+        };
+        assert_eq!(picks_a, picks_b);
+    }
+}

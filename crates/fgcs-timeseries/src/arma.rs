@@ -1,0 +1,205 @@
+//! ARMA(p, q): fitted with the Hannan–Rissanen two-stage method (long-AR
+//! innovations, then least squares on both lagged values and lagged
+//! innovations).
+
+use fgcs_math::lsq;
+use fgcs_math::matrix::Matrix;
+
+use crate::ma::long_ar_residuals;
+use crate::model::{centre, TimeSeriesModel, TsError};
+
+/// The ARMA(p, q) baseline (the paper's comparison uses p = q = 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArmaModel {
+    /// Autoregressive order `p`.
+    pub p: usize,
+    /// Moving-average order `q`.
+    pub q: usize,
+}
+
+impl ArmaModel {
+    /// Creates an ARMA model.
+    ///
+    /// # Panics
+    /// Panics if either order is zero (use [`crate::ar::ArModel`] or
+    /// [`crate::ma::MaModel`] instead).
+    #[must_use]
+    pub fn new(p: usize, q: usize) -> ArmaModel {
+        assert!(p > 0 && q > 0, "ARMA orders must be positive");
+        ArmaModel { p, q }
+    }
+}
+
+/// A fitted ARMA model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmaFit {
+    /// Series mean `μ`.
+    pub mean: f64,
+    /// AR coefficients `a_1..a_p`.
+    pub ar: Vec<f64>,
+    /// MA coefficients `θ_1..θ_q`.
+    pub ma: Vec<f64>,
+    /// Centred tail values of the fitting series (most recent first).
+    tail_values: Vec<f64>,
+    /// Innovation estimates of the tail (most recent first).
+    tail_residuals: Vec<f64>,
+}
+
+/// Fits ARMA(p, q) by Hannan–Rissanen; falls back to a pure mean model on
+/// short or degenerate input.
+#[must_use]
+pub fn fit_arma(series: &[f64], p: usize, q: usize) -> ArmaFit {
+    let (mean, centred) = centre(series);
+    let n = centred.len();
+    let fallback = |mean: f64| ArmaFit {
+        mean,
+        ar: vec![0.0; p],
+        ma: vec![0.0; q],
+        tail_values: vec![0.0; p],
+        tail_residuals: vec![0.0; q],
+    };
+    let (residuals, valid_from) = long_ar_residuals(&centred, q);
+    let first_t = (valid_from + q).max(p);
+    if first_t >= n || n - first_t < p + q + 2 {
+        return fallback(mean);
+    }
+    let rows = n - first_t;
+    let mut design = Matrix::zeros(rows, p + q);
+    let mut target = Vec::with_capacity(rows);
+    for (r, t) in (first_t..n).enumerate() {
+        for j in 0..p {
+            design[(r, j)] = centred[t - 1 - j];
+        }
+        for j in 0..q {
+            design[(r, p + j)] = residuals[t - 1 - j];
+        }
+        target.push(centred[t]);
+    }
+    let coeffs = match lsq::solve_least_squares(&design, &target) {
+        Ok(fit) => fit.coeffs,
+        Err(_) => return fallback(mean),
+    };
+    let (ar, ma) = coeffs.split_at(p);
+    let tail_values: Vec<f64> = (0..p).map(|j| centred[n - 1 - j]).collect();
+    let tail_residuals: Vec<f64> = (0..q).map(|j| residuals[n - 1 - j]).collect();
+    ArmaFit {
+        mean,
+        ar: ar.to_vec(),
+        ma: ma.to_vec(),
+        tail_values,
+        tail_residuals,
+    }
+}
+
+impl ArmaFit {
+    /// Recursive multi-step forecast: forecast values feed the AR part,
+    /// future innovations are zero, and past innovations feed the MA part
+    /// while their lags remain within reach.
+    #[must_use]
+    pub fn forecast(&self, steps: usize) -> Vec<f64> {
+        let p = self.ar.len();
+        let q = self.ma.len();
+        // values[j] = centred value at time n + h - 1 - j (newest first).
+        let mut values = self.tail_values.clone();
+        let mut out = Vec::with_capacity(steps);
+        for h in 1..=steps {
+            let mut v = 0.0;
+            for (j, a) in self.ar.iter().enumerate() {
+                if j < values.len() {
+                    v += a * values[j];
+                }
+            }
+            for j in h..=q {
+                v += self.ma[j - 1] * self.tail_residuals[j - h];
+            }
+            out.push(v + self.mean);
+            if p > 0 {
+                values.rotate_right(1);
+                values[0] = v;
+            }
+        }
+        out
+    }
+}
+
+impl TimeSeriesModel for ArmaModel {
+    fn name(&self) -> String {
+        format!("ARMA({},{})", self.p, self.q)
+    }
+
+    fn fit_forecast(&self, series: &[f64], steps: usize) -> Result<Vec<f64>, TsError> {
+        if series.is_empty() {
+            return Err(TsError::EmptySeries);
+        }
+        Ok(fit_arma(series, self.p, self.q).forecast(steps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn arma11_series(a: f64, theta: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut prev_x = 0.0;
+        let mut prev_e = 0.0;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let e: f64 = rng.gen::<f64>() - 0.5;
+            let x = a * prev_x + e + theta * prev_e;
+            out.push(x + 2.0);
+            prev_x = x;
+            prev_e = e;
+        }
+        out
+    }
+
+    #[test]
+    fn arma11_coefficients_recovered() {
+        let series = arma11_series(0.6, 0.3, 6000, 9);
+        let fit = fit_arma(&series, 1, 1);
+        assert!((fit.ar[0] - 0.6).abs() < 0.1, "a {}", fit.ar[0]);
+        assert!((fit.ma[0] - 0.3).abs() < 0.15, "theta {}", fit.ma[0]);
+    }
+
+    #[test]
+    fn long_horizon_converges_to_mean() {
+        let series = arma11_series(0.5, 0.2, 2000, 10);
+        let fit = fit_arma(&series, 1, 1);
+        let f = fit.forecast(200);
+        assert!((f[199] - fit.mean).abs() < 0.02);
+    }
+
+    #[test]
+    fn constant_series_forecasts_constant() {
+        let f = ArmaModel::new(8, 8)
+            .fit_forecast(&vec![0.4; 200], 10)
+            .unwrap();
+        for v in f {
+            assert!((v - 0.4).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn short_series_falls_back_to_mean() {
+        let f = ArmaModel::new(8, 8).fit_forecast(&[1.0, 3.0], 3).unwrap();
+        for v in f {
+            assert!((v - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_series_is_error() {
+        assert_eq!(
+            ArmaModel::new(1, 1).fit_forecast(&[], 1),
+            Err(TsError::EmptySeries)
+        );
+    }
+
+    #[test]
+    fn name_includes_orders() {
+        assert_eq!(ArmaModel::new(8, 8).name(), "ARMA(8,8)");
+    }
+}

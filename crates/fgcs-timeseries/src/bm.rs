@@ -1,0 +1,73 @@
+//! BM(p): the sliding-window mean model ("mean over the previous N values,
+//! N ≤ p" in the paper's Table 1).
+
+use crate::model::{TimeSeriesModel, TsError};
+
+/// The BM(p) baseline: forecasts the mean of the last `window` observations
+/// at every horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BmModel {
+    /// Maximum number of trailing values averaged.
+    pub window: usize,
+}
+
+impl BmModel {
+    /// Creates a BM model.
+    ///
+    /// # Panics
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn new(window: usize) -> BmModel {
+        assert!(window > 0, "BM window must be positive");
+        BmModel { window }
+    }
+}
+
+impl TimeSeriesModel for BmModel {
+    fn name(&self) -> String {
+        format!("BM({})", self.window)
+    }
+
+    fn fit_forecast(&self, series: &[f64], steps: usize) -> Result<Vec<f64>, TsError> {
+        if series.is_empty() {
+            return Err(TsError::EmptySeries);
+        }
+        let tail = &series[series.len().saturating_sub(self.window)..];
+        let mean = fgcs_math::stats::mean(tail);
+        Ok(vec![mean; steps])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uses_only_trailing_window() {
+        let series = [100.0, 100.0, 1.0, 2.0, 3.0];
+        let f = BmModel::new(3).fit_forecast(&series, 4).unwrap();
+        assert_eq!(f, vec![2.0; 4]);
+    }
+
+    #[test]
+    fn window_larger_than_series_uses_everything() {
+        let f = BmModel::new(10).fit_forecast(&[1.0, 3.0], 2).unwrap();
+        assert_eq!(f, vec![2.0; 2]);
+    }
+
+    #[test]
+    fn empty_series_is_error() {
+        assert_eq!(BmModel::new(3).fit_forecast(&[], 1), Err(TsError::EmptySeries));
+    }
+
+    #[test]
+    fn zero_steps_gives_empty_forecast() {
+        let f = BmModel::new(3).fit_forecast(&[1.0], 0).unwrap();
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn name_includes_window() {
+        assert_eq!(BmModel::new(8).name(), "BM(8)");
+    }
+}

@@ -1,0 +1,110 @@
+//! First-order differencing wrapper — the `d` in ARIMA, as supported by the
+//! RPS toolkit's model zoo. Host-load series with slow trends (a simulation
+//! ramping its working set, a machine heating up through the morning) are
+//! non-stationary; differencing removes the trend before fitting and
+//! integrates the forecasts back.
+
+use crate::model::{TimeSeriesModel, TsError};
+
+/// Wraps any baseline model to fit on first differences and integrate the
+/// forecasts back to levels.
+#[derive(Debug, Clone, Copy)]
+pub struct Differenced<M: TimeSeriesModel> {
+    inner: M,
+}
+
+impl<M: TimeSeriesModel> Differenced<M> {
+    /// Wraps `inner`.
+    #[must_use]
+    pub fn new(inner: M) -> Differenced<M> {
+        Differenced { inner }
+    }
+}
+
+impl<M: TimeSeriesModel> TimeSeriesModel for Differenced<M> {
+    fn name(&self) -> String {
+        format!("d1-{}", self.inner.name())
+    }
+
+    fn fit_forecast(&self, series: &[f64], steps: usize) -> Result<Vec<f64>, TsError> {
+        if series.is_empty() {
+            return Err(TsError::EmptySeries);
+        }
+        if series.len() == 1 {
+            // No differences to fit on: persist the level.
+            return Ok(vec![series[0]; steps]);
+        }
+        let diffs: Vec<f64> = series.windows(2).map(|w| w[1] - w[0]).collect();
+        let diff_forecast = self.inner.fit_forecast(&diffs, steps)?;
+        let mut level = *series.last().expect("non-empty");
+        Ok(diff_forecast
+            .into_iter()
+            .map(|d| {
+                level += d;
+                level
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ar::ArModel;
+    use crate::bm::BmModel;
+    use crate::last::LastModel;
+
+    #[test]
+    fn linear_trend_is_extrapolated() {
+        // y = 3 + 2t: differences are constant 2, any mean-ish model on the
+        // differences extrapolates the trend exactly.
+        let series: Vec<f64> = (0..50).map(|t| 3.0 + 2.0 * t as f64).collect();
+        let model = Differenced::new(BmModel::new(8));
+        let f = model.fit_forecast(&series, 5).unwrap();
+        let last = *series.last().unwrap();
+        for (h, v) in f.iter().enumerate() {
+            let expected = last + 2.0 * (h + 1) as f64;
+            assert!((v - expected).abs() < 1e-9, "h={h}: {v} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn undifferenced_models_cannot_follow_trends() {
+        let series: Vec<f64> = (0..50).map(|t| 3.0 + 2.0 * t as f64).collect();
+        let flat = BmModel::new(8).fit_forecast(&series, 5).unwrap();
+        let trended = Differenced::new(BmModel::new(8))
+            .fit_forecast(&series, 5)
+            .unwrap();
+        assert!(trended[4] > flat[4], "differencing should track the trend");
+    }
+
+    #[test]
+    fn constant_series_stays_constant() {
+        let series = vec![0.4; 40];
+        let f = Differenced::new(ArModel::new(4))
+            .fit_forecast(&series, 10)
+            .unwrap();
+        for v in f {
+            assert!((v - 0.4).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_sample_persists_level() {
+        let f = Differenced::new(LastModel).fit_forecast(&[0.7], 3).unwrap();
+        assert_eq!(f, vec![0.7; 3]);
+    }
+
+    #[test]
+    fn empty_series_is_error() {
+        assert_eq!(
+            Differenced::new(LastModel).fit_forecast(&[], 3),
+            Err(TsError::EmptySeries)
+        );
+    }
+
+    #[test]
+    fn name_is_prefixed() {
+        assert_eq!(Differenced::new(ArModel::new(8)).name(), "d1-AR(8)");
+    }
+}

@@ -1,0 +1,40 @@
+//! LAST: the persistence model — every horizon is forecast as the last
+//! measured value (paper Table 1).
+
+use crate::model::{TimeSeriesModel, TsError};
+
+/// The LAST baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LastModel;
+
+impl TimeSeriesModel for LastModel {
+    fn name(&self) -> String {
+        "LAST".to_string()
+    }
+
+    fn fit_forecast(&self, series: &[f64], steps: usize) -> Result<Vec<f64>, TsError> {
+        let last = *series.last().ok_or(TsError::EmptySeries)?;
+        Ok(vec![last; steps])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeats_final_value() {
+        let f = LastModel.fit_forecast(&[1.0, 2.0, 9.0], 3).unwrap();
+        assert_eq!(f, vec![9.0; 3]);
+    }
+
+    #[test]
+    fn empty_series_is_error() {
+        assert_eq!(LastModel.fit_forecast(&[], 3), Err(TsError::EmptySeries));
+    }
+
+    #[test]
+    fn name_is_last() {
+        assert_eq!(LastModel.name(), "LAST");
+    }
+}

@@ -1,0 +1,211 @@
+//! MA(q): moving-average model fitted with the Hannan–Rissanen two-stage
+//! method (long-AR residuals, then least squares on lagged residuals).
+
+use fgcs_math::lsq;
+use fgcs_math::matrix::Matrix;
+
+use crate::ar::fit_ar;
+use crate::model::{centre, TimeSeriesModel, TsError};
+
+/// The MA(q) baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaModel {
+    /// Model order `q`.
+    pub order: usize,
+}
+
+impl MaModel {
+    /// Creates an MA model of the given order.
+    ///
+    /// # Panics
+    /// Panics if `order == 0`.
+    #[must_use]
+    pub fn new(order: usize) -> MaModel {
+        assert!(order > 0, "MA order must be positive");
+        MaModel { order }
+    }
+}
+
+/// Stage 1 of Hannan–Rissanen: innovations proxied by the residuals of a
+/// long autoregression. Returns `(residuals, valid_from)`: entries before
+/// `valid_from` are zero placeholders.
+pub(crate) fn long_ar_residuals(centred: &[f64], order: usize) -> (Vec<f64>, usize) {
+    let n = centred.len();
+    let p_long = (2 * order).max(8).min(n.saturating_sub(1) / 2);
+    let mut residuals = vec![0.0; n];
+    if p_long == 0 {
+        return (residuals, n);
+    }
+    let fit = fit_ar(centred, p_long); // centred input: mean ≈ 0
+    for t in p_long..n {
+        let mut pred = fit.mean;
+        for (j, a) in fit.coeffs.iter().enumerate() {
+            pred += a * (centred[t - 1 - j] - fit.mean);
+        }
+        residuals[t] = centred[t] - pred;
+    }
+    (residuals, p_long)
+}
+
+/// A fitted MA model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaFit {
+    /// Series mean `μ`.
+    pub mean: f64,
+    /// MA coefficients `θ_1..θ_q`.
+    pub coeffs: Vec<f64>,
+    /// Innovation estimates for the tail of the fitting series
+    /// (`tail_residuals[0]` is the most recent).
+    pub tail_residuals: Vec<f64>,
+}
+
+/// Fits MA(q) by Hannan–Rissanen; falls back to a pure mean model when the
+/// series is too short or degenerate.
+#[must_use]
+pub fn fit_ma(series: &[f64], order: usize) -> MaFit {
+    let (mean, centred) = centre(series);
+    let fallback = |mean: f64| MaFit {
+        mean,
+        coeffs: vec![0.0; order],
+        tail_residuals: vec![0.0; order],
+    };
+    let (residuals, valid_from) = long_ar_residuals(&centred, order);
+    let n = centred.len();
+    let first_t = valid_from + order;
+    if first_t >= n || n - first_t < order + 2 {
+        return fallback(mean);
+    }
+    // Stage 2: regress x_c[t] on ê[t-1..t-q].
+    let rows = n - first_t;
+    let mut design = Matrix::zeros(rows, order);
+    let mut target = Vec::with_capacity(rows);
+    for (r, t) in (first_t..n).enumerate() {
+        for j in 0..order {
+            design[(r, j)] = residuals[t - 1 - j];
+        }
+        target.push(centred[t]);
+    }
+    let coeffs = match lsq::solve_least_squares(&design, &target) {
+        Ok(fit) => fit.coeffs,
+        Err(_) => return fallback(mean),
+    };
+    let tail_residuals: Vec<f64> = (0..order).map(|j| residuals[n - 1 - j]).collect();
+    MaFit {
+        mean,
+        coeffs,
+        tail_residuals,
+    }
+}
+
+impl MaFit {
+    /// `h`-step-ahead forecasts for `h = 1..=steps`: future innovations are
+    /// zero, so `x̂[n+h] = μ + Σ_{j≥h} θ_j ê[n+h-j]`, and horizons beyond
+    /// `q` equal the mean.
+    #[must_use]
+    pub fn forecast(&self, steps: usize) -> Vec<f64> {
+        let q = self.coeffs.len();
+        let mut out = Vec::with_capacity(steps);
+        for h in 1..=steps {
+            let mut v = self.mean;
+            // θ_j (1-based) pairs with ê[n+h-j]; known only when h - j <= 0,
+            // i.e. j >= h; that residual is tail_residuals[j - h].
+            for j in h..=q {
+                v += self.coeffs[j - 1] * self.tail_residuals[j - h];
+            }
+            out.push(v);
+        }
+        out
+    }
+}
+
+impl TimeSeriesModel for MaModel {
+    fn name(&self) -> String {
+        format!("MA({})", self.order)
+    }
+
+    fn fit_forecast(&self, series: &[f64], steps: usize) -> Result<Vec<f64>, TsError> {
+        if series.is_empty() {
+            return Err(TsError::EmptySeries);
+        }
+        Ok(fit_ma(series, self.order).forecast(steps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn ma1_series(theta: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut prev_e = 0.0;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let e: f64 = rng.gen::<f64>() - 0.5;
+            out.push(1.0 + e + theta * prev_e);
+            prev_e = e;
+        }
+        out
+    }
+
+    #[test]
+    fn ma1_coefficient_recovered() {
+        let series = ma1_series(0.6, 4000, 3);
+        let fit = fit_ma(&series, 1);
+        assert!((fit.coeffs[0] - 0.6).abs() < 0.1, "theta {}", fit.coeffs[0]);
+        assert!((fit.mean - 1.0).abs() < 0.05, "mean {}", fit.mean);
+    }
+
+    #[test]
+    fn forecast_beyond_order_is_mean() {
+        let series = ma1_series(0.6, 2000, 4);
+        let fit = fit_ma(&series, 1);
+        let f = fit.forecast(5);
+        for v in &f[1..] {
+            assert!((v - fit.mean).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn one_step_uses_last_innovation() {
+        let fit = MaFit {
+            mean: 1.0,
+            coeffs: vec![0.5, 0.25],
+            tail_residuals: vec![0.2, -0.4],
+        };
+        let f = fit.forecast(3);
+        // h=1: μ + θ1 ê[n] + θ2 ê[n-1] = 1 + .5*.2 + .25*(-.4) = 1.0
+        assert!((f[0] - 1.0).abs() < 1e-12);
+        // h=2: μ + θ2 ê[n] = 1 + .25*.2 = 1.05
+        assert!((f[1] - 1.05).abs() < 1e-12);
+        // h=3: μ
+        assert!((f[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_series_falls_back_to_mean() {
+        let f = MaModel::new(8).fit_forecast(&[1.0, 2.0, 3.0], 4).unwrap();
+        for v in f {
+            assert!((v - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_series_forecasts_constant() {
+        let f = MaModel::new(4).fit_forecast(&vec![0.7; 100], 5).unwrap();
+        for v in f {
+            assert!((v - 0.7).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_series_is_error() {
+        assert_eq!(MaModel::new(2).fit_forecast(&[], 1), Err(TsError::EmptySeries));
+    }
+
+    #[test]
+    fn name_includes_order() {
+        assert_eq!(MaModel::new(8).name(), "MA(8)");
+    }
+}

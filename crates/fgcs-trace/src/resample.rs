@@ -1,0 +1,160 @@
+//! Trace resampling: converting a 6-second trace to a coarser monitoring
+//! period — the `--step` ablation of Figure 4 and a practical concern for
+//! deployments that cannot afford 6-second sampling.
+//!
+//! Each coarse sample aggregates the fine samples it covers: the CPU load
+//! is averaged (what a `top`-style monitor reports over its refresh
+//! period), free memory takes the minimum (the conservative value for the
+//! S4 decision), and the machine counts as alive only if it was alive for
+//! the whole coarse period (a heartbeat gap anywhere in it would be seen).
+
+use fgcs_core::model::LoadSample;
+
+use crate::trace::MachineTrace;
+
+/// Errors from [`resample`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResampleError {
+    /// The target step is not a multiple of the trace's step.
+    NotAMultiple {
+        /// The trace's period in seconds.
+        trace_step: u32,
+        /// The requested period in seconds.
+        target_step: u32,
+    },
+}
+
+impl std::fmt::Display for ResampleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResampleError::NotAMultiple {
+                trace_step,
+                target_step,
+            } => write!(
+                f,
+                "target step {target_step}s is not a multiple of the trace step {trace_step}s"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResampleError {}
+
+/// Resamples `trace` to a coarser monitoring period.
+///
+/// `target_step_secs` must be a positive multiple of the trace's step that
+/// divides the day evenly.
+pub fn resample(trace: &MachineTrace, target_step_secs: u32) -> Result<MachineTrace, ResampleError> {
+    if target_step_secs == 0
+        || !target_step_secs.is_multiple_of(trace.step_secs)
+        || !fgcs_core::window::SECS_PER_DAY.is_multiple_of(target_step_secs)
+    {
+        return Err(ResampleError::NotAMultiple {
+            trace_step: trace.step_secs,
+            target_step: target_step_secs,
+        });
+    }
+    let stride = (target_step_secs / trace.step_secs) as usize;
+    let samples: Vec<LoadSample> = trace
+        .samples
+        .chunks_exact(stride)
+        .map(|chunk| LoadSample {
+            host_cpu: chunk.iter().map(|s| s.host_cpu).sum::<f64>() / chunk.len() as f64,
+            free_mem_mb: chunk
+                .iter()
+                .map(|s| s.free_mem_mb)
+                .fold(f64::INFINITY, f64::min),
+            alive: chunk.iter().all(|s| s.alive),
+        })
+        .collect();
+    Ok(MachineTrace {
+        machine_id: trace.machine_id,
+        step_secs: target_step_secs,
+        first_day_index: trace.first_day_index,
+        physical_mem_mb: trace.physical_mem_mb,
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgcs_core::model::AvailabilityModel;
+    use crate::generator::{TraceConfig, TraceGenerator};
+
+    fn trace() -> MachineTrace {
+        TraceGenerator::new(TraceConfig::lab_machine(3)).generate_days(2)
+    }
+
+    #[test]
+    fn resample_preserves_day_structure() {
+        let t = trace();
+        let coarse = resample(&t, 30).unwrap();
+        assert_eq!(coarse.step_secs, 30);
+        assert_eq!(coarse.days(), 2);
+        assert_eq!(coarse.samples_per_day(), 2880);
+    }
+
+    #[test]
+    fn identity_resample_is_noop() {
+        let t = trace();
+        assert_eq!(resample(&t, 6).unwrap(), t);
+    }
+
+    #[test]
+    fn cpu_is_averaged_memory_is_min_alive_is_all() {
+        let model = AvailabilityModel::default();
+        let per_day = model.samples_per_day();
+        let mut samples = vec![LoadSample::idle(400.0); per_day];
+        samples[0].host_cpu = 0.4;
+        samples[1].host_cpu = 0.2;
+        samples[1].free_mem_mb = 100.0;
+        samples[2] = LoadSample::revoked();
+        let t = MachineTrace {
+            machine_id: 0,
+            step_secs: 6,
+            first_day_index: 0,
+            physical_mem_mb: 512.0,
+            samples,
+        };
+        let coarse = resample(&t, 30).unwrap(); // 5 fine samples per coarse
+        let first = coarse.samples[0];
+        assert!(!first.alive, "one dead fine sample kills the coarse one");
+        let second = coarse.samples[1];
+        assert!(second.alive);
+        assert_eq!(second.free_mem_mb, 400.0);
+    }
+
+    #[test]
+    fn rejects_non_multiple_steps() {
+        let t = trace();
+        assert!(matches!(
+            resample(&t, 7),
+            Err(ResampleError::NotAMultiple { .. })
+        ));
+        assert!(resample(&t, 0).is_err());
+    }
+
+    #[test]
+    fn coarse_trace_still_classifies() {
+        let t = trace();
+        let coarse = resample(&t, 60).unwrap();
+        let model = AvailabilityModel {
+            monitor_period_secs: 60,
+            ..AvailabilityModel::default()
+        };
+        let history = coarse.to_history(&model).unwrap();
+        assert_eq!(history.len(), 2);
+    }
+
+    #[test]
+    fn coarser_sampling_smooths_spikes() {
+        // Transient spikes visible at 6 s partially vanish at 60 s because
+        // the load is averaged over the period.
+        let t = trace();
+        let coarse = resample(&t, 60).unwrap();
+        let fine_max = t.samples.iter().map(|s| s.host_cpu).fold(0.0, f64::max);
+        let coarse_max = coarse.samples.iter().map(|s| s.host_cpu).fold(0.0, f64::max);
+        assert!(coarse_max <= fine_max + 1e-12);
+    }
+}

@@ -1,0 +1,102 @@
+//! Job groups: the paper's §1 motivation in action — guest applications are
+//! often "composed of multiple related jobs that are submitted as a group
+//! and must all complete before the results being used", so a single
+//! unlucky placement delays the *whole batch*.
+//!
+//! A Monte-Carlo-style campaign of 4-member groups is scheduled with and
+//! without availability prediction; group response time amplifies the
+//! difference, because the group ends with its slowest member.
+//!
+//! Run: `cargo run --release --example job_groups`
+
+use fgcs::prelude::*;
+use fgcs::sim::{group_records, Cluster, JobSpec};
+
+fn main() {
+    let warm_days = 14;
+    let total_days = 21;
+    let model = AvailabilityModel::default();
+
+    // Heterogeneous fleet: lab machines plus one hostile compute server.
+    let mut traces = Vec::new();
+    for id in 0..6u64 {
+        traces.push(
+            TraceGenerator::new(TraceConfig::lab_machine(11).with_machine_id(id))
+                .generate_days(total_days),
+        );
+    }
+    for id in 6..8u64 {
+        traces.push(
+            TraceGenerator::new(TraceConfig::enterprise_machine(11).with_machine_id(id))
+                .generate_days(total_days),
+        );
+    }
+    traces.push(
+        TraceGenerator::new(TraceConfig::server_machine(11).with_machine_id(8))
+            .generate_days(total_days),
+    );
+
+    // One 4-member group every 4 hours of the working week; each member is
+    // a 2.5-hour simulation run — long enough that placements made during a
+    // lull on a hostile machine get caught by its next busy phase.
+    let per_day = traces[0].samples_per_day() as u64;
+    let step = traces[0].step_secs;
+    let mut jobs = Vec::new();
+    let mut id = 0u64;
+    let mut group = 0u64;
+    for day in warm_days as u64..total_days as u64 {
+        for slot in 0..6u64 {
+            group += 1;
+            let arrival = day * per_day + slot * (4 * 3600 / u64::from(step));
+            for _ in 0..4 {
+                id += 1;
+                jobs.push(JobSpec::new(id, 9000.0, 60.0, arrival).in_group(group));
+            }
+        }
+    }
+
+    println!(
+        "{} groups x 4 members (2.5 h each) on {} machines\n",
+        group,
+        traces.len()
+    );
+    println!(
+        "{:<16} {:>8} {:>12} {:>8} {:>14} {:>12}",
+        "policy", "groups", "done", "kills", "mean_grp_h", "p90_grp_h"
+    );
+
+    for policy in [
+        SchedulingPolicy::MaxReliability,
+        SchedulingPolicy::ReliabilitySpeed,
+        SchedulingPolicy::RoundRobin,
+        SchedulingPolicy::Random,
+    ] {
+        let mut cluster = Cluster::from_traces(traces.clone(), model);
+        cluster.warm_up(warm_days);
+        let mut sched = JobScheduler::new(policy, 3);
+        let records = cluster.run_workload(jobs.clone(), &mut sched);
+        let groups = group_records(&jobs, &records);
+        let responses: Vec<f64> = groups
+            .iter()
+            .filter_map(|g| g.response_secs(step))
+            .map(|s| s / 3600.0)
+            .collect();
+        let done = responses.len();
+        let kills: usize = groups.iter().map(|g| g.kills).sum();
+        let mean = fgcs::math::stats::mean(&responses);
+        let p90 = fgcs::math::stats::quantile(&responses, 0.9).unwrap_or(f64::NAN);
+        println!(
+            "{:<16} {:>8} {:>12} {:>8} {:>14.2} {:>12.2}",
+            format!("{policy:?}"),
+            groups.len(),
+            done,
+            kills,
+            mean,
+            p90,
+        );
+    }
+    println!("\na group ends with its slowest member, so one unlucky placement delays the");
+    println!("whole batch. Prediction-driven policies cut kills (wasted work); combining");
+    println!("reliability with expected speed (ReliabilitySpeed) also keeps the mean group");
+    println!("response competitive with load-spreading heuristics.");
+}

@@ -1,0 +1,103 @@
+//! Proactive scheduling: place guest jobs on the machines with the highest
+//! predicted temporal reliability and compare against prediction-oblivious
+//! policies — the §1 motivation ("proactive approaches achieve
+//! significantly improved job response time").
+//!
+//! A small lab cluster is simulated for two weeks of warm-up (history
+//! building) plus a working week of job traffic; the same workload is
+//! replayed under each scheduling policy.
+//!
+//! Run: `cargo run --release --example proactive_scheduler`
+
+use fgcs::prelude::*;
+use fgcs::sim::{JobRecord, JobSpec};
+
+fn main() {
+    let warm_days = 14;
+    let total_days = 21;
+    let model = AvailabilityModel::default();
+    // A heterogeneous fleet, as a real FGCS system would see: interactive
+    // lab machines and desktops plus one chronically busy compute server.
+    // The scheduler does not know which is which — only the histories do.
+    let mut traces = Vec::new();
+    for id in 0..3u64 {
+        traces.push(
+            TraceGenerator::new(TraceConfig::lab_machine(7).with_machine_id(id))
+                .generate_days(total_days),
+        );
+    }
+    for id in 3..5u64 {
+        traces.push(
+            TraceGenerator::new(TraceConfig::enterprise_machine(7).with_machine_id(id))
+                .generate_days(total_days),
+        );
+    }
+    traces.push(
+        TraceGenerator::new(TraceConfig::server_machine(7).with_machine_id(5))
+            .generate_days(total_days),
+    );
+    let machines = traces.len();
+    let step = traces[0].step_secs;
+    let per_day = traces[0].samples_per_day() as u64;
+
+    // One compute job every 2 hours of the working week, 1.5 h of work each.
+    let ticks_per_2h = (2 * 3600 / step) as u64;
+    let mut jobs = Vec::new();
+    let mut id = 0;
+    for day in warm_days as u64..total_days as u64 {
+        for slot in 0..12u64 {
+            id += 1;
+            jobs.push(JobSpec::new(id, 5400.0, 80.0, day * per_day + slot * ticks_per_2h));
+        }
+    }
+
+    println!(
+        "workload: {} jobs of 1.5 h across {} machines, days {warm_days}..{total_days}",
+        jobs.len(),
+        machines
+    );
+    println!(
+        "\n{:<16} {:>10} {:>10} {:>10} {:>12}",
+        "policy", "completed", "kills", "restarts%", "mean_resp_h"
+    );
+
+    for policy in [
+        SchedulingPolicy::MaxReliability,
+        SchedulingPolicy::ReliabilitySpeed,
+        SchedulingPolicy::LeastLoaded,
+        SchedulingPolicy::RoundRobin,
+        SchedulingPolicy::Random,
+    ] {
+        let mut cluster = fgcs::sim::Cluster::from_traces(traces.clone(), model);
+        cluster.warm_up(warm_days);
+        let mut scheduler = JobScheduler::new(policy, 99);
+        let records = cluster.run_workload(jobs.clone(), &mut scheduler);
+        summarize(policy, &records, step);
+    }
+    println!("\nprediction-driven placement (MaxReliability) beats the prediction-oblivious");
+    println!("policies (RoundRobin, Random) on kills and response time; the reactive");
+    println!("LeastLoaded heuristic is competitive for short jobs but has no forecast —");
+    println!("it cannot tell a lull on a hostile machine from a genuinely quiet one.");
+}
+
+fn summarize(policy: SchedulingPolicy, records: &[JobRecord], step: u32) {
+    let completed: Vec<&JobRecord> = records.iter().filter(|r| r.completed_tick.is_some()).collect();
+    let kills: usize = records.iter().map(|r| r.kills).sum();
+    let responses: Vec<f64> = completed
+        .iter()
+        .filter_map(|r| r.response_secs(step))
+        .collect();
+    let mean_resp_h = if responses.is_empty() {
+        f64::NAN
+    } else {
+        fgcs::math::stats::mean(&responses) / 3600.0
+    };
+    println!(
+        "{:<16} {:>10} {:>10} {:>9.1}% {:>12.2}",
+        format!("{policy:?}"),
+        completed.len(),
+        kills,
+        100.0 * kills as f64 / records.len().max(1) as f64,
+        mean_resp_h
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: generate a synthetic host-machine trace, build its
+//! availability history, and predict temporal reliability for a few
+//! job-submission scenarios.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use fgcs::prelude::*;
+
+fn main() {
+    // A student-lab machine, 28 days of monitoring at 6-second samples.
+    let cfg = TraceConfig::lab_machine(42);
+    let trace = TraceGenerator::new(cfg).generate_days(28);
+    println!(
+        "generated {} days ({} samples) for machine {}",
+        trace.days(),
+        trace.samples.len(),
+        trace.machine_id
+    );
+
+    // Classify into the 5-state availability model.
+    let model = AvailabilityModel::default();
+    let history = trace.to_history(&model).expect("steps match");
+    let stats = TraceStats::from_history(&history);
+    println!("\ntrace statistics:\n{stats}");
+
+    // Predict temporal reliability for guest jobs of different lengths
+    // submitted at 09:00 on a weekday with the machine currently idle (S1).
+    let predictor = SmpPredictor::new(model);
+    println!("\npredicted temporal reliability at 09:00 (weekday, machine in S1):");
+    for hours in [0.5, 1.0, 2.0, 4.0, 8.0] {
+        let window = TimeWindow::from_hours(9.0, hours);
+        let tr = predictor
+            .predict(&history, DayType::Weekday, window, State::S1)
+            .expect("history covers the window");
+        println!("  {hours:>4} h job  ->  TR = {tr:.3}");
+    }
+
+    // The same job at night: far fewer host users, higher reliability.
+    println!("\npredicted temporal reliability at 23:00 (weekday, machine in S1):");
+    for hours in [0.5, 1.0, 2.0, 4.0, 8.0] {
+        let window = TimeWindow::from_hours(23.0, hours); // crosses midnight
+        let tr = predictor
+            .predict(&history, DayType::Weekday, window, State::S1)
+            .expect("history covers the window");
+        println!("  {hours:>4} h job  ->  TR = {tr:.3}");
+    }
+
+    // A full reliability curve: TR(m) for every monitoring step of a
+    // 2-hour window — what a scheduler would consult to pick a checkpoint
+    // interval.
+    let window = TimeWindow::from_hours(14.0, 2.0);
+    let curve = predictor
+        .predict_curve(&history, DayType::Weekday, window, State::S1)
+        .expect("history covers the window");
+    println!("\nreliability curve at 14:00 (every 20 minutes):");
+    for (i, tr) in curve.iter().enumerate().step_by(200) {
+        println!("  +{:>3} min  TR = {tr:.3}", i * 6 / 60);
+    }
+}

@@ -1,0 +1,193 @@
+//! `fgcs` — command-line front end for the availability-prediction library.
+//!
+//! ```text
+//! fgcs generate --seed 42 --days 30 --machines 2 --profile lab --out traces/
+//! fgcs stats    traces/machine-0.json
+//! fgcs predict  traces/machine-0.json --start 9.0 --hours 2 [--init S2] [--weekend] [--ci]
+//! fgcs evaluate traces/machine-0.json --train 6 --test 4
+//! ```
+
+use std::process::ExitCode;
+
+use rand::SeedableRng;
+
+use fgcs::core::predictor::evaluate_window;
+use fgcs::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(rest),
+        "stats" => cmd_stats(rest),
+        "predict" => cmd_predict(rest),
+        "evaluate" => cmd_evaluate(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+fgcs — resource availability prediction for fine-grained cycle sharing
+
+USAGE:
+  fgcs generate --seed N --days D [--machines M] [--profile lab|enterprise|server] [--out DIR]
+  fgcs stats    TRACE.json
+  fgcs predict  TRACE.json --start HOURS --hours H [--init S1|S2] [--weekend] [--ci]
+  fgcs evaluate TRACE.json [--train A --test B] [--start HOURS] [--hours H]
+";
+
+/// Looks up `--key value` in the argument list.
+fn opt<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Result<T, String> {
+    match opt(args, key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for {key}: {v}")),
+    }
+}
+
+fn load_trace(args: &[String]) -> Result<MachineTrace, String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--") && a.ends_with(".json"))
+        .ok_or("expected a TRACE.json argument")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    MachineTrace::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let seed: u64 = parse(args, "--seed", 2006)?;
+    let days: usize = parse(args, "--days", 30)?;
+    let machines: usize = parse(args, "--machines", 1)?;
+    let out = opt(args, "--out").unwrap_or(".");
+    let profile = opt(args, "--profile").unwrap_or("lab");
+    let cfg = match profile {
+        "lab" => TraceConfig::lab_machine(seed),
+        "enterprise" => TraceConfig::enterprise_machine(seed),
+        "server" => TraceConfig::server_machine(seed),
+        other => return Err(format!("unknown profile `{other}` (lab|enterprise|server)")),
+    };
+    std::fs::create_dir_all(out).map_err(|e| format!("creating {out}: {e}"))?;
+    for trace in generate_cluster(&cfg, machines, days) {
+        let path = format!("{out}/machine-{}.json", trace.machine_id);
+        let json = trace.to_json().map_err(|e| e.to_string())?;
+        std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path} ({days} days, {} samples)", trace.samples.len());
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    let model = AvailabilityModel::default();
+    let history = trace.to_history(&model).map_err(|e| e.to_string())?;
+    println!("machine {} — {} days", trace.machine_id, trace.days());
+    println!("{}", TraceStats::from_history(&history));
+    Ok(())
+}
+
+fn cmd_predict(args: &[String]) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    let start: f64 = parse(args, "--start", 9.0)?;
+    let hours: f64 = parse(args, "--hours", 1.0)?;
+    let init = match opt(args, "--init").unwrap_or("S1") {
+        "S1" | "s1" => State::S1,
+        "S2" | "s2" => State::S2,
+        other => return Err(format!("init must be S1 or S2, got {other}")),
+    };
+    let day_type = if flag(args, "--weekend") {
+        DayType::Weekend
+    } else {
+        DayType::Weekday
+    };
+    let model = AvailabilityModel::default();
+    let history = trace.to_history(&model).map_err(|e| e.to_string())?;
+    let window = TimeWindow::from_hours(start, hours);
+    let predictor = SmpPredictor::new(model);
+
+    if flag(args, "--ci") {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xC1);
+        let pred = predictor
+            .predict_with_ci(&history, day_type, window, init, 500, 0.9, &mut rng)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "TR({window}, {day_type}, init {init}) = {:.4}  [90% CI {:.4} – {:.4}, {} days]",
+            pred.tr, pred.ci_low, pred.ci_high, pred.history_days
+        );
+    } else {
+        let tr = predictor
+            .predict(&history, day_type, window, init)
+            .map_err(|e| e.to_string())?;
+        println!("TR({window}, {day_type}, init {init}) = {tr:.4}");
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(args: &[String]) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    let train: usize = parse(args, "--train", 1)?;
+    let test: usize = parse(args, "--test", 1)?;
+    let start: f64 = parse(args, "--start", 8.0)?;
+    let hours: f64 = parse(args, "--hours", 0.0)?;
+    let model = AvailabilityModel::default();
+    let history = trace.to_history(&model).map_err(|e| e.to_string())?;
+    let (tr_set, te_set) = history.split_ratio(train, test);
+    let predictor = SmpPredictor::new(model);
+
+    let lengths: Vec<f64> = if hours > 0.0 {
+        vec![hours]
+    } else {
+        vec![1.0, 2.0, 3.0, 5.0, 10.0]
+    };
+    println!(
+        "machine {} — {train}:{test} split, windows starting {start:.1}h (weekdays)",
+        trace.machine_id
+    );
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>6}",
+        "hours", "predicted", "empirical", "rel_err", "days"
+    );
+    for h in lengths {
+        let window = TimeWindow::from_hours(start, h);
+        match evaluate_window(&predictor, &tr_set, &te_set, DayType::Weekday, window) {
+            Ok(eval) => {
+                let err = eval
+                    .relative_error()
+                    .map(|e| format!("{:.1}%", 100.0 * e))
+                    .unwrap_or_else(|| "-".into());
+                println!(
+                    "{h:>8} {:>10.3} {:>10.3} {err:>10} {:>6}",
+                    eval.predicted, eval.empirical, eval.days_used
+                );
+            }
+            Err(e) => println!("{h:>8} evaluation failed: {e}"),
+        }
+    }
+    Ok(())
+}

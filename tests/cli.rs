@@ -1,0 +1,72 @@
+//! End-to-end test of the `fgcs` command-line interface: generate a trace,
+//! inspect it, predict on it, evaluate it — all through the binary.
+
+use std::process::Command;
+
+fn fgcs() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fgcs"))
+}
+
+#[test]
+fn cli_full_workflow() {
+    let dir = std::env::temp_dir().join(format!("fgcs-cli-test-{}", std::process::id()));
+    let dir_str = dir.to_str().expect("utf8 temp path");
+
+    // generate
+    let out = fgcs()
+        .args([
+            "generate", "--seed", "77", "--days", "14", "--machines", "1", "--out", dir_str,
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let trace_path = dir.join("machine-0.json");
+    assert!(trace_path.exists());
+    let trace_str = trace_path.to_str().expect("utf8");
+
+    // stats
+    let out = fgcs().args(["stats", trace_str]).output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("occurrences"), "stats output: {text}");
+
+    // predict (with CI)
+    let out = fgcs()
+        .args(["predict", trace_str, "--start", "9", "--hours", "1", "--ci"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("TR(") && text.contains("CI"), "predict output: {text}");
+
+    // evaluate
+    let out = fgcs()
+        .args(["evaluate", trace_str, "--train", "1", "--test", "1", "--hours", "1"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("empirical"), "evaluate output: {text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_rejects_unknown_command_and_bad_input() {
+    let out = fgcs().args(["frobnicate"]).output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = fgcs().args(["stats", "/nonexistent/trace.json"]).output().expect("runs");
+    assert!(!out.status.success());
+
+    let out = fgcs().output().expect("runs");
+    assert!(!out.status.success(), "no args should print usage and fail");
+}
+
+#[test]
+fn cli_help_succeeds() {
+    let out = fgcs().args(["help"]).output().expect("runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

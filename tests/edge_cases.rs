@@ -1,0 +1,175 @@
+//! Edge-case and failure-injection integration tests: degenerate histories,
+//! revocation storms, boundary windows, and estimator corner cases.
+
+use fgcs::core::predictor::{evaluate_window, evaluate_window_markov};
+use fgcs::core::{DayLog, StateLog};
+use fgcs::prelude::*;
+
+fn day_of(day_index: usize, states: Vec<State>) -> DayLog {
+    DayLog::new(day_index, StateLog::new(6, states))
+}
+
+#[test]
+fn all_dead_history_predicts_zero_reliability() {
+    // A machine revoked around the clock: TR must be ~0 for any window that
+    // the (brief) alive moments allow prediction for at all.
+    let mut store = HistoryStore::new();
+    for d in 0..5 {
+        // Alive for the first 10 samples of each day, then gone.
+        let mut states = vec![State::S5; 14_400];
+        for s in &mut states[..10] {
+            *s = State::S1;
+        }
+        store.push_day(day_of(d, states));
+    }
+    let predictor = SmpPredictor::new(AvailabilityModel::default());
+    let w = TimeWindow::new(0, 600);
+    let tr = predictor
+        .predict(&store, DayType::Weekday, w, State::S1)
+        .unwrap();
+    assert!(tr < 1e-6, "tr = {tr}");
+}
+
+#[test]
+fn revocation_storm_mid_window_is_survivable_by_the_estimator() {
+    // Days alternate between fully quiet and a storm of short outages; the
+    // predictor must return a sane probability, not NaN or a panic.
+    let mut store = HistoryStore::new();
+    for d in 0..10 {
+        let mut states = vec![State::S1; 14_400];
+        if d % 2 == 1 {
+            let mut i = 600;
+            while i < 14_000 {
+                for s in &mut states[i..i + 20] {
+                    *s = State::S5;
+                }
+                i += 400;
+            }
+        }
+        store.push_day(day_of(d, states));
+    }
+    let predictor = SmpPredictor::new(AvailabilityModel::default());
+    for hours in [0.5, 1.0, 4.0] {
+        let w = TimeWindow::from_hours(1.0, hours);
+        let tr = predictor
+            .predict(&store, DayType::Weekday, w, State::S1)
+            .unwrap();
+        assert!(tr.is_finite() && (0.0..=1.0).contains(&tr));
+        // Half the days are storm days, so long windows cannot be reliable.
+        if hours >= 4.0 {
+            assert!(tr < 0.7, "tr = {tr} for {hours} h");
+        }
+    }
+}
+
+#[test]
+fn single_day_history_still_predicts() {
+    let mut store = HistoryStore::new();
+    store.push_day(day_of(0, vec![State::S1; 14_400]));
+    let predictor = SmpPredictor::new(AvailabilityModel::default());
+    let w = TimeWindow::from_hours(3.0, 1.0);
+    assert_eq!(
+        predictor.predict(&store, DayType::Weekday, w, State::S1).unwrap(),
+        1.0
+    );
+}
+
+#[test]
+fn window_of_one_step_works() {
+    let mut store = HistoryStore::new();
+    store.push_day(day_of(0, vec![State::S1; 14_400]));
+    let predictor = SmpPredictor::new(AvailabilityModel::default());
+    let w = TimeWindow::new(3600, 6); // a single monitoring period
+    let tr = predictor
+        .predict(&store, DayType::Weekday, w, State::S1)
+        .unwrap();
+    assert_eq!(tr, 1.0);
+}
+
+#[test]
+fn evaluate_window_markov_handles_empty_history() {
+    let predictor = SmpPredictor::new(AvailabilityModel::default());
+    let empty = HistoryStore::new();
+    let w = TimeWindow::from_hours(8.0, 1.0);
+    assert!(evaluate_window_markov(&predictor, &empty, &empty, DayType::Weekday, w).is_err());
+    assert!(evaluate_window(&predictor, &empty, &empty, DayType::Weekday, w).is_err());
+}
+
+#[test]
+fn max_history_days_zero_is_empty_history() {
+    let mut store = HistoryStore::new();
+    store.push_day(day_of(0, vec![State::S1; 14_400]));
+    let predictor = SmpPredictor::new(AvailabilityModel::default()).with_max_history_days(0);
+    let w = TimeWindow::from_hours(0.0, 1.0);
+    assert!(predictor.predict(&store, DayType::Weekday, w, State::S1).is_err());
+}
+
+#[test]
+fn churny_history_keeps_probabilities_coherent() {
+    // Rapid S1<->S2 churn with occasional failures: the failure-state split
+    // of IntervalProbs must sum to the complement of TR.
+    use fgcs::core::smp::SparseSolver;
+    // Each weekday fails through a different mode, directly out of S2, so
+    // all three failure rows of the kernel carry mass.
+    let mut store = HistoryStore::new();
+    for d in 0..5 {
+        let failure = State::FAILURE[d % 3];
+        let states: Vec<State> = (0..14_400)
+            .map(|i| match i % 97 {
+                0..=49 => State::S1,
+                50..=89 => State::S2,
+                _ => failure,
+            })
+            .collect();
+        store.push_day(day_of(d, states));
+    }
+    let predictor = SmpPredictor::new(AvailabilityModel::default());
+    let w = TimeWindow::from_hours(2.0, 1.0);
+    let params = predictor
+        .estimate_params(&store, DayType::Weekday, w)
+        .unwrap();
+    let steps = w.steps(6);
+    let solver = SparseSolver::new(&params);
+    let probs = solver.interval_probabilities(steps).unwrap();
+    let tr = solver.temporal_reliability(State::S1, steps).unwrap();
+    let fail_sum: f64 = probs.p1.iter().sum();
+    assert!(
+        (tr + fail_sum - 1.0).abs() < 1e-9,
+        "TR {tr} + fail {fail_sum} != 1"
+    );
+    // All three failure modes should carry mass in this churny history.
+    for (j, p) in probs.p1.iter().enumerate() {
+        assert!(*p > 0.0, "failure state S{} got no mass", j + 3);
+    }
+}
+
+#[test]
+fn noise_injection_into_short_history_is_clamped() {
+    use rand::SeedableRng;
+    // A 100-sample day: injection near 8:00 am would target step ~4800,
+    // beyond the log; overwrite must clamp, not panic.
+    let mut store = HistoryStore::new();
+    store.push_day(day_of(0, vec![State::S1; 100]));
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
+    let marks = NoiseInjector::default().inject(&mut store, 3, &mut rng);
+    assert_eq!(marks.len(), 3);
+    // The log is unchanged (all targets were out of range) but no panic.
+    assert!(store.days()[0].log.states().iter().all(|s| *s == State::S1));
+}
+
+#[test]
+fn trace_stats_on_enterprise_and_server_profiles() {
+    let model = AvailabilityModel::default();
+    let ent = TraceGenerator::new(TraceConfig::enterprise_machine(9)).generate_days(14);
+    let srv = TraceGenerator::new(TraceConfig::server_machine(9)).generate_days(14);
+    let ent_stats = TraceStats::from_history(&ent.to_history(&model).unwrap());
+    let srv_stats = TraceStats::from_history(&srv.to_history(&model).unwrap());
+    assert!(
+        srv_stats.occurrences_per_day() > ent_stats.occurrences_per_day(),
+        "server should be far more hostile: {} vs {}",
+        srv_stats.occurrences_per_day(),
+        ent_stats.occurrences_per_day()
+    );
+    assert!(ent_stats.availability_fraction() > 0.9);
+    assert!(srv_stats.availability_fraction() < 0.7);
+}

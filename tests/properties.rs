@@ -1,0 +1,197 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use proptest::prelude::*;
+
+use fgcs::core::smp::{DenseSolver, SmpParams, SparseSolver};
+use fgcs::core::{AvailabilityModel, LoadSample, State, StateClassifier};
+
+/// Strategy: a random sparse sub-probability kernel over a small horizon.
+fn kernel_strategy(horizon: usize) -> impl Strategy<Value = SmpParams> {
+    // For each of the two source rows, draw 4 target weights and a set of
+    // holding times; normalise so the row sums to <= 1.
+    let row = proptest::collection::vec((0.0f64..1.0, 1..=horizon), 0..6);
+    (row.clone(), row).prop_map(move |(r1, r2)| {
+        let mut kernel: [[Vec<f64>; 4]; 2] = Default::default();
+        for r in &mut kernel {
+            for c in r.iter_mut() {
+                *c = vec![0.0; horizon + 1];
+            }
+        }
+        for (i, entries) in [r1, r2].into_iter().enumerate() {
+            let total: f64 = entries.iter().map(|(w, _)| w).sum::<f64>() + 1.0;
+            for (j, (w, l)) in entries.into_iter().enumerate() {
+                let k = j % 4;
+                kernel[i][k][l] += w / total;
+            }
+        }
+        SmpParams::from_kernel(6, kernel)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tr_is_probability_and_monotone(params in kernel_strategy(24)) {
+        let solver = SparseSolver::new(&params);
+        for init in [State::S1, State::S2] {
+            let curve = solver.reliability_curve(init, 24).unwrap();
+            prop_assert_eq!(curve[0], 1.0);
+            for pair in curve.windows(2) {
+                prop_assert!(pair[1] <= pair[0] + 1e-9);
+                prop_assert!((0.0..=1.0).contains(&pair[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_equals_dense(params in kernel_strategy(16)) {
+        let sparse = SparseSolver::new(&params);
+        let dense = DenseSolver::from_params(&params);
+        for init in [State::S1, State::S2] {
+            for steps in [1usize, 7, 16] {
+                let a = sparse.temporal_reliability(init, steps).unwrap();
+                let b = dense.temporal_reliability(init, steps).unwrap();
+                prop_assert!((a - b).abs() < 1e-9, "sparse {} dense {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_rows_are_distributions(params in kernel_strategy(12)) {
+        let dense = DenseSolver::from_params(&params);
+        let mats = dense.interval_matrix(12).unwrap();
+        for mat in &mats {
+            for row in mat {
+                let sum: f64 = row.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-9, "row sums to {}", sum);
+                for &p in row {
+                    prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn estimated_q_rows_are_subprobabilities(
+        states in proptest::collection::vec(0usize..5, 20..200)
+    ) {
+        let seq: Vec<State> = states.into_iter().map(State::from_index).collect();
+        let windows: Vec<&[State]> = vec![&seq];
+        let horizon = seq.len() - 1;
+        let params = SmpParams::estimate(&windows, 6, horizon);
+        for from in [State::S1, State::S2] {
+            let total: f64 = State::ALL.iter().map(|&to| params.q(from, to)).sum();
+            prop_assert!(total <= 1.0 + 1e-9, "row {} sums to {}", from, total);
+        }
+    }
+
+    #[test]
+    fn holding_pmfs_normalise(
+        states in proptest::collection::vec(0usize..3, 30..150)
+    ) {
+        let seq: Vec<State> = states.into_iter().map(State::from_index).collect();
+        let windows: Vec<&[State]> = vec![&seq];
+        let params = SmpParams::estimate(&windows, 6, seq.len() - 1);
+        for from in [State::S1, State::S2] {
+            for to in State::ALL {
+                if let Some(pmf) = params.holding_pmf(from, to) {
+                    let total: f64 = pmf.iter().sum();
+                    prop_assert!((total - 1.0).abs() < 1e-9, "pmf sums to {}", total);
+                    prop_assert!(pmf.iter().all(|&p| p >= 0.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classification_is_exhaustive_and_consistent(
+        cpus in proptest::collection::vec(0.0f64..1.0, 1..500),
+        mem in 0.0f64..1024.0,
+    ) {
+        let model = AvailabilityModel::default();
+        let classifier = StateClassifier::new(model);
+        let samples: Vec<LoadSample> = cpus
+            .iter()
+            .map(|&c| LoadSample { host_cpu: c, free_mem_mb: mem, alive: true })
+            .collect();
+        let states = classifier.classify(&samples);
+        prop_assert_eq!(states.len(), samples.len());
+        let memory_short = mem < model.guest_working_set_mb;
+        for (s, sample) in states.iter().zip(&samples) {
+            if memory_short {
+                prop_assert_eq!(*s, State::S4);
+            } else {
+                prop_assert!(*s != State::S4 && *s != State::S5);
+                // Below Th1 can only be S1; folding can also pull spikes down
+                // to S1/S2, never up.
+                if sample.host_cpu < model.th1 {
+                    prop_assert_eq!(*s, State::S1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn folding_never_creates_failures(
+        cpus in proptest::collection::vec(0.0f64..1.0, 1..300)
+    ) {
+        let model = AvailabilityModel::default();
+        let with = StateClassifier::new(model);
+        let without = StateClassifier::new(model).without_transient_folding();
+        let samples: Vec<LoadSample> = cpus
+            .iter()
+            .map(|&c| LoadSample { host_cpu: c, free_mem_mb: 512.0, alive: true })
+            .collect();
+        let folded = with.classify(&samples);
+        let raw = without.classify(&samples);
+        for (f, r) in folded.iter().zip(&raw) {
+            // Folding can only downgrade S3 to an operational state.
+            if f != r {
+                prop_assert_eq!(*r, State::S3);
+                prop_assert!(f.is_operational());
+            }
+        }
+    }
+
+    #[test]
+    fn levinson_matches_lu_on_random_stationary_series(
+        xs in proptest::collection::vec(-10.0f64..10.0, 50..200)
+    ) {
+        use fgcs::math::{matrix::Matrix, stats, toeplitz};
+        let p = 4;
+        let acov = stats::autocovariance(&xs, p);
+        prop_assume!(acov[0] > 1e-6);
+        let ld = match toeplitz::levinson_durbin(&acov, p) {
+            Ok(r) => r,
+            Err(_) => return Ok(()),
+        };
+        let mut m = Matrix::zeros(p, p);
+        let mut rhs = vec![0.0; p];
+        for i in 0..p {
+            for j in 0..p {
+                m[(i, j)] = acov[i.abs_diff(j)];
+            }
+            rhs[i] = acov[i + 1];
+        }
+        if let Ok(direct) = m.solve(&rhs) {
+            for (a, b) in ld.coeffs.iter().zip(&direct) {
+                prop_assert!((a - b).abs() < 1e-6, "LD {} vs LU {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn guest_job_progress_conserves_work(
+        allocs in proptest::collection::vec(0.0f64..1.0, 1..100)
+    ) {
+        use fgcs::sim::GuestJob;
+        let mut job = GuestJob::new(1, 1e6, 50.0);
+        let mut expected = 0.0;
+        for a in allocs {
+            job.advance(a, 6.0);
+            expected += a * 6.0;
+        }
+        prop_assert!((job.progress_secs - expected).abs() < 1e-6);
+    }
+}

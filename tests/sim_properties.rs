@@ -1,0 +1,166 @@
+//! Property-based tests over the simulation layer: gateway state machine,
+//! contention model, directory semantics and trace-generation invariants.
+
+use proptest::prelude::*;
+
+use fgcs::core::State;
+use fgcs::sim::contention::GuestPriority;
+use fgcs::sim::state_manager::OnlineDecision;
+use fgcs::sim::{CpuContentionModel, Gateway, GuestAction, GuestJob, ResourceDirectory};
+
+/// Strategy for an arbitrary online decision.
+fn decision_strategy() -> impl Strategy<Value = OnlineDecision> {
+    prop_oneof![
+        Just(OnlineDecision::Operational(State::S1)),
+        Just(OnlineDecision::Operational(State::S2)),
+        Just(OnlineDecision::Transient),
+        Just(OnlineDecision::Failed(State::S3)),
+        Just(OnlineDecision::Failed(State::S4)),
+        Just(OnlineDecision::Failed(State::S5)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn gateway_never_runs_during_failure_or_transient(
+        decisions in proptest::collection::vec(decision_strategy(), 1..200)
+    ) {
+        let mut gw = Gateway::new(2);
+        for d in decisions {
+            let action = gw.step(d);
+            match d {
+                OnlineDecision::Failed(s) => prop_assert_eq!(action, GuestAction::Kill(s)),
+                OnlineDecision::Transient => prop_assert_eq!(action, GuestAction::Suspend),
+                OnlineDecision::Operational(_) => prop_assert!(
+                    action != GuestAction::Kill(State::S3)
+                        && action != GuestAction::Kill(State::S4)
+                        && action != GuestAction::Kill(State::S5)
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn gateway_resumes_within_quiet_budget(
+        quiet in 1usize..5,
+        ops in 5usize..20,
+    ) {
+        let mut gw = Gateway::new(quiet);
+        gw.step(OnlineDecision::Transient);
+        let mut resumed_at = None;
+        for i in 0..ops {
+            let a = gw.step(OnlineDecision::Operational(State::S1));
+            if a == GuestAction::RunDefault {
+                resumed_at = Some(i);
+                break;
+            }
+        }
+        // Resume happens exactly after `quiet` operational periods.
+        prop_assert_eq!(resumed_at, Some(quiet - 1));
+    }
+
+    #[test]
+    fn contention_allocations_are_conservative(
+        demands in proptest::collection::vec(0.0f64..1.0, 0..6),
+        guest_demand in 0.0f64..1.0,
+        lowest in proptest::bool::ANY,
+    ) {
+        let m = CpuContentionModel::default();
+        let prio = if lowest { GuestPriority::Lowest } else { GuestPriority::Default };
+        let alloc = m.allocate(&demands, guest_demand, prio);
+        let total: f64 = alloc.host.iter().sum::<f64>() + alloc.guest;
+        prop_assert!(total <= 1.0 + 1e-9, "allocated {} > capacity", total);
+        for (a, d) in alloc.host.iter().zip(&demands) {
+            prop_assert!(*a <= d + 1e-9, "host got {} for demand {}", a, d);
+        }
+        prop_assert!(alloc.guest <= guest_demand + 1e-9);
+        prop_assert!(alloc.host_effective >= 0.0);
+        // Interference can only shrink what the hosts got.
+        let raw: f64 = alloc.host.iter().sum();
+        prop_assert!(alloc.host_effective <= raw + 1e-9);
+    }
+
+    #[test]
+    fn reduction_rate_is_a_fraction(
+        demands in proptest::collection::vec(0.0f64..1.0, 1..6),
+        lowest in proptest::bool::ANY,
+    ) {
+        let m = CpuContentionModel::default();
+        let prio = if lowest { GuestPriority::Lowest } else { GuestPriority::Default };
+        let r = m.host_reduction_rate(&demands, prio);
+        prop_assert!((0.0..=1.0).contains(&r), "reduction {}", r);
+    }
+
+    #[test]
+    fn guest_job_invariants_hold_under_arbitrary_schedules(
+        allocs in proptest::collection::vec((0.0f64..1.0, proptest::bool::ANY), 1..300)
+    ) {
+        use fgcs::sim::CheckpointConfig;
+        let mut job = GuestJob::new(1, 600.0, 50.0).with_checkpointing(CheckpointConfig {
+            interval_secs: 60.0,
+            cost_secs: 6.0,
+        });
+        for (alloc, kill) in allocs {
+            job.advance(alloc, 6.0);
+            if kill {
+                job.rollback();
+            }
+            // Invariants after every event:
+            prop_assert!(job.progress_secs >= job.checkpointed_secs - 1e-9);
+            prop_assert!(job.progress_secs <= job.work_secs + 1e-9);
+            prop_assert!(job.checkpointed_secs >= 0.0);
+            prop_assert!(job.overhead_secs >= 0.0);
+        }
+    }
+
+    #[test]
+    fn directory_discovery_is_sorted_and_live(
+        ads in proptest::collection::vec((0u64..20, 0u64..100, 0.0f64..1.0), 0..30),
+        now in 50u64..200,
+    ) {
+        let mut dir = ResourceDirectory::new(60);
+        for (id, at, tr) in &ads {
+            dir.publish(fgcs::sim::ResourceAd {
+                node_id: *id,
+                published_at: *at,
+                available: true,
+                host_load: 0.1,
+                free_mem_mb: 400.0,
+                tr_snapshot: vec![(3600, *tr)],
+            });
+        }
+        let found = dir.discover(now, 3600, 0.0);
+        // No duplicates.
+        let mut dedup = found.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), found.len());
+        // All hits are live.
+        for id in &found {
+            let ad = dir.live_ads(now).into_iter().find(|a| a.node_id == *id);
+            prop_assert!(ad.is_some(), "discovered an expired ad");
+        }
+    }
+}
+
+#[test]
+fn trace_generator_invariants_over_profiles() {
+    use fgcs::prelude::*;
+    for cfg in [
+        TraceConfig::lab_machine(5),
+        TraceConfig::enterprise_machine(5),
+        TraceConfig::server_machine(5),
+    ] {
+        let trace = TraceGenerator::new(cfg).generate_days(3);
+        assert_eq!(trace.days(), 3);
+        for s in &trace.samples {
+            assert!((0.0..=1.0).contains(&s.host_cpu));
+            assert!(s.free_mem_mb >= 0.0 && s.free_mem_mb <= trace.physical_mem_mb);
+        }
+        // A trace must classify cleanly under the default model.
+        let history = trace.to_history(&AvailabilityModel::default()).unwrap();
+        assert_eq!(history.len(), 3);
+    }
+}
