@@ -1,0 +1,21 @@
+#!/bin/sh
+# Hermetic CI for the fgcs workspace.
+#
+# The workspace is std-only: every crate depends only on in-tree path
+# crates (see crates/fgcs-runtime), so the whole pipeline runs with an
+# empty cargo registry. `--offline` makes any accidental reintroduction
+# of an external dependency a hard failure rather than a download.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "== cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "CI OK"

@@ -5,8 +5,8 @@
 //!   solver,
 //! * transient-spike folding on vs off in classification,
 //! * same-day-type history selection vs all-days history in estimation.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//!
+//! In-tree harness (`--features bench-harness`).
 
 use fgcs_core::classify::StateClassifier;
 use fgcs_core::model::AvailabilityModel;
@@ -14,9 +14,10 @@ use fgcs_core::predictor::SmpPredictor;
 use fgcs_core::smp::{CompactSolver, DenseSolver, SparseSolver};
 use fgcs_core::state::State;
 use fgcs_core::window::{DayType, TimeWindow};
+use fgcs_runtime::bench::bench;
 use fgcs_trace::{TraceConfig, TraceGenerator};
 
-fn bench_solver_ablation(c: &mut Criterion) {
+fn solver_ablation() {
     let model = AvailabilityModel::default();
     let trace = TraceGenerator::new(TraceConfig::lab_machine(2006)).generate_days(30);
     let history = trace.to_history(&model).unwrap();
@@ -27,38 +28,28 @@ fn bench_solver_ablation(c: &mut Criterion) {
         .estimate_params(&history, DayType::Weekday, window)
         .unwrap();
 
-    let mut group = c.benchmark_group("solver_ablation_2h");
-    group.sample_size(10);
-    group.bench_function("dense_5state", |b| {
-        b.iter(|| {
-            DenseSolver::from_params(&params)
-                .temporal_reliability(State::S1, steps)
-                .unwrap()
-        })
+    bench("solver_ablation_2h/dense_5state", || {
+        DenseSolver::from_params(&params)
+            .temporal_reliability(State::S1, steps)
+            .unwrap()
     });
-    group.bench_function("paper_eq3_sparse", |b| {
-        b.iter(|| {
-            SparseSolver::new(&params)
-                .temporal_reliability(State::S1, steps)
-                .unwrap()
-        })
+    bench("solver_ablation_2h/paper_eq3_sparse", || {
+        SparseSolver::new(&params)
+            .temporal_reliability(State::S1, steps)
+            .unwrap()
     });
-    group.bench_function("compact_eventlist", |b| {
-        b.iter(|| {
-            CompactSolver::from_params(&params)
-                .temporal_reliability(State::S1, steps)
-                .unwrap()
-        })
+    bench("solver_ablation_2h/compact_eventlist", || {
+        CompactSolver::from_params(&params)
+            .temporal_reliability(State::S1, steps)
+            .unwrap()
     });
-    group.finish();
 }
 
-fn bench_folding_ablation(c: &mut Criterion) {
+fn folding_ablation() {
     let model = AvailabilityModel::default();
     let trace = TraceGenerator::new(TraceConfig::lab_machine(2006)).generate_days(1);
     let day = trace.day_samples(0).to_vec();
 
-    let mut group = c.benchmark_group("classification_ablation");
     for (name, classifier) in [
         ("with_folding", StateClassifier::new(model)),
         (
@@ -66,35 +57,32 @@ fn bench_folding_ablation(c: &mut Criterion) {
             StateClassifier::new(model).without_transient_folding(),
         ),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &day, |b, day| {
-            b.iter(|| classifier.classify(day))
+        bench(&format!("classification_ablation/{name}"), || {
+            classifier.classify(&day)
         });
     }
-    group.finish();
 }
 
-fn bench_history_selection_ablation(c: &mut Criterion) {
+fn history_selection_ablation() {
     let model = AvailabilityModel::default();
     let trace = TraceGenerator::new(TraceConfig::lab_machine(2006)).generate_days(30);
     let history = trace.to_history(&model).unwrap();
     let window = TimeWindow::from_hours(8.0, 2.0);
 
-    let mut group = c.benchmark_group("history_selection_ablation");
-    group.bench_function("same_day_type", |b| {
-        let p = SmpPredictor::new(model);
-        b.iter(|| p.estimate_params(&history, DayType::Weekday, window).unwrap())
+    let same = SmpPredictor::new(model);
+    bench("history_selection_ablation/same_day_type", || {
+        same.estimate_params(&history, DayType::Weekday, window)
+            .unwrap()
     });
-    group.bench_function("all_day_types", |b| {
-        let p = SmpPredictor::new(model).with_all_day_types();
-        b.iter(|| p.estimate_params(&history, DayType::Weekday, window).unwrap())
+    let all = SmpPredictor::new(model).with_all_day_types();
+    bench("history_selection_ablation/all_day_types", || {
+        all.estimate_params(&history, DayType::Weekday, window)
+            .unwrap()
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_solver_ablation,
-    bench_folding_ablation,
-    bench_history_selection_ablation
-);
-criterion_main!(benches);
+fn main() {
+    solver_ablation();
+    folding_ablation();
+    history_selection_ablation();
+}

@@ -1,34 +1,27 @@
-//! Criterion bench for state classification and the per-period monitoring
-//! step — the §7.1 non-intrusiveness claim (< 1 % CPU at a 6 s period
-//! means the per-sample cost must be microseconds).
-
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Micro-bench for state classification and the per-period monitoring step
+//! — the §7.1 non-intrusiveness claim (< 1 % CPU at a 6 s period means the
+//! per-sample cost must be microseconds). In-tree harness
+//! (`--features bench-harness`).
 
 use fgcs_core::classify::StateClassifier;
 use fgcs_core::model::AvailabilityModel;
+use fgcs_runtime::bench::bench;
 use fgcs_sim::state_manager::StateManager;
 use fgcs_trace::{TraceConfig, TraceGenerator};
 
-fn bench_classify(c: &mut Criterion) {
+fn main() {
     let model = AvailabilityModel::default();
     let trace = TraceGenerator::new(TraceConfig::lab_machine(2006)).generate_days(1);
     let day = trace.day_samples(0).to_vec();
 
-    c.bench_function("classify_whole_day_offline", |b| {
-        let classifier = StateClassifier::new(model);
-        b.iter(|| classifier.classify(&day))
-    });
+    let classifier = StateClassifier::new(model);
+    bench("classify_whole_day_offline", || classifier.classify(&day));
 
-    c.bench_function("state_manager_online_step", |b| {
-        let mut manager = StateManager::new(model, 0);
-        let mut i = 0;
-        b.iter(|| {
-            let s = day[i % day.len()];
-            i += 1;
-            manager.observe(if s.alive { Some(s) } else { None })
-        })
+    let mut manager = StateManager::new(model, 0);
+    let mut i = 0;
+    bench("state_manager_online_step", || {
+        let s = day[i % day.len()];
+        i += 1;
+        manager.observe(if s.alive { Some(s) } else { None })
     });
 }
-
-criterion_group!(benches, bench_classify);
-criterion_main!(benches);

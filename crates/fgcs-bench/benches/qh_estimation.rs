@@ -1,32 +1,25 @@
-//! Criterion bench for Q/H (semi-Markov kernel) estimation — the lower
-//! curve of Figure 4.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Micro-bench for Q/H (semi-Markov kernel) estimation — the lower curve
+//! of Figure 4. Runs on the in-tree harness (`--features bench-harness`).
 
 use fgcs_core::model::AvailabilityModel;
 use fgcs_core::smp::SmpParams;
 use fgcs_core::state::State;
 use fgcs_core::window::{DayType, TimeWindow};
+use fgcs_runtime::bench::bench;
 use fgcs_trace::{TraceConfig, TraceGenerator};
 
-fn bench_estimation(c: &mut Criterion) {
+fn main() {
     let model = AvailabilityModel::default();
     let trace = TraceGenerator::new(TraceConfig::lab_machine(2006)).generate_days(30);
     let history = trace.to_history(&model).unwrap();
 
-    let mut group = c.benchmark_group("qh_estimation");
     for hours in [1u32, 5, 10] {
         let window = TimeWindow::from_hours(8.0, f64::from(hours));
         let steps = window.steps(model.monitor_period_secs);
-        let windows: Vec<Vec<State>> =
-            history.recent_windows(DayType::Weekday, window, None);
+        let windows: Vec<Vec<State>> = history.recent_windows(DayType::Weekday, window, None);
         let refs: Vec<&[State]> = windows.iter().map(Vec::as_slice).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(hours), &refs, |b, refs| {
-            b.iter(|| SmpParams::estimate(refs, model.monitor_period_secs, steps))
+        bench(&format!("qh_estimation/{hours}h"), || {
+            SmpParams::estimate(&refs, model.monitor_period_secs, steps)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_estimation);
-criterion_main!(benches);

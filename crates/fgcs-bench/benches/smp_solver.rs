@@ -1,22 +1,22 @@
-//! Criterion bench for the temporal-reliability solvers — the quantity
+//! Micro-bench for the temporal-reliability solvers — the quantity
 //! Figure 4 plots (prediction computation time vs window length).
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//!
+//! Runs on the in-tree harness: `cargo bench --features bench-harness`.
 
 use fgcs_core::model::AvailabilityModel;
 use fgcs_core::predictor::SmpPredictor;
 use fgcs_core::smp::{CompactSolver, SparseSolver};
 use fgcs_core::state::State;
 use fgcs_core::window::{DayType, TimeWindow};
+use fgcs_runtime::bench::bench;
 use fgcs_trace::{TraceConfig, TraceGenerator};
 
-fn bench_solvers(c: &mut Criterion) {
+fn main() {
     let model = AvailabilityModel::default();
     let trace = TraceGenerator::new(TraceConfig::lab_machine(2006)).generate_days(30);
     let history = trace.to_history(&model).unwrap();
     let predictor = SmpPredictor::new(model);
 
-    let mut group = c.benchmark_group("tr_solver");
     for hours in [1u32, 2, 5, 10] {
         let window = TimeWindow::from_hours(8.0, f64::from(hours));
         let steps = window.steps(model.monitor_period_secs);
@@ -24,35 +24,15 @@ fn bench_solvers(c: &mut Criterion) {
             .estimate_params(&history, DayType::Weekday, window)
             .unwrap();
 
-        group.bench_with_input(
-            BenchmarkId::new("paper_eq3", hours),
-            &params,
-            |b, params| {
-                b.iter(|| {
-                    SparseSolver::new(params)
-                        .temporal_reliability(State::S1, steps)
-                        .unwrap()
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("compact", hours),
-            &params,
-            |b, params| {
-                b.iter(|| {
-                    CompactSolver::from_params(params)
-                        .temporal_reliability(State::S1, steps)
-                        .unwrap()
-                })
-            },
-        );
+        bench(&format!("tr_solver/paper_eq3/{hours}h"), || {
+            SparseSolver::new(&params)
+                .temporal_reliability(State::S1, steps)
+                .unwrap()
+        });
+        bench(&format!("tr_solver/compact/{hours}h"), || {
+            CompactSolver::from_params(&params)
+                .temporal_reliability(State::S1, steps)
+                .unwrap()
+        });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_solvers
-}
-criterion_main!(benches);

@@ -1,29 +1,22 @@
-//! Criterion bench for the time-series baselines: fit + multi-step
-//! forecast on a realistic severity series (one 2-hour history window).
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Micro-bench for the time-series baselines: fit + multi-step forecast on
+//! a realistic severity series (one 2-hour history window). In-tree harness
+//! (`--features bench-harness`).
 
 use fgcs_core::model::AvailabilityModel;
+use fgcs_runtime::bench::bench;
 use fgcs_timeseries::{paper_lineup, severity_series};
 use fgcs_trace::{TraceConfig, TraceGenerator};
 
-fn bench_timeseries(c: &mut Criterion) {
+fn main() {
     let model = AvailabilityModel::default();
     let trace = TraceGenerator::new(TraceConfig::lab_machine(2006)).generate_days(1);
     // A 2-hour history (1200 samples at 6 s) starting at 08:00.
     let start = 8 * 600;
     let series = severity_series(&trace.samples[start..start + 1200], &model);
 
-    let mut group = c.benchmark_group("ts_fit_forecast");
     for m in paper_lineup() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(m.name()),
-            &series,
-            |b, series| b.iter(|| m.fit_forecast(series, 1200).unwrap()),
-        );
+        bench(&format!("ts_fit_forecast/{}", m.name()), || {
+            m.fit_forecast(&series, 1200).unwrap()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_timeseries);
-criterion_main!(benches);

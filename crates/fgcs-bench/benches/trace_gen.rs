@@ -1,30 +1,15 @@
-//! Criterion bench for synthetic trace generation (one machine-day at the
-//! paper's 6-second sampling = 14 400 samples).
+//! Micro-bench for synthetic trace generation (one machine-day at the
+//! paper's 6-second sampling = 14 400 samples). In-tree harness
+//! (`--features bench-harness`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use fgcs_runtime::bench::bench;
 use fgcs_trace::{TraceConfig, TraceGenerator};
 
-fn bench_trace_gen(c: &mut Criterion) {
-    c.bench_function("generate_machine_day_lab", |b| {
-        let gen = TraceGenerator::new(TraceConfig::lab_machine(1));
-        b.iter(|| gen.generate_days(1))
-    });
+fn main() {
+    let lab = TraceGenerator::new(TraceConfig::lab_machine(1));
+    bench("generate_machine_day_lab", || lab.generate_days(1));
+    bench("generate_machine_week_lab", || lab.generate_days(7));
 
-    c.bench_function("generate_machine_week_lab", |b| {
-        let gen = TraceGenerator::new(TraceConfig::lab_machine(1));
-        b.iter(|| gen.generate_days(7))
-    });
-
-    c.bench_function("generate_machine_day_server", |b| {
-        let gen = TraceGenerator::new(TraceConfig::server_machine(1));
-        b.iter(|| gen.generate_days(1))
-    });
+    let server = TraceGenerator::new(TraceConfig::server_machine(1));
+    bench("generate_machine_day_server", || server.generate_days(1));
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_trace_gen
-}
-criterion_main!(benches);

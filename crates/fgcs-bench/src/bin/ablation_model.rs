@@ -14,7 +14,7 @@
 //! Run: `cargo run --release -p fgcs-bench --bin ablation_model
 //!       [--machines N] [--days D]`
 
-use fgcs_bench::{per_machine, pct, Testbed, WINDOW_HOURS};
+use fgcs_bench::{pct, per_machine, Testbed, WINDOW_HOURS};
 use fgcs_core::classify::StateClassifier;
 use fgcs_core::log::{DayLog, HistoryStore, StateLog};
 use fgcs_core::predictor::{
@@ -51,7 +51,9 @@ fn main() {
         })
         .collect();
 
-    println!("# Model ablations: mean relative TR error, weekdays, {machines} machines x {days} days");
+    println!(
+        "# Model ablations: mean relative TR error, weekdays, {machines} machines x {days} days"
+    );
     println!(
         "{:>10} {:>10} {:>10} {:>10} {:>10}",
         "window_hr", "SMP", "MARKOV", "NO-FOLD", "ALL-DAYS"
@@ -73,9 +75,7 @@ fn main() {
             for start in 0..24u32 {
                 let w = TimeWindow::from_hours(f64::from(start), hours);
                 smp.push(evaluate_window(&base, &train, &test, DayType::Weekday, w).ok());
-                markov.push(
-                    evaluate_window_markov(&base, &train, &test, DayType::Weekday, w).ok(),
-                );
+                markov.push(evaluate_window_markov(&base, &train, &test, DayType::Weekday, w).ok());
                 nofold.push(evaluate_window(&base, &utrain, &utest, DayType::Weekday, w).ok());
                 alldays.push(evaluate_window(&all_days, &train, &test, DayType::Weekday, w).ok());
             }

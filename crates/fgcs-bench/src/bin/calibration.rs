@@ -26,11 +26,9 @@ fn main() {
     for trace in &traces {
         let history = trace.to_history(&model).expect("step mismatch");
         let stats = TraceStats::from_history(&history);
-        let similarity = fgcs_trace::daily_pattern_similarity(
-            trace,
-            fgcs_core::window::DayType::Weekday,
-        )
-        .unwrap_or(f64::NAN);
+        let similarity =
+            fgcs_trace::daily_pattern_similarity(trace, fgcs_core::window::DayType::Weekday)
+                .unwrap_or(f64::NAN);
         println!(
             "{:>8} {:>12} {:>8.2} {:>8} {:>8} {:>8} {:>10.2} {:>10.0} {:>8.2}",
             trace.machine_id,

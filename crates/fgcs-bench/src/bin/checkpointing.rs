@@ -81,10 +81,13 @@ fn main() {
     for (name, policy, migration) in policies {
         let mut cluster = Cluster::from_traces(traces.clone(), model);
         cluster.warm_up(warm_days);
-        let mut scheduler = JobScheduler::new(SchedulingPolicy::MaxReliability, 99)
-            .with_checkpoint_policy(policy);
+        let mut scheduler =
+            JobScheduler::new(SchedulingPolicy::MaxReliability, 99).with_checkpoint_policy(policy);
         let records = cluster.run_workload_with_migration(jobs.clone(), &mut scheduler, migration);
-        let completed: Vec<_> = records.iter().filter(|r| r.completed_tick.is_some()).collect();
+        let completed: Vec<_> = records
+            .iter()
+            .filter(|r| r.completed_tick.is_some())
+            .collect();
         let kills: usize = records.iter().map(|r| r.kills).sum();
         let responses: Vec<f64> = completed
             .iter()

@@ -105,4 +105,3 @@ fn main() {
         100.0 * (last_total_ms / 1000.0) / ten_hours_secs
     );
 }
-

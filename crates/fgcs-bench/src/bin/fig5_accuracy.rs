@@ -20,7 +20,7 @@
 //! future-work plan ("test our prediction mechanisms on testbeds with
 //! different workload patterns, such as ... enterprise desktop resources").
 
-use fgcs_bench::{per_machine, pct, smp_error, summarize_errors, Testbed, WINDOW_HOURS};
+use fgcs_bench::{pct, per_machine, smp_error, summarize_errors, Testbed, WINDOW_HOURS};
 use fgcs_core::predictor::SmpPredictor;
 use fgcs_core::window::{DayType, TimeWindow};
 
@@ -73,7 +73,14 @@ fn main() {
     };
 
     for day_type in [DayType::Weekday, DayType::Weekend] {
-        println!("\n## ({}) prediction on {day_type}s", if day_type == DayType::Weekday { "a" } else { "b" });
+        println!(
+            "\n## ({}) prediction on {day_type}s",
+            if day_type == DayType::Weekday {
+                "a"
+            } else {
+                "b"
+            }
+        );
         println!(
             "{:>10} {:>10} {:>10} {:>10} {:>8}",
             "window_hr", "avg_err", "min_err", "max_err", "n"
@@ -124,5 +131,7 @@ fn main() {
             );
         }
     }
-    println!("\n# paper: avg accuracy > 86.5% (avg_err < 13.5%), worst case > 73.3% (max_err < 26.7%)");
+    println!(
+        "\n# paper: avg accuracy > 86.5% (avg_err < 13.5%), worst case > 73.3% (max_err < 26.7%)"
+    );
 }

@@ -12,7 +12,7 @@
 //! Run: `cargo run --release -p fgcs-bench --bin fig6_training_ratio
 //!       [--machines N] [--days D]`
 
-use fgcs_bench::{per_machine, pct, smp_error, Testbed};
+use fgcs_bench::{pct, per_machine, smp_error, Testbed};
 use fgcs_core::predictor::SmpPredictor;
 use fgcs_core::window::{DayType, TimeWindow};
 
@@ -32,10 +32,7 @@ fn main() {
     println!(
         "# Figure 6: relative prediction errors vs training:test ratio ({machines} machines x {days} days, weekdays, 240 windows)"
     );
-    println!(
-        "{:>8} {:>16} {:>16}",
-        "ratio", "max_avg_err", "max_err"
-    );
+    println!("{:>8} {:>16} {:>16}", "ratio", "max_avg_err", "max_err");
 
     for train in 1..=9usize {
         let test = 10 - train;
@@ -49,8 +46,7 @@ fn main() {
                 for start in 0..24u32 {
                     let window = TimeWindow::from_hours(f64::from(start), hours as f64);
                     evals.push(
-                        smp_error(&predictor, &tr, &te, DayType::Weekday, window)
-                            .map(|(e, _)| e),
+                        smp_error(&predictor, &tr, &te, DayType::Weekday, window).map(|(e, _)| e),
                     );
                 }
                 evals
@@ -78,7 +74,13 @@ fn main() {
             .iter()
             .flatten()
             .fold(0.0_f64, |m, &e| m.max(e));
-        println!("{:>5}:{:<2} {:>16} {:>16}", train, test, pct(max_avg), pct(max));
+        println!(
+            "{:>5}:{:<2} {:>16} {:>16}",
+            train,
+            test,
+            pct(max_avg),
+            pct(max)
+        );
     }
     println!("# paper: sweet spot near 6:4 — an interior minimum of max_avg_err");
 }

@@ -65,21 +65,12 @@ fn main() {
             let trace = &tb.traces[mi];
             let (train, test) = history.split_ratio(1, 1);
             let predictor = SmpPredictor::new(tb.model);
-            let smp = fgcs_core::predictor::evaluate_window(
-                &predictor,
-                &train,
-                &test,
-                day_type,
-                window,
-            )
-            .ok()
-            .and_then(|e| e.relative_error());
+            let smp =
+                fgcs_core::predictor::evaluate_window(&predictor, &train, &test, day_type, window)
+                    .ok()
+                    .and_then(|e| e.relative_error());
             let markov = fgcs_core::predictor::evaluate_window_markov(
-                &predictor,
-                &train,
-                &test,
-                day_type,
-                window,
+                &predictor, &train, &test, day_type, window,
             )
             .ok()
             .and_then(|e| e.relative_error());
@@ -126,7 +117,12 @@ fn main() {
             .iter()
             .filter_map(|(_, m, _)| *m)
             .fold(f64::NAN, f64::max);
-        print!("{:>10} {:>9.1}% {:>9.1}%", hours, 100.0 * max_smp, 100.0 * max_markov);
+        print!(
+            "{:>10} {:>9.1}% {:>9.1}%",
+            hours,
+            100.0 * max_smp,
+            100.0 * max_markov
+        );
         for k in 0..model_names.len() {
             let max_ts = rows
                 .iter()
@@ -137,5 +133,7 @@ fn main() {
         println!();
         debug_assert!(window.end_secs() <= 2 * SECS_PER_DAY);
     }
-    println!("# paper: SMP lowest everywhere; gap grows with window length (TS errors reach 100-250%)");
+    println!(
+        "# paper: SMP lowest everywhere; gap grows with window length (TS errors reach 100-250%)"
+    );
 }

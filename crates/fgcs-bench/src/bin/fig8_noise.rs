@@ -14,8 +14,7 @@
 //! Run: `cargo run --release -p fgcs-bench --bin fig8_noise [--machines N]
 //!       [--days D] [--trials K]`
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use fgcs_runtime::rng::Xoshiro256;
 
 use fgcs_bench::{per_machine, Testbed, WINDOW_HOURS};
 use fgcs_core::predictor::SmpPredictor;
@@ -58,13 +57,14 @@ fn main() {
                 .iter()
                 .map(|&h| {
                     let w = TimeWindow::from_hours(8.0, h);
-                    predictor.predict(&train, DayType::Weekday, w, State::S1).ok()
+                    predictor
+                        .predict(&train, DayType::Weekday, w, State::S1)
+                        .ok()
                 })
                 .collect();
             let mut discrepancies = vec![Vec::new(); WINDOW_HOURS.len()];
             for trial in 0..trials {
-                let mut rng =
-                    ChaCha8Rng::seed_from_u64(777 + mi as u64 * 100 + trial as u64);
+                let mut rng = Xoshiro256::seed_from_u64(777 + mi as u64 * 100 + trial as u64);
                 let mut noisy = train.clone();
                 let injector = NoiseInjector {
                     recent_weekdays_only: Some(recent_days),
@@ -74,8 +74,7 @@ fn main() {
                 for (k, &h) in WINDOW_HOURS.iter().enumerate() {
                     let w = TimeWindow::from_hours(8.0, h);
                     let Some(clean_tr) = clean[k] else { continue };
-                    let Ok(noisy_tr) =
-                        predictor.predict(&noisy, DayType::Weekday, w, State::S1)
+                    let Ok(noisy_tr) = predictor.predict(&noisy, DayType::Weekday, w, State::S1)
                     else {
                         continue;
                     };

@@ -39,8 +39,14 @@ fn main() {
 
     let (th1, th2) = model.thresholds(0.05);
     println!("\n# thresholds at the 5% noticeable-slowdown limit (single-process host group):");
-    println!("Th1 (renice needed above)    = {:.1}% (paper testbed: 20%)", 100.0 * th1);
-    println!("Th2 (terminate needed above) = {:.1}% (paper testbed: 60%)", 100.0 * th2);
+    println!(
+        "Th1 (renice needed above)    = {:.1}% (paper testbed: 20%)",
+        100.0 * th1
+    );
+    println!(
+        "Th2 (terminate needed above) = {:.1}% (paper testbed: 60%)",
+        100.0 * th2
+    );
 
     println!("\n# §3.2.2 memory isolation (384 MB Unix machine, 100 MB guest):");
     let mem = MemoryModel::paper_unix();

@@ -102,29 +102,10 @@ pub fn smp_error(
 
 /// Runs `f` over machine indices on worker threads and collects the
 /// per-machine outputs in machine order. Used to parallelise the window
-/// sweeps (each machine's evaluation is independent).
+/// sweeps (each machine's evaluation is independent); guaranteed to return
+/// exactly what the sequential `(0..machines).map(f).collect()` would.
 pub fn per_machine<T: Send, F: Fn(usize) -> T + Sync>(machines: usize, f: F) -> Vec<T> {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(machines.max(1));
-    let mut results: Vec<Option<T>> = (0..machines).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = std::sync::Mutex::new(&mut results);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= machines {
-                    break;
-                }
-                let out = f(i);
-                results_mutex.lock().expect("poisoned")[i] = Some(out);
-            });
-        }
-    })
-    .expect("worker panicked");
-    results.into_iter().map(|r| r.expect("all filled")).collect()
+    fgcs_runtime::parallel::par_map_indexed(machines, f)
 }
 
 /// Formats a fraction as a percentage with one decimal.

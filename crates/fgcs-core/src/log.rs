@@ -1,7 +1,7 @@
 //! History logs: per-day state sequences collected by the State Manager and
 //! the store the predictor draws its statistics from (paper §5).
 
-use serde::{Deserialize, Serialize};
+use fgcs_runtime::impl_json_struct;
 
 use crate::classify::StateClassifier;
 use crate::error::CoreError;
@@ -10,11 +10,13 @@ use crate::state::State;
 use crate::window::{DayType, TimeWindow};
 
 /// A uniformly sampled state sequence with its discretisation step.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StateLog {
     step_secs: u32,
     states: Vec<State>,
 }
+
+impl_json_struct!(StateLog { step_secs, states });
 
 impl StateLog {
     /// Wraps a state sequence sampled every `step_secs` seconds.
@@ -97,7 +99,7 @@ impl StateLog {
 
 /// One machine-day of availability states, tagged with its position in the
 /// trace and its day type.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DayLog {
     /// Zero-based day index within the trace (day 0 is a Monday).
     pub day_index: usize,
@@ -106,6 +108,12 @@ pub struct DayLog {
     /// The day's state sequence.
     pub log: StateLog,
 }
+
+impl_json_struct!(DayLog {
+    day_index,
+    day_type,
+    log,
+});
 
 impl DayLog {
     /// Builds a day log, deriving the day type from the index.
@@ -122,10 +130,12 @@ impl DayLog {
 /// The history store the State Manager keeps: an ordered collection of day
 /// logs for one machine. Prediction for a window on a weekday (weekend) uses
 /// the corresponding window of the most recent weekdays (weekends) — §4.2.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HistoryStore {
     days: Vec<DayLog>,
 }
+
+impl_json_struct!(HistoryStore { days });
 
 impl HistoryStore {
     /// An empty store.
@@ -284,12 +294,12 @@ impl HistoryStore {
     /// Serialises the store to JSON (the on-disk format the State Manager
     /// persists its history logs in).
     pub fn to_json(&self) -> Result<String, String> {
-        serde_json::to_string(self).map_err(|e| e.to_string())
+        Ok(fgcs_runtime::json::to_string(self))
     }
 
     /// Deserialises a store from JSON.
     pub fn from_json(json: &str) -> Result<HistoryStore, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+        fgcs_runtime::json::from_str(json).map_err(|e| e.to_string())
     }
 
     /// Total unavailability occurrences across all stored days.
@@ -432,7 +442,9 @@ mod tests {
         let w = TimeWindow::from_hours(23.0, 2.0);
         assert_eq!(store.window_states(0, w), None);
         // An in-day window still works.
-        assert!(store.window_states(0, TimeWindow::from_hours(8.0, 1.0)).is_some());
+        assert!(store
+            .window_states(0, TimeWindow::from_hours(8.0, 1.0))
+            .is_some());
     }
 
     #[test]
@@ -478,15 +490,18 @@ mod tests {
     fn serde_round_trip() {
         let mut store = HistoryStore::new();
         store.push_day(DayLog::new(0, log_of(vec![State::S1, State::S3])));
-        let json = serde_json::to_string(&store).unwrap();
-        let back: HistoryStore = serde_json::from_str(&json).unwrap();
+        let json = fgcs_runtime::json::to_string(&store);
+        let back: HistoryStore = fgcs_runtime::json::from_str(&json).unwrap();
         assert_eq!(store, back);
     }
 
     #[test]
     fn json_persistence_round_trips() {
         let mut store = HistoryStore::new();
-        store.push_day(DayLog::new(3, log_of(vec![State::S2, State::S5, State::S1])));
+        store.push_day(DayLog::new(
+            3,
+            log_of(vec![State::S2, State::S5, State::S1]),
+        ));
         let json = store.to_json().unwrap();
         let back = HistoryStore::from_json(&json).unwrap();
         assert_eq!(store, back);

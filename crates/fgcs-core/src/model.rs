@@ -2,14 +2,14 @@
 //! load thresholds, the transient-spike tolerance, the monitoring period and
 //! the memory requirement of a guest job (paper §3).
 
-use serde::{Deserialize, Serialize};
+use fgcs_runtime::impl_json_struct;
 
 /// Parameters of the five-state availability model.
 ///
 /// The defaults are the values used on the paper's Linux testbed:
 /// `Th1 = 20 %`, `Th2 = 60 %` host CPU load, a 6-second monitoring period,
 /// and a 1-minute tolerance for transient excursions above `Th2` (§3.3).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AvailabilityModel {
     /// `Th1`: host CPU load below which the guest may run at default
     /// priority (fraction in `[0, 1]`).
@@ -31,6 +31,15 @@ pub struct AvailabilityModel {
     /// timestamp (§5.2); three missed periods is the conventional choice.
     pub heartbeat_gap_secs: u32,
 }
+
+impl_json_struct!(AvailabilityModel {
+    th1,
+    th2,
+    monitor_period_secs,
+    transient_tolerance_secs,
+    guest_working_set_mb,
+    heartbeat_gap_secs,
+});
 
 impl Default for AvailabilityModel {
     fn default() -> Self {
@@ -56,7 +65,10 @@ impl AvailabilityModel {
             return Err(format!("th2 must be in [0,1], got {}", self.th2));
         }
         if self.th1 >= self.th2 {
-            return Err(format!("th1 ({}) must be below th2 ({})", self.th1, self.th2));
+            return Err(format!(
+                "th1 ({}) must be below th2 ({})",
+                self.th1, self.th2
+            ));
         }
         if self.monitor_period_secs == 0 {
             return Err("monitor period must be positive".into());
@@ -83,7 +95,7 @@ impl AvailabilityModel {
 /// One observation from the resource monitor: everything the classifier
 /// needs to assign an availability state (paper §5.2 — obtainable without
 /// special privileges).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadSample {
     /// Total CPU usage of all host processes, as a fraction in `[0, 1]`.
     pub host_cpu: f64,
@@ -92,6 +104,12 @@ pub struct LoadSample {
     /// Whether the monitor heartbeat was current (false ⇒ machine revoked).
     pub alive: bool,
 }
+
+impl_json_struct!(LoadSample {
+    host_cpu,
+    free_mem_mb,
+    alive,
+});
 
 impl LoadSample {
     /// An idle, healthy machine.

@@ -1,7 +1,8 @@
 //! End-to-end temporal reliability prediction and its empirical ground
 //! truth, as used in the paper's accuracy experiments (§6.2, §7.2).
 
-use serde::{Deserialize, Serialize};
+use fgcs_runtime::impl_json_struct;
+use fgcs_runtime::rng::Rng;
 
 use crate::error::CoreError;
 use crate::log::HistoryStore;
@@ -130,7 +131,7 @@ impl SmpPredictor {
     /// whose point predictions differ by less than the interval width
     /// should treat them as equivalent.
     #[allow(clippy::too_many_arguments)] // window spec + bootstrap knobs are all load-bearing
-    pub fn predict_with_ci<R: rand::Rng + ?Sized>(
+    pub fn predict_with_ci<R: Rng + ?Sized>(
         &self,
         history: &HistoryStore,
         day_type: DayType,
@@ -156,7 +157,7 @@ impl SmpPredictor {
         let mut boots = Vec::with_capacity(n_boot);
         for _ in 0..n_boot {
             let resample: Vec<&[State]> = (0..refs.len())
-                .map(|_| refs[rng.gen_range(0..refs.len())])
+                .map(|_| refs[rng.range_usize(0, refs.len())])
                 .collect();
             let p = SmpParams::estimate(&resample, step, steps);
             boots.push(CompactSolver::from_params(&p).temporal_reliability(init, steps)?);
@@ -191,7 +192,7 @@ impl SmpPredictor {
 }
 
 /// A temporal-reliability prediction with bootstrap uncertainty.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrPrediction {
     /// Point prediction from the full history.
     pub tr: f64,
@@ -205,6 +206,14 @@ pub struct TrPrediction {
     pub history_days: usize,
 }
 
+impl_json_struct!(TrPrediction {
+    tr,
+    ci_low,
+    ci_high,
+    bootstrap_samples,
+    history_days,
+});
+
 impl TrPrediction {
     /// Width of the confidence interval.
     #[must_use]
@@ -215,7 +224,7 @@ impl TrPrediction {
 
 /// The outcome of evaluating one (window, day-type) pair against a test set,
 /// as in §6.2: predicted vs. empirically observed temporal reliability.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WindowEvaluation {
     /// Mean predicted TR over the usable test days (each day predicted from
     /// its observed initial state).
@@ -226,6 +235,12 @@ pub struct WindowEvaluation {
     /// the window start).
     pub days_used: usize,
 }
+
+impl_json_struct!(WindowEvaluation {
+    predicted,
+    empirical,
+    days_used,
+});
 
 impl WindowEvaluation {
     /// The paper's error metric
@@ -247,11 +262,7 @@ impl WindowEvaluation {
 ///
 /// Returns `None` when no test day is usable.
 #[must_use]
-pub fn empirical_tr(
-    test: &HistoryStore,
-    day_type: DayType,
-    window: TimeWindow,
-) -> Option<f64> {
+pub fn empirical_tr(test: &HistoryStore, day_type: DayType, window: TimeWindow) -> Option<f64> {
     let mut used = 0usize;
     let mut survived = 0usize;
     for pos in 0..test.days().len() {
@@ -399,7 +410,9 @@ mod tests {
     /// A day that is S1 until `fail_at` (sample index) and S3 afterwards,
     /// `len` samples long.
     fn failing_day(len: usize, fail_at: usize) -> Vec<State> {
-        (0..len).map(|i| if i < fail_at { S1 } else { S3 }).collect()
+        (0..len)
+            .map(|i| if i < fail_at { S1 } else { S3 })
+            .collect()
     }
 
     #[test]
@@ -493,10 +506,10 @@ mod tests {
     #[test]
     fn empirical_tr_counts_survivals() {
         let days = vec![
-            vec![S1; 1000],          // survives
-            failing_day(1000, 50),   // fails inside window
-            vec![S1; 1000],          // survives
-            failing_day(1000, 0),    // failure at window start: excluded
+            vec![S1; 1000],        // survives
+            failing_day(1000, 50), // fails inside window
+            vec![S1; 1000],        // survives
+            failing_day(1000, 0),  // failure at window start: excluded
         ];
         let store = store_of_days(&days);
         let w = TimeWindow::new(0, 600);
@@ -524,7 +537,9 @@ mod tests {
         };
         let mut train = HistoryStore::new();
         let mut test = HistoryStore::new();
-        let pattern = [false, false, true, false, false, true, false, false, true, false];
+        let pattern = [
+            false, false, true, false, false, true, false, false, true, false,
+        ];
         for (i, &f) in pattern.iter().enumerate() {
             // Use day indices that are all weekdays (weeks of 7, first 5).
             let day = (i / 5) * 7 + (i % 5);
@@ -537,7 +552,12 @@ mod tests {
         assert_eq!(eval.days_used, 10);
         assert!((eval.empirical - 0.7).abs() < 1e-12);
         let err = eval.relative_error().unwrap();
-        assert!(err < 0.05, "pred {} emp {} err {err}", eval.predicted, eval.empirical);
+        assert!(
+            err < 0.05,
+            "pred {} emp {} err {err}",
+            eval.predicted,
+            eval.empirical
+        );
     }
 
     #[test]
@@ -552,7 +572,6 @@ mod tests {
 
     #[test]
     fn bootstrap_ci_brackets_point_estimate() {
-        use rand::SeedableRng;
         // Days 0-2 quiet, 3 and 4 failing inside the window (indices 0-4
         // are weekdays; 5-6 would be the weekend).
         let mut days: Vec<Vec<State>> = (0..3).map(|_| vec![S1; 1000]).collect();
@@ -561,7 +580,7 @@ mod tests {
         let store = store_of_days(&days);
         let p = SmpPredictor::new(model());
         let w = TimeWindow::new(0, 600);
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let mut rng = fgcs_runtime::rng::Xoshiro256::seed_from_u64(1);
         let pred = p
             .predict_with_ci(&store, DayType::Weekday, w, S1, 200, 0.9, &mut rng)
             .unwrap();
@@ -574,12 +593,11 @@ mod tests {
 
     #[test]
     fn bootstrap_ci_degenerate_on_uniform_history() {
-        use rand::SeedableRng;
         let days: Vec<Vec<State>> = (0..5).map(|_| vec![S1; 1000]).collect();
         let store = store_of_days(&days);
         let p = SmpPredictor::new(model());
         let w = TimeWindow::new(0, 600);
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+        let mut rng = fgcs_runtime::rng::Xoshiro256::seed_from_u64(2);
         let pred = p
             .predict_with_ci(&store, DayType::Weekday, w, S1, 50, 0.95, &mut rng)
             .unwrap();
@@ -589,8 +607,7 @@ mod tests {
 
     #[test]
     fn bootstrap_rejects_failure_init_and_empty_history() {
-        use rand::SeedableRng;
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let mut rng = fgcs_runtime::rng::Xoshiro256::seed_from_u64(3);
         let p = SmpPredictor::new(model());
         let w = TimeWindow::new(0, 600);
         let empty = HistoryStore::new();

@@ -76,10 +76,16 @@ impl CompactSolver {
                 available: self.horizon,
             });
         }
-        let mut p1: [Vec<f64>; 3] =
-            [vec![0.0; steps + 1], vec![0.0; steps + 1], vec![0.0; steps + 1]];
-        let mut p2: [Vec<f64>; 3] =
-            [vec![0.0; steps + 1], vec![0.0; steps + 1], vec![0.0; steps + 1]];
+        let mut p1: [Vec<f64>; 3] = [
+            vec![0.0; steps + 1],
+            vec![0.0; steps + 1],
+            vec![0.0; steps + 1],
+        ];
+        let mut p2: [Vec<f64>; 3] = [
+            vec![0.0; steps + 1],
+            vec![0.0; steps + 1],
+            vec![0.0; steps + 1],
+        ];
         // Cumulative direct-failure mass Σ_{l<=m} q_{i,j}(l), maintained
         // incrementally with event cursors.
         let mut direct1 = [0.0_f64; 3];
@@ -187,7 +193,10 @@ mod tests {
             for steps in [0usize, 1, 10, 100, 399] {
                 let a = compact.temporal_reliability(init, steps).unwrap();
                 let b = paper.temporal_reliability(init, steps).unwrap();
-                assert!((a - b).abs() < 1e-9, "init {init} steps {steps}: {a} vs {b}");
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "init {init} steps {steps}: {a} vs {b}"
+                );
             }
         }
     }

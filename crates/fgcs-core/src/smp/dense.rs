@@ -213,7 +213,10 @@ mod tests {
             for steps in [10, 50, 100] {
                 let a = dense.temporal_reliability(init, steps).unwrap();
                 let b = sparse.temporal_reliability(init, steps).unwrap();
-                assert!((a - b).abs() < 1e-9, "init {init} steps {steps}: {a} vs {b}");
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "init {init} steps {steps}: {a} vs {b}"
+                );
             }
         }
     }

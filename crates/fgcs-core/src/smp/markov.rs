@@ -100,9 +100,7 @@ impl MarkovChain {
         let mut out = Vec::with_capacity(steps + 1);
         let mut dist = [0.0_f64; 5];
         dist[init.index()] = 1.0;
-        let fail_mass = |d: &[f64; 5]| -> f64 {
-            State::FAILURE.iter().map(|s| d[s.index()]).sum()
-        };
+        let fail_mass = |d: &[f64; 5]| -> f64 { State::FAILURE.iter().map(|s| d[s.index()]).sum() };
         out.push(1.0);
         for _ in 0..steps {
             let mut next = [0.0_f64; 5];

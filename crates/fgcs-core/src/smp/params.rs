@@ -23,7 +23,7 @@
 //! window's start time-of-day, which matches how the predictor is invoked
 //! (the initial state is the state observed at submission time).
 
-use serde::{Deserialize, Serialize};
+use fgcs_runtime::impl_json_struct;
 
 use crate::state::State;
 
@@ -47,7 +47,7 @@ fn target_index(source_idx: usize, target: State) -> Option<usize> {
 /// The estimated SMP parameters: the sparse semi-Markov kernel
 /// `q_{i,k}(l)` for `i ∈ {S1, S2}`, `k ∈ {other, S3, S4, S5}` and
 /// `l ∈ 1..=horizon` steps.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SmpParams {
     step_secs: u32,
     horizon: usize,
@@ -57,6 +57,13 @@ pub struct SmpParams {
     /// Number of sojourns observed per source state (diagnostics).
     sojourns: [usize; 2],
 }
+
+impl_json_struct!(SmpParams {
+    step_secs,
+    horizon,
+    kernel,
+    sojourns,
+});
 
 /// One observed sojourn: how long the process was seen in a state and how
 /// (or whether) it left.
@@ -306,8 +313,20 @@ mod tests {
         assert_eq!(
             s,
             vec![
-                (0, Sojourn::Completed { duration: 2, target: S2 }),
-                (1, Sojourn::Completed { duration: 3, target: S1 }),
+                (
+                    0,
+                    Sojourn::Completed {
+                        duration: 2,
+                        target: S2
+                    }
+                ),
+                (
+                    1,
+                    Sojourn::Completed {
+                        duration: 3,
+                        target: S1
+                    }
+                ),
                 // trailing single-sample S1 run: no at-risk time, dropped
             ]
         );
@@ -327,7 +346,13 @@ mod tests {
         assert_eq!(
             s,
             vec![
-                (0, Sojourn::Completed { duration: 1, target: S3 }),
+                (
+                    0,
+                    Sojourn::Completed {
+                        duration: 1,
+                        target: S3
+                    }
+                ),
                 (1, Sojourn::Censored { at_risk: 1 }),
             ]
         );
@@ -393,9 +418,7 @@ mod tests {
 
     #[test]
     fn holding_pmf_sums_to_one_when_defined() {
-        let day: Vec<State> = (0..31)
-            .map(|i| if i % 10 < 6 { S1 } else { S2 })
-            .collect();
+        let day: Vec<State> = (0..31).map(|i| if i % 10 < 6 { S1 } else { S2 }).collect();
         let windows: Vec<&[State]> = vec![&day, &day];
         let p = SmpParams::estimate(&windows, 6, 30);
         if let Some(pmf) = p.holding_pmf(S1, S2) {

@@ -77,8 +77,16 @@ impl<'a> SparseSolver<'a> {
         let q1 = self.params.row(0);
         let q2 = self.params.row(1);
 
-        let mut p1: [Vec<f64>; 3] = [vec![0.0; steps + 1], vec![0.0; steps + 1], vec![0.0; steps + 1]];
-        let mut p2: [Vec<f64>; 3] = [vec![0.0; steps + 1], vec![0.0; steps + 1], vec![0.0; steps + 1]];
+        let mut p1: [Vec<f64>; 3] = [
+            vec![0.0; steps + 1],
+            vec![0.0; steps + 1],
+            vec![0.0; steps + 1],
+        ];
+        let mut p2: [Vec<f64>; 3] = [
+            vec![0.0; steps + 1],
+            vec![0.0; steps + 1],
+            vec![0.0; steps + 1],
+        ];
 
         for m in 1..=steps {
             for j in 0..3 {
@@ -186,7 +194,10 @@ mod tests {
         let s = SparseSolver::new(&p);
         assert!(matches!(
             s.temporal_reliability(S1, 11),
-            Err(CoreError::HorizonTooLong { requested: 11, available: 10 })
+            Err(CoreError::HorizonTooLong {
+                requested: 11,
+                available: 10
+            })
         ));
     }
 

@@ -1,6 +1,6 @@
 //! The five-state resource availability model (paper §3.3, Figure 1).
 
-use serde::{Deserialize, Serialize};
+use fgcs_runtime::impl_json_enum;
 
 /// One of the five availability states of a host machine.
 ///
@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 ///   thrashing, the guest must be terminated (UEC, unrecoverable).
 /// * `S5` — the machine was revoked by its owner or failed (URR,
 ///   unrecoverable).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum State {
     /// Full resource availability for the guest process.
     S1,
@@ -28,6 +28,8 @@ pub enum State {
     /// Machine unavailability (URR).
     S5,
 }
+
+impl_json_enum!(State { S1, S2, S3, S4, S5 });
 
 impl State {
     /// All five states in index order.

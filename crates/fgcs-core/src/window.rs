@@ -4,7 +4,7 @@
 //! `W = (W_init, T)` (paper §4.2), using the corresponding windows of the most
 //! recent same-type days (weekday vs weekend) as the statistics source.
 
-use serde::{Deserialize, Serialize};
+use fgcs_runtime::{impl_json_enum, impl_json_struct};
 
 /// Seconds in one day.
 pub const SECS_PER_DAY: u32 = 86_400;
@@ -12,13 +12,15 @@ pub const SECS_PER_DAY: u32 = 86_400;
 /// Whether a day is a weekday or weekend day. The paper computes SMP
 /// parameters only from days of the same type as the prediction target,
 /// because host load patterns repeat within each class (§4.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DayType {
     /// Monday–Friday.
     Weekday,
     /// Saturday–Sunday.
     Weekend,
 }
+
+impl_json_enum!(DayType { Weekday, Weekend });
 
 impl DayType {
     /// Day type for a zero-based day index, where day 0 is a Monday.
@@ -46,13 +48,18 @@ impl std::fmt::Display for DayType {
 
 /// A within-day time window: a start offset from midnight and a length,
 /// both in seconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimeWindow {
     /// Seconds after midnight at which the window starts.
     pub start_secs: u32,
     /// Window length in seconds.
     pub len_secs: u32,
 }
+
+impl_json_struct!(TimeWindow {
+    start_secs,
+    len_secs
+});
 
 impl TimeWindow {
     /// Creates a window from a start offset and length in seconds.
@@ -68,7 +75,10 @@ impl TimeWindow {
     #[must_use]
     pub fn new(start_secs: u32, len_secs: u32) -> TimeWindow {
         assert!(len_secs > 0, "window must be non-empty");
-        assert!(start_secs < SECS_PER_DAY, "window must start within the day");
+        assert!(
+            start_secs < SECS_PER_DAY,
+            "window must start within the day"
+        );
         assert!(
             start_secs + len_secs <= 2 * SECS_PER_DAY,
             "window [{start_secs}, {}) spans more than one midnight",

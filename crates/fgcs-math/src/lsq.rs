@@ -109,15 +109,8 @@ mod tests {
     #[test]
     fn exact_system_recovers_coefficients() {
         // y = 2 x1 - 3 x2, no noise.
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[0.0, 1.0],
-            &[1.0, 1.0],
-            &[2.0, -1.0],
-        ]);
-        let b: Vec<f64> = (0..4)
-            .map(|i| 2.0 * a[(i, 0)] - 3.0 * a[(i, 1)])
-            .collect();
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[2.0, -1.0]]);
+        let b: Vec<f64> = (0..4).map(|i| 2.0 * a[(i, 0)] - 3.0 * a[(i, 1)]).collect();
         let fit = solve_least_squares(&a, &b).unwrap();
         assert!(approx_eq(fit.coeffs[0], 2.0, 1e-10));
         assert!(approx_eq(fit.coeffs[1], -3.0, 1e-10));

@@ -315,10 +315,7 @@ impl IndexMut<(usize, usize)> for Matrix {
 impl Mul<&Matrix> for &Matrix {
     type Output = Matrix;
     fn mul(self, rhs: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, rhs.rows,
-            "dimension mismatch in matrix multiply"
-        );
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in matrix multiply");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
@@ -411,7 +408,10 @@ mod tests {
     #[test]
     fn singular_matrix_reports_error() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
-        assert!(matches!(a.solve(&[1.0, 2.0]), Err(MatrixError::Singular { .. })));
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(MatrixError::Singular { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! A tiny wall-clock micro-benchmark harness.
+//!
+//! Replaces `criterion` for the `fgcs-bench` bench targets (which are built
+//! with `harness = false` behind the off-by-default `bench-harness`
+//! feature). No statistics beyond min/median — the targets exist to expose
+//! asymptotic differences (e.g. the Fig 4 solver comparison), not to detect
+//! 1% regressions.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can guard values without reaching into `std::hint`.
+pub use std::hint::black_box as keep;
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+const SAMPLES: usize = 11;
+
+/// Times `f` and prints `name: <median> ns/iter (min <min>)`.
+///
+/// Runs a calibration pass to pick an iteration count that makes each
+/// sample last roughly [`TARGET_SAMPLE`], then reports the median over
+/// [`SAMPLES`] samples.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    // Warm-up + calibration: double iters until a batch is long enough.
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= TARGET_SAMPLE || iters >= 1 << 30 {
+            break elapsed.as_nanos() as f64 / iters as f64;
+        }
+        iters *= 2;
+    };
+    let _ = per_iter;
+
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    println!(
+        "{name}: {} /iter (min {}, {iters} iters/sample)",
+        fmt_ns(median),
+        fmt_ns(min)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_prints() {
+        // Cheap closure: the harness must terminate quickly and not panic.
+        let mut acc = 0u64;
+        bench("noop_add", || {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert!(fmt_ns(12.3).contains("ns"));
+        assert!(fmt_ns(12_300.0).contains("µs"));
+        assert!(fmt_ns(12_300_000.0).contains("ms"));
+        assert!(fmt_ns(2_300_000_000.0).contains(" s"));
+    }
+}

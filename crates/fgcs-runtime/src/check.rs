@@ -1,0 +1,181 @@
+//! A small seeded property-test harness: random case generation with
+//! deterministic seeds and shrink-free failure reporting.
+//!
+//! Replaces `proptest` for the workspace's invariant suites. There is no
+//! shrinking — instead every case derives from `(property name, case index)`
+//! alone, so a failure report like
+//!
+//! ```text
+//! property `tr_is_probability` failed on case 17 (seed 0x53a1...):
+//! TR = 1.2
+//! ```
+//!
+//! reproduces exactly by re-running the same test binary.
+//!
+//! ```ignore
+//! check("tr_is_probability", 256, |g| {
+//!     let hours = g.f64_in(0.1, 10.0);
+//!     let tr = predict(hours);
+//!     ensure((0.0..=1.0).contains(&tr), format!("TR = {tr}"))
+//! });
+//! ```
+
+use crate::rng::{splitmix64, Rng, Xoshiro256};
+
+/// Per-case random input source; a thin convenience layer over
+/// [`Xoshiro256`].
+pub struct Gen {
+    rng: Xoshiro256,
+}
+
+impl Gen {
+    /// The raw generator, for passing into code that wants an `impl Rng`.
+    pub fn rng(&mut self) -> &mut Xoshiro256 {
+        &mut self.rng
+    }
+
+    /// Uniform `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn prob(&mut self) -> f64 {
+        self.rng.next_f64()
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.range_f64(lo, hi)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.range_usize(lo, hi)
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.rng.range_u32(lo, hi)
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        self.rng.next_f64() < p
+    }
+
+    /// A uniformly chosen element of `items`.
+    ///
+    /// # Panics
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.rng.range_usize(0, items.len())]
+    }
+
+    /// A vector of `len` draws from `f`.
+    pub fn vec_of<T>(&mut self, len: usize, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        (0..len).map(|_| f(self)).collect()
+    }
+}
+
+/// The result of one property case: `Ok(())` or a failure message.
+pub type CaseResult = Result<(), String>;
+
+/// Returns `Ok(())` when `cond` holds, otherwise the failure message.
+pub fn ensure(cond: bool, msg: impl Into<String>) -> CaseResult {
+    if cond {
+        Ok(())
+    } else {
+        Err(msg.into())
+    }
+}
+
+/// Deterministic per-case seed: FNV-1a over the property name, mixed with
+/// the case index through SplitMix64.
+#[must_use]
+fn case_seed(name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut s = h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut s)
+}
+
+/// Runs `property` against `cases` generated inputs; panics on the first
+/// failure with the property name, case index and seed.
+///
+/// # Panics
+/// Panics when a case returns `Err` (that is the failure report).
+pub fn check(name: &str, cases: u64, mut property: impl FnMut(&mut Gen) -> CaseResult) {
+    for case in 0..cases {
+        let seed = case_seed(name, case);
+        let mut g = Gen {
+            rng: Xoshiro256::seed_from_u64(seed),
+        };
+        if let Err(msg) = property(&mut g) {
+            panic!("property `{name}` failed on case {case} (seed {seed:#018x}):\n{msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0;
+        check("always_true", 32, |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_false` failed on case 0")]
+    fn failing_property_reports_name_and_case() {
+        check("always_false", 10, |_| ensure(false, "nope"));
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let mut first: Vec<u64> = Vec::new();
+        check("det", 8, |g| {
+            first.push(g.u64());
+            Ok(())
+        });
+        let mut second: Vec<u64> = Vec::new();
+        check("det", 8, |g| {
+            second.push(g.u64());
+            Ok(())
+        });
+        assert_eq!(first, second);
+        // A different property name sees different inputs.
+        let mut other: Vec<u64> = Vec::new();
+        check("det2", 8, |g| {
+            other.push(g.u64());
+            Ok(())
+        });
+        assert_ne!(first, other);
+    }
+
+    #[test]
+    fn gen_helpers_in_bounds() {
+        check("gen_helpers", 64, |g| {
+            let u = g.usize_in(2, 9);
+            ensure((2..9).contains(&u), format!("usize {u}"))?;
+            let f = g.f64_in(-1.0, 1.0);
+            ensure((-1.0..1.0).contains(&f), format!("f64 {f}"))?;
+            let p = g.prob();
+            ensure((0.0..1.0).contains(&p), format!("prob {p}"))?;
+            let v = g.vec_of(5, |g| g.u32_in(0, 3));
+            ensure(v.len() == 5 && v.iter().all(|&x| x < 3), format!("{v:?}"))?;
+            let picked = *g.pick(&[10, 20, 30]);
+            ensure([10, 20, 30].contains(&picked), format!("{picked}"))
+        });
+    }
+}

@@ -1,0 +1,124 @@
+//! The handful of distributions the synthetic trace generator samples from.
+//!
+//! Each sampler is generic over [`Rng`] and derives every variate from
+//! [`Rng::next_f64`] in a fixed order, so a given generator state always
+//! yields the same sample on every platform.
+
+use crate::rng::Rng;
+
+/// Samples an exponential variate with the given `rate` (λ > 0).
+///
+/// # Panics
+/// Panics if `rate <= 0`.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive");
+    // Inverse CDF; 1 - u in (0, 1] avoids ln(0).
+    let u = rng.next_f64();
+    -(1.0 - u).max(f64::MIN_POSITIVE).ln() / rate
+}
+
+/// Samples a standard normal variate via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1 = rng.next_f64();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2 = rng.next_f64();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Samples `N(mean, std²)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    mean + std * standard_normal(rng)
+}
+
+/// Samples a normal variate truncated to `[lo, hi]` by rejection, falling
+/// back to clamping after 64 rejections (only reachable for extreme bounds).
+///
+/// # Panics
+/// Panics if `lo > hi`.
+pub fn truncated_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    std: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    assert!(lo <= hi, "truncated_normal requires lo <= hi");
+    for _ in 0..64 {
+        let x = normal(rng, mean, std);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    normal(rng, mean, std).clamp(lo, hi)
+}
+
+/// Samples a lognormal variate with the given *log-space* mean and std.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Samples a Pareto variate with scale `xm > 0` and shape `alpha > 0`
+/// (heavy-tailed durations such as long-running host sessions).
+///
+/// # Panics
+/// Panics if `xm <= 0` or `alpha <= 0`.
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, xm: f64, alpha: f64) -> f64 {
+    assert!(
+        xm > 0.0 && alpha > 0.0,
+        "pareto parameters must be positive"
+    );
+    let u = rng.next_f64();
+    xm / (1.0 - u).max(f64::MIN_POSITIVE).powf(1.0 / alpha)
+}
+
+/// Samples a Poisson variate with mean `lambda` (Knuth's algorithm for
+/// small λ, normal approximation above 30 where Knuth's product underflows
+/// in time linear in λ).
+///
+/// # Panics
+/// Panics if `lambda < 0`.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0, "poisson mean must be non-negative");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        // Normal approximation with continuity correction.
+        let x = normal(rng, lambda, lambda.sqrt());
+        return x.round().max(0.0) as u64;
+    }
+    let threshold = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.next_f64();
+        if p <= threshold {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Samples uniformly from `[lo, hi)`; returns `lo` when the range is empty.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    if hi <= lo {
+        return lo;
+    }
+    rng.range_f64(lo, hi)
+}
+
+/// Returns `true` with probability `p` (clamped to `[0, 1]`).
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    let p = p.clamp(0.0, 1.0);
+    if p <= 0.0 {
+        false
+    } else if p >= 1.0 {
+        true
+    } else {
+        rng.next_f64() < p
+    }
+}

@@ -1,0 +1,852 @@
+//! A minimal JSON value model, parser and writer.
+//!
+//! Replaces `serde`/`serde_json` for the workspace's persistence needs
+//! (traces, histories, simulation records). Design points:
+//!
+//! - Objects keep **insertion order** (`Vec<(String, Json)>`), so writing is
+//!   deterministic: the same value always serializes to the same bytes.
+//! - Numbers are kept as `i64`/`u64` when they are exact integers and `f64`
+//!   otherwise. Floats are written with Rust's `Display`, which since 1.0
+//!   produces the shortest representation that round-trips exactly.
+//! - Serialization is via the [`ToJson`] / [`FromJson`] traits, implemented
+//!   per type (see [`crate::impl_json_struct`] for the common struct case).
+
+use std::fmt;
+
+/// A parse or conversion error, carrying a human-readable message with
+/// enough context (byte offset or field name) to locate the problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonError {
+    fn new(msg: impl Into<String>) -> JsonError {
+        JsonError(msg.into())
+    }
+
+    /// Prefixes the error with a field name, building a path as conversion
+    /// errors propagate outwards.
+    #[must_use]
+    pub fn in_field(self, name: &str) -> JsonError {
+        JsonError(format!("{name}: {}", self.0))
+    }
+}
+
+/// A JSON document: the usual six shapes, with integers kept exact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Negative integers (parsed from literals without `.`/`e`).
+    I64(i64),
+    /// Non-negative integers.
+    U64(u64),
+    /// Everything else numeric.
+    F64(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Numeric coercion: any number variant as `f64`.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::I64(v) => Some(v as f64),
+            Json::U64(v) => Some(v as f64),
+            Json::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion: exact non-negative integers only.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::U64(v) => Some(v),
+            Json::I64(v) => u64::try_from(v).ok(),
+            Json::F64(v) if v >= 0.0 && v <= 2f64.powi(53) && v.fract() == 0.0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion: exact signed integers only.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Json::I64(v) => Some(v),
+            Json::U64(v) => i64::try_from(v).ok(),
+            Json::F64(v) if v.abs() <= 2f64.powi(53) && v.fract() == 0.0 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object.
+    pub fn field(&self, name: &str) -> Result<&Json, JsonError> {
+        match self {
+            Json::Obj(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| JsonError::new(format!("missing field `{name}`"))),
+            other => Err(JsonError::new(format!(
+                "expected object with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Looks up `name` and converts it, prefixing errors with the field name.
+    pub fn get<T: FromJson>(&self, name: &str) -> Result<T, JsonError> {
+        T::from_json(self.field(name)?).map_err(|e| e.in_field(name))
+    }
+
+    /// A short noun for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::I64(_) | Json::U64(_) | Json::F64(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// Parses a JSON document from text.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+}
+
+/// Compact serialization; deterministic for a given value.
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+            Json::I64(v) => write!(f, "{v}"),
+            Json::U64(v) => write!(f, "{v}"),
+            Json::F64(v) => {
+                if v.is_finite() {
+                    // Shortest round-trip repr; `1e300` style stays parseable.
+                    write!(f, "{v}")
+                } else {
+                    // JSON has no NaN/Inf; mirror the lossy-but-valid choice
+                    // of most writers.
+                    f.write_str("null")
+                }
+            }
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            '\u{08}' => f.write_str("\\b")?,
+            '\u{0C}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_fmt(format_args!("{c}"))?,
+        }
+    }
+    f.write_str("\"")
+}
+
+const MAX_DEPTH: usize = 512;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("document nested too deeply"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(code)
+                                        .ok_or_else(|| self.err("invalid surrogate pair"))?
+                                } else {
+                                    return Err(self.err("unpaired high surrogate"));
+                                }
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            continue; // hex4 already advanced past the digits
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("control character in string"));
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("non-ascii in \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ascii digits are valid utf-8");
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::I64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| JsonError::new(format!("invalid number `{text}` at byte {start}")))
+    }
+}
+
+/// Conversion into a [`Json`] value.
+pub trait ToJson {
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion out of a [`Json`] value.
+pub trait FromJson: Sized {
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+fn type_err<T>(expected: &str, v: &Json) -> Result<T, JsonError> {
+    Err(JsonError::new(format!(
+        "expected {expected}, found {}",
+        v.kind()
+    )))
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            other => type_err("bool", other),
+        }
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_f64().map_or_else(|| type_err("number", v), Ok)
+    }
+}
+
+macro_rules! impl_json_uint {
+    ($($ty:ty),+) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::U64(u64::try_from(*self).expect("non-negative"))
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let raw = v
+                    .as_u64()
+                    .ok_or_else(|| JsonError::new(format!(
+                        "expected unsigned integer, found {}",
+                        v.kind()
+                    )))?;
+                <$ty>::try_from(raw)
+                    .map_err(|_| JsonError::new(format!("integer {raw} out of range")))
+            }
+        }
+    )+};
+}
+
+impl_json_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_json_int {
+    ($($ty:ty),+) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::I64(i64::from(*self))
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let raw = v
+                    .as_i64()
+                    .ok_or_else(|| JsonError::new(format!(
+                        "expected integer, found {}",
+                        v.kind()
+                    )))?;
+                <$ty>::try_from(raw)
+                    .map_err(|_| JsonError::new(format!("integer {raw} out of range")))
+            }
+        }
+    )+};
+}
+
+impl_json_int!(i8, i16, i32, i64);
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) => Ok(s.clone()),
+            other => type_err("string", other),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Arr(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| T::from_json(item).map_err(|e| e.in_field(&format!("[{i}]"))))
+                .collect(),
+            other => type_err("array", other),
+        }
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson + std::fmt::Debug, const N: usize> FromJson for [T; N] {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let items: Vec<T> = Vec::from_json(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| JsonError::new(format!("expected array of length {N}, found {n}")))
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Arr(items) if items.len() == 2 => Ok((
+                A::from_json(&items[0]).map_err(|e| e.in_field("[0]"))?,
+                B::from_json(&items[1]).map_err(|e| e.in_field("[1]"))?,
+            )),
+            other => type_err("2-element array", other),
+        }
+    }
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for a struct with named fields, using
+/// the field names as object keys (the layout `serde` derives produced).
+///
+/// Invoke it in the module that defines the struct so private fields are in
+/// scope:
+///
+/// ```ignore
+/// impl_json_struct!(LoadSample { host_cpu, free_mem_mb, alive });
+/// ```
+#[macro_export]
+macro_rules! impl_json_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::Obj(vec![
+                    $( (stringify!($field).to_string(), $crate::json::ToJson::to_json(&self.$field)), )+
+                ])
+            }
+        }
+        impl $crate::json::FromJson for $ty {
+            fn from_json(v: &$crate::json::Json) -> Result<Self, $crate::json::JsonError> {
+                Ok($ty {
+                    $( $field: v.get(stringify!($field))?, )+
+                })
+            }
+        }
+    };
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for a C-like enum as its variant name,
+/// matching serde's unit-variant representation (`"S1"`, `"Weekday"`, …).
+#[macro_export]
+macro_rules! impl_json_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                let name = match self {
+                    $( $ty::$variant => stringify!($variant), )+
+                };
+                $crate::json::Json::Str(name.to_string())
+            }
+        }
+        impl $crate::json::FromJson for $ty {
+            fn from_json(v: &$crate::json::Json) -> Result<Self, $crate::json::JsonError> {
+                match v {
+                    $crate::json::Json::Str(s) => match s.as_str() {
+                        $( stringify!($variant) => Ok($ty::$variant), )+
+                        other => Err($crate::json::JsonError(format!(
+                            "unknown {} variant `{other}`",
+                            stringify!($ty)
+                        ))),
+                    },
+                    other => Err($crate::json::JsonError(format!(
+                        "expected string for {}, found {}",
+                        stringify!($ty),
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+/// Serializes a value to its compact JSON text.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_string()
+}
+
+/// Parses JSON text and converts it into `T`.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    T::from_json(&Json::parse(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("42").unwrap(), Json::U64(42));
+        assert_eq!(Json::parse("-7").unwrap(), Json::I64(-7));
+        assert_eq!(Json::parse("2.5").unwrap(), Json::F64(2.5));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::F64(1000.0));
+        assert_eq!(Json::parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parse_nested() {
+        let v = Json::parse(r#"{"a": [1, 2.5, "x"], "b": {"c": null}}"#).unwrap();
+        assert_eq!(v.get::<Vec<Json>>("a").unwrap().len(), 3);
+        assert_eq!(v.field("b").unwrap().field("c").unwrap(), &Json::Null);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "{", "[1,", "tru", "1 2", "{\"a\" 1}", "\"\\q\"", "nan"] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "line\nwith \"quotes\", backslash \\ tab\t and ünïcode 🦀";
+        let json = Json::Str(s.to_string()).to_string();
+        assert_eq!(Json::parse(&json).unwrap(), Json::Str(s.to_string()));
+    }
+
+    #[test]
+    fn unicode_escape_parsing() {
+        assert_eq!(
+            Json::parse(r#""\u0041\u00e9\ud83e\udd80""#).unwrap(),
+            Json::Str("Aé🦀".into())
+        );
+        assert!(Json::parse(r#""\ud83e""#).is_err(), "unpaired surrogate");
+    }
+
+    #[test]
+    fn float_round_trip_exact() {
+        for &x in &[
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1e300,
+            -2.2250738585072014e-308,
+            std::f64::consts::PI,
+            123456789.123456789,
+        ] {
+            let text = Json::F64(x).to_string();
+            let back = Json::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {text} -> {back}");
+        }
+    }
+
+    #[test]
+    fn integers_stay_exact() {
+        let big = u64::MAX;
+        let text = Json::U64(big).to_string();
+        assert_eq!(Json::parse(&text).unwrap().as_u64(), Some(big));
+        let neg = i64::MIN;
+        let text = Json::I64(neg).to_string();
+        assert_eq!(Json::parse(&text).unwrap().as_i64(), Some(neg));
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let v = Json::Obj(vec![("z".into(), Json::U64(1)), ("a".into(), Json::U64(2))]);
+        assert_eq!(v.to_string(), r#"{"z":1,"a":2}"#);
+        let back = Json::parse(&v.to_string()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let v = Json::parse(r#"{"a":[1,2,{"b":0.25}],"c":"x"}"#).unwrap();
+        assert_eq!(v.to_string(), v.clone().to_string());
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn primitive_conversions() {
+        assert_eq!(u32::from_json(&Json::U64(7)).unwrap(), 7);
+        assert!(u32::from_json(&Json::U64(u64::MAX)).is_err());
+        assert!(u32::from_json(&Json::F64(1.5)).is_err());
+        assert_eq!(f64::from_json(&Json::U64(7)).unwrap(), 7.0);
+        assert_eq!(
+            Vec::<f64>::from_json(&Json::parse("[1,2,3]").unwrap()).unwrap(),
+            vec![1.0, 2.0, 3.0]
+        );
+        assert_eq!(
+            <[f64; 2]>::from_json(&Json::parse("[1,2]").unwrap()).unwrap(),
+            [1.0, 2.0]
+        );
+        assert!(<[f64; 2]>::from_json(&Json::parse("[1]").unwrap()).is_err());
+        assert_eq!(
+            <(u32, f64)>::from_json(&Json::parse("[3,0.5]").unwrap()).unwrap(),
+            (3, 0.5)
+        );
+        assert_eq!(Option::<u32>::from_json(&Json::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_json(&Json::U64(1)).unwrap(), Some(1));
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Demo {
+        id: u64,
+        ratio: f64,
+        tags: Vec<String>,
+    }
+    impl_json_struct!(Demo { id, ratio, tags });
+
+    #[test]
+    fn struct_macro_round_trips() {
+        let d = Demo {
+            id: 9,
+            ratio: 0.125,
+            tags: vec!["a".into(), "b".into()],
+        };
+        let text = to_string(&d);
+        assert_eq!(text, r#"{"id":9,"ratio":0.125,"tags":["a","b"]}"#);
+        assert_eq!(from_str::<Demo>(&text).unwrap(), d);
+        let missing = r#"{"id":9,"ratio":0.125}"#;
+        let err = from_str::<Demo>(missing).unwrap_err();
+        assert!(err.0.contains("tags"), "{err}");
+    }
+
+    #[derive(Debug, PartialEq)]
+    enum Colour {
+        Red,
+        Green,
+    }
+    impl_json_enum!(Colour { Red, Green });
+
+    #[test]
+    fn enum_macro_round_trips() {
+        assert_eq!(to_string(&Colour::Red), r#""Red""#);
+        assert_eq!(from_str::<Colour>(r#""Green""#).unwrap(), Colour::Green);
+        assert!(from_str::<Colour>(r#""Blue""#).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let mut doc = String::new();
+        for _ in 0..600 {
+            doc.push('[');
+        }
+        assert!(Json::parse(&doc).is_err());
+    }
+}

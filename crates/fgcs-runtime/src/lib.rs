@@ -1,0 +1,32 @@
+//! Std-only runtime substrate for the FGCS workspace.
+//!
+//! The paper reproduction must build and test with **no network access and an
+//! empty cargo registry**: every service an external crate used to provide is
+//! implemented here on `std` alone.
+//!
+//! - [`rng`] — a seedable, portable xoshiro256++ generator behind a small
+//!   [`rng::Rng`] trait (replaces `rand` + `rand_chacha`).
+//! - [`dist`] — distribution adapters (exponential, lognormal, Pareto,
+//!   truncated normal, Poisson, …) generic over [`rng::Rng`].
+//! - [`json`] — a minimal JSON value model, parser and writer with
+//!   float-round-trip-safe formatting (replaces `serde` + `serde_json`).
+//! - [`parallel`] — scoped fork/join helpers on [`std::thread::scope`]
+//!   (replaces `crossbeam::scope` / `parking_lot`).
+//! - [`check`] — a seeded, shrink-free property-test harness (replaces
+//!   `proptest` for the workspace's invariant suites).
+//! - [`bench`] — a tiny wall-clock micro-benchmark harness (replaces
+//!   `criterion` for the `--features bench-harness` targets).
+//!
+//! Everything is deterministic given a seed: the same seed produces the same
+//! byte stream on every platform, which is what makes the generated traces
+//! and the paper figures reproducible.
+
+pub mod bench;
+pub mod check;
+pub mod dist;
+pub mod json;
+pub mod parallel;
+pub mod rng;
+
+pub use json::{FromJson, Json, JsonError, ToJson};
+pub use rng::{Rng, Xoshiro256};

@@ -1,0 +1,108 @@
+//! Scoped fork/join helpers on [`std::thread::scope`].
+//!
+//! Replaces `crossbeam::scope` for the figure-sweep loops. The contract that
+//! matters for reproducibility: `par_map_indexed(n, f)` returns **exactly**
+//! `(0..n).map(f).collect()` — same values, same order — regardless of how
+//! many worker threads ran or how the indices interleaved. Each index is
+//! claimed once from a shared atomic counter, and each result lands in its
+//! own pre-allocated slot.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker-thread count: the machine's available parallelism, capped by the
+/// job count (never zero).
+#[must_use]
+pub fn num_threads(jobs: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    hw.max(1).min(jobs.max(1))
+}
+
+/// Applies `f` to every index in `0..n` across worker threads and returns
+/// the results in index order. Equivalent to `(0..n).map(f).collect()`.
+///
+/// # Panics
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn par_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = num_threads(n);
+    if workers == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index was claimed exactly once")
+        })
+        .collect()
+}
+
+/// Applies `f` to every element of `items` in parallel, preserving order.
+pub fn par_map<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map() {
+        let par = par_map_indexed(100, |i| i * i);
+        let seq: Vec<usize> = (0..100).map(|i| i * i).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(par_map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn slice_variant_preserves_order() {
+        let items = ["a", "bb", "ccc"];
+        assert_eq!(par_map(&items, |s| s.len()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn heavier_than_thread_count() {
+        // More jobs than any plausible core count: exercises re-claiming.
+        let out = par_map_indexed(1000, |i| i as u64 * 3);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
+    }
+
+    #[test]
+    fn num_threads_bounds() {
+        assert_eq!(num_threads(0), 1);
+        assert_eq!(num_threads(1), 1);
+        assert!(num_threads(usize::MAX) >= 1);
+    }
+}

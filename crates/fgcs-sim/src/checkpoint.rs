@@ -110,7 +110,10 @@ mod tests {
     fn youngs_formula_scales_as_sqrt() {
         let a = youngs_interval(1e-4, 30.0);
         let b = youngs_interval(4e-4, 30.0);
-        assert!((a / b - 2.0).abs() < 1e-9, "quadrupled rate halves interval");
+        assert!(
+            (a / b - 2.0).abs() < 1e-9,
+            "quadrupled rate halves interval"
+        );
         assert_eq!(youngs_interval(0.0, 30.0), f64::INFINITY);
     }
 

@@ -3,8 +3,8 @@
 //! times — the end-to-end loop the paper's §5.1 framework implies.
 
 use fgcs_core::model::AvailabilityModel;
+use fgcs_runtime::impl_json_struct;
 use fgcs_trace::MachineTrace;
-use serde::{Deserialize, Serialize};
 
 use crate::guest::{GuestJob, GuestOutcome};
 use crate::migration::MigrationPolicy;
@@ -52,7 +52,7 @@ impl JobSpec {
 
 /// Response-time summary of one job group: the group completes when its
 /// *last* member does.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroupRecord {
     /// Group identifier.
     pub group: u64,
@@ -66,6 +66,14 @@ pub struct GroupRecord {
     /// Total kills across the group.
     pub kills: usize,
 }
+
+impl_json_struct!(GroupRecord {
+    group,
+    members,
+    arrival_tick,
+    completed_tick,
+    kills,
+});
 
 impl GroupRecord {
     /// Group response time in seconds.
@@ -113,7 +121,7 @@ pub fn group_records(specs: &[JobSpec], records: &[JobRecord]) -> Vec<GroupRecor
 }
 
 /// The fate of one workload job.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobRecord {
     /// Job identifier.
     pub id: u64,
@@ -132,6 +140,17 @@ pub struct JobRecord {
     /// Number of proactive migrations the job went through.
     pub migrations: usize,
 }
+
+impl_json_struct!(JobRecord {
+    id,
+    work_secs,
+    arrival_tick,
+    completed_tick,
+    kills,
+    placements,
+    checkpoint_overhead_secs,
+    migrations,
+});
 
 impl JobRecord {
     /// Response time in seconds (wall time from arrival to completion).
@@ -228,11 +247,21 @@ impl Cluster {
         // restarts via their id.
         let mut pending: Vec<(u64, GuestJob)> = jobs
             .iter()
-            .map(|j| (j.arrival_tick, GuestJob::new(j.id, j.work_secs, j.working_set_mb)))
+            .map(|j| {
+                (
+                    j.arrival_tick,
+                    GuestJob::new(j.id, j.work_secs, j.working_set_mb),
+                )
+            })
             .collect();
         pending.sort_by_key(|(t, j)| (*t, j.id));
 
-        let horizon = self.nodes.iter().map(HostNode::total_ticks).max().unwrap_or(0);
+        let horizon = self
+            .nodes
+            .iter()
+            .map(HostNode::total_ticks)
+            .max()
+            .unwrap_or(0);
         let mut now = self.nodes.iter().map(HostNode::tick).min().unwrap_or(0);
 
         while now < horizon {
@@ -426,7 +455,12 @@ mod tests {
 
     /// Builds a trace whose every day is overloaded between `from_hour` and
     /// `to_hour`.
-    fn daily_overload_trace(id: u64, days: usize, from_hour: usize, to_hour: usize) -> MachineTrace {
+    fn daily_overload_trace(
+        id: u64,
+        days: usize,
+        from_hour: usize,
+        to_hour: usize,
+    ) -> MachineTrace {
         let model = AvailabilityModel::default();
         let per_day = model.samples_per_day();
         let per_hour = per_day / 24;
@@ -516,10 +550,7 @@ mod tests {
         // A 2-hour job arrives at 00:00 on day 3 and RoundRobin places it
         // on node 0, where it is doomed to be killed at 01:00.
         let run = |migration: Option<MigrationPolicy>| {
-            let traces = vec![
-                daily_overload_trace(0, 4, 1, 6),
-                quiet_trace(1, 4),
-            ];
+            let traces = vec![daily_overload_trace(0, 4, 1, 6), quiet_trace(1, 4)];
             let mut cluster = Cluster::from_traces(traces, AvailabilityModel::default());
             cluster.warm_up(3);
             let per_day = 14_400u64;

@@ -12,14 +12,14 @@
 //! the failure mode a decentralised deployment has, and the tests pin it
 //! down.
 
-use serde::{Deserialize, Serialize};
+use fgcs_runtime::impl_json_struct;
 use std::collections::HashMap;
 
 /// The reliability horizons (seconds) every advertisement carries.
 pub const AD_HORIZONS_SECS: [u32; 4] = [1800, 3600, 2 * 3600, 4 * 3600];
 
 /// One gateway's advertisement of its machine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResourceAd {
     /// The advertising node.
     pub node_id: u64,
@@ -35,6 +35,15 @@ pub struct ResourceAd {
     /// empty when the node had no usable history yet.
     pub tr_snapshot: Vec<(u32, f64)>,
 }
+
+impl_json_struct!(ResourceAd {
+    node_id,
+    published_at,
+    available,
+    host_load,
+    free_mem_mb,
+    tr_snapshot,
+});
 
 impl ResourceAd {
     /// The advertised TR at the smallest horizon ≥ `horizon_secs`

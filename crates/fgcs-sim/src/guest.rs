@@ -3,13 +3,14 @@
 //! than throughput is the primary performance metric").
 
 use fgcs_core::state::State;
-use serde::{Deserialize, Serialize};
+use fgcs_runtime::impl_json_struct;
+use fgcs_runtime::json::{FromJson, Json, JsonError, ToJson};
 
 use crate::contention::GuestPriority;
 
 /// Checkpointing configuration: periodically persist progress so a kill
 /// loses at most one interval (plus the checkpoint overhead).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CheckpointConfig {
     /// Seconds of *accomplished work* between checkpoints.
     pub interval_secs: f64,
@@ -17,8 +18,13 @@ pub struct CheckpointConfig {
     pub cost_secs: f64,
 }
 
+impl_json_struct!(CheckpointConfig {
+    interval_secs,
+    cost_secs,
+});
+
 /// Why a guest job stopped.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum GuestOutcome {
     /// The job finished all its work.
     Completed {
@@ -32,6 +38,46 @@ pub enum GuestOutcome {
         /// The failure state that caused it.
         reason: State,
     },
+}
+
+// Mirrors the externally-tagged layout serde derived for these variants:
+// `{"Completed":{"at_tick":5}}` / `{"Killed":{"at_tick":9,"reason":"S5"}}`.
+impl ToJson for GuestOutcome {
+    fn to_json(&self) -> Json {
+        match *self {
+            GuestOutcome::Completed { at_tick } => Json::Obj(vec![(
+                "Completed".to_string(),
+                Json::Obj(vec![("at_tick".to_string(), at_tick.to_json())]),
+            )]),
+            GuestOutcome::Killed { at_tick, reason } => Json::Obj(vec![(
+                "Killed".to_string(),
+                Json::Obj(vec![
+                    ("at_tick".to_string(), at_tick.to_json()),
+                    ("reason".to_string(), reason.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for GuestOutcome {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Ok(body) = v.field("Completed") {
+            return Ok(GuestOutcome::Completed {
+                at_tick: body.get("at_tick")?,
+            });
+        }
+        if let Ok(body) = v.field("Killed") {
+            return Ok(GuestOutcome::Killed {
+                at_tick: body.get("at_tick")?,
+                reason: body.get("reason")?,
+            });
+        }
+        Err(JsonError(format!(
+            "expected GuestOutcome object, found {}",
+            v.kind()
+        )))
+    }
 }
 
 /// Execution status of a guest process on a node.

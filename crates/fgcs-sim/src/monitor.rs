@@ -31,8 +31,7 @@ impl ResourceMonitor {
     /// Creates a monitor for the given model configuration.
     #[must_use]
     pub fn new(model: &AvailabilityModel) -> ResourceMonitor {
-        let gap_steps =
-            (model.heartbeat_gap_secs / model.monitor_period_secs).max(1) as usize;
+        let gap_steps = (model.heartbeat_gap_secs / model.monitor_period_secs).max(1) as usize;
         ResourceMonitor {
             gap_steps,
             stale_steps: 0,
@@ -109,7 +108,10 @@ mod tests {
         for _ in 0..2 {
             m.observe(Some(LoadSample::revoked()));
         }
-        assert_eq!(m.observe(Some(LoadSample::revoked())), MonitorReport::Revoked);
+        assert_eq!(
+            m.observe(Some(LoadSample::revoked())),
+            MonitorReport::Revoked
+        );
     }
 
     #[test]

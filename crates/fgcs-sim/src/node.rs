@@ -167,8 +167,8 @@ impl HostNode {
                     self.guest = Some((job, GuestStatus::Suspended, launched_at));
                 }
                 running => {
-                    let priority = action_priority(running)
-                        .expect("running action always maps to a priority");
+                    let priority =
+                        action_priority(running).expect("running action always maps to a priority");
                     let alloc = self
                         .cpu_model
                         .allocate(&[sample.host_cpu], 1.0, priority)

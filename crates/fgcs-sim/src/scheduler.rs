@@ -8,8 +8,7 @@
 //! baselines, quantifying the §1 claim that proactive management improves
 //! job response times.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use fgcs_runtime::rng::{Rng, Xoshiro256};
 
 use crate::checkpoint::CheckpointPolicy;
 use crate::guest::GuestJob;
@@ -39,7 +38,7 @@ pub enum SchedulingPolicy {
 #[derive(Debug)]
 pub struct JobScheduler {
     policy: SchedulingPolicy,
-    rng: ChaCha8Rng,
+    rng: Xoshiro256,
     rr_cursor: usize,
     /// Multiplier applied to the job's remaining work to estimate the
     /// reliability window (slack for contention-induced slowdown).
@@ -55,7 +54,7 @@ impl JobScheduler {
     pub fn new(policy: SchedulingPolicy, seed: u64) -> JobScheduler {
         JobScheduler {
             policy,
-            rng: ChaCha8Rng::seed_from_u64(seed),
+            rng: Xoshiro256::seed_from_u64(seed),
             rr_cursor: 0,
             runtime_slack: 1.3,
             checkpoint: CheckpointPolicy::None,
@@ -101,9 +100,7 @@ impl JobScheduler {
             return None;
         }
         match self.policy {
-            SchedulingPolicy::Random => {
-                Some(candidates[self.rng.gen_range(0..candidates.len())])
-            }
+            SchedulingPolicy::Random => Some(candidates[self.rng.range_usize(0, candidates.len())]),
             SchedulingPolicy::RoundRobin => {
                 let pick = candidates[self.rr_cursor % candidates.len()];
                 self.rr_cursor += 1;
@@ -186,10 +183,7 @@ mod tests {
 
     #[test]
     fn round_robin_cycles() {
-        let nodes = vec![
-            node_with_load(0, 0.1, 1, 0),
-            node_with_load(1, 0.1, 1, 0),
-        ];
+        let nodes = vec![node_with_load(0, 0.1, 1, 0), node_with_load(1, 0.1, 1, 0)];
         let mut s = JobScheduler::new(SchedulingPolicy::RoundRobin, 1);
         let job = GuestJob::new(1, 600.0, 50.0);
         assert_eq!(s.choose(&nodes, &job), Some(0));

@@ -208,16 +208,13 @@ impl StateManager {
     /// seconds, anchored at the current time-of-day — the §5.1 endpoint the
     /// gateway answers job-submission queries with.
     pub fn predict_tr(&self, horizon_secs: u32) -> Result<f64, CoreError> {
-        let start = self.time_of_day_secs().min(fgcs_core::window::SECS_PER_DAY - 1);
+        let start = self
+            .time_of_day_secs()
+            .min(fgcs_core::window::SECS_PER_DAY - 1);
         let horizon = horizon_secs.min(2 * fgcs_core::window::SECS_PER_DAY - start);
         let window = TimeWindow::new(start, horizon.max(self.model.monitor_period_secs));
         let day_type = DayType::of_day(self.day_index);
-        SmpPredictor::new(self.model).predict(
-            &self.store,
-            day_type,
-            window,
-            self.last_operational,
-        )
+        SmpPredictor::new(self.model).predict(&self.store, day_type, window, self.last_operational)
     }
 }
 
@@ -307,11 +304,7 @@ mod tests {
         let offline = StateClassifier::new(mdl).classify(&samples);
         // The single dead samples differ (heartbeat tolerance online vs
         // immediate S5 offline); everything else must agree.
-        let mismatches = online
-            .iter()
-            .zip(&offline)
-            .filter(|(a, b)| a != b)
-            .count();
+        let mismatches = online.iter().zip(&offline).filter(|(a, b)| a != b).count();
         let dead = samples.iter().filter(|s| !s.alive).count();
         assert!(
             mismatches <= dead,

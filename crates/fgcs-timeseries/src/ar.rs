@@ -66,21 +66,11 @@ impl ArFit {
     pub fn forecast(&self, series: &[f64], steps: usize) -> Vec<f64> {
         let p = self.coeffs.len();
         // Work in centred space over a rolling lag buffer, newest first.
-        let mut lags: Vec<f64> = series
-            .iter()
-            .rev()
-            .take(p)
-            .map(|x| x - self.mean)
-            .collect();
+        let mut lags: Vec<f64> = series.iter().rev().take(p).map(|x| x - self.mean).collect();
         lags.resize(p, 0.0);
         let mut out = Vec::with_capacity(steps);
         for _ in 0..steps {
-            let next: f64 = self
-                .coeffs
-                .iter()
-                .zip(&lags)
-                .map(|(a, x)| a * x)
-                .sum();
+            let next: f64 = self.coeffs.iter().zip(&lags).map(|(a, x)| a * x).sum();
             out.push(next + self.mean);
             if p > 0 {
                 lags.rotate_right(1);
@@ -165,12 +155,12 @@ mod tests {
 
     #[test]
     fn ar_tracks_noisy_ar_process() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        use fgcs_runtime::rng::{Rng, Xoshiro256};
+        let mut rng = Xoshiro256::seed_from_u64(1);
         let a = 0.7;
         let mut series = vec![0.0];
         for _ in 0..2000 {
-            let e: f64 = rng.gen::<f64>() - 0.5;
+            let e: f64 = rng.next_f64() - 0.5;
             let prev = *series.last().unwrap();
             series.push(a * prev + 0.1 * e);
         }
@@ -226,16 +216,19 @@ mod tests {
 
     #[test]
     fn aic_picks_low_order_for_ar1_process() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        use fgcs_runtime::rng::{Rng, Xoshiro256};
+        let mut rng = Xoshiro256::seed_from_u64(5);
         let mut series = vec![0.0];
         for _ in 0..3000 {
-            let e: f64 = rng.gen::<f64>() - 0.5;
+            let e: f64 = rng.next_f64() - 0.5;
             let prev = *series.last().unwrap();
             series.push(0.75 * prev + 0.2 * e);
         }
         let order = select_order_aic(&series, 12);
-        assert!(order <= 3, "AR(1) data should select small order, got {order}");
+        assert!(
+            order <= 3,
+            "AR(1) data should select small order, got {order}"
+        );
     }
 
     #[test]

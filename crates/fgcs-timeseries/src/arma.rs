@@ -138,16 +138,15 @@ impl TimeSeriesModel for ArmaModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
-    use rand_chacha::ChaCha8Rng;
+    use fgcs_runtime::rng::{Rng, Xoshiro256};
 
     fn arma11_series(a: f64, theta: f64, n: usize, seed: u64) -> Vec<f64> {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
         let mut prev_x = 0.0;
         let mut prev_e = 0.0;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
-            let e: f64 = rng.gen::<f64>() - 0.5;
+            let e: f64 = rng.next_f64() - 0.5;
             let x = a * prev_x + e + theta * prev_e;
             out.push(x + 2.0);
             prev_x = x;

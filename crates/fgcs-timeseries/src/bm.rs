@@ -57,7 +57,10 @@ mod tests {
 
     #[test]
     fn empty_series_is_error() {
-        assert_eq!(BmModel::new(3).fit_forecast(&[], 1), Err(TsError::EmptySeries));
+        assert_eq!(
+            BmModel::new(3).fit_forecast(&[], 1),
+            Err(TsError::EmptySeries)
+        );
     }
 
     #[test]

@@ -134,15 +134,14 @@ impl TimeSeriesModel for MaModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
-    use rand_chacha::ChaCha8Rng;
+    use fgcs_runtime::rng::{Rng, Xoshiro256};
 
     fn ma1_series(theta: f64, n: usize, seed: u64) -> Vec<f64> {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
         let mut prev_e = 0.0;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
-            let e: f64 = rng.gen::<f64>() - 0.5;
+            let e: f64 = rng.next_f64() - 0.5;
             out.push(1.0 + e + theta * prev_e);
             prev_e = e;
         }
@@ -201,7 +200,10 @@ mod tests {
 
     #[test]
     fn empty_series_is_error() {
-        assert_eq!(MaModel::new(2).fit_forecast(&[], 1), Err(TsError::EmptySeries));
+        assert_eq!(
+            MaModel::new(2).fit_forecast(&[], 1),
+            Err(TsError::EmptySeries)
+        );
     }
 
     #[test]

@@ -4,9 +4,8 @@
 //! Generation is fully deterministic from `(seed, machine_id)` so that every
 //! experiment in the repository is reproducible bit-for-bit.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use fgcs_runtime::impl_json_struct;
+use fgcs_runtime::rng::{Rng, Xoshiro256};
 
 use fgcs_core::model::LoadSample;
 use fgcs_core::window::DayType;
@@ -17,7 +16,7 @@ use crate::session::Session;
 use crate::trace::MachineTrace;
 
 /// Configuration of one machine's trace generation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceConfig {
     /// Machine identifier (also perturbs the RNG stream).
     pub machine_id: u64,
@@ -33,6 +32,15 @@ pub struct TraceConfig {
     /// curve, modelling day-to-day variation around the repeating pattern.
     pub day_noise_sigma: f64,
 }
+
+impl_json_struct!(TraceConfig {
+    machine_id,
+    seed,
+    profile,
+    step_secs,
+    first_day_index,
+    day_noise_sigma,
+});
 
 impl TraceConfig {
     /// A student-lab machine (the paper's testbed class).
@@ -123,18 +131,18 @@ impl TraceGenerator {
     }
 
     /// The deterministic RNG stream for this (seed, machine).
-    fn rng(&self) -> ChaCha8Rng {
+    fn rng(&self) -> Xoshiro256 {
         // SplitMix-style mixing keeps machine streams decorrelated.
         let mix = self
             .cfg
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(self.cfg.machine_id.wrapping_mul(0xBF58_476D_1CE4_E5B9));
-        ChaCha8Rng::seed_from_u64(mix)
+        Xoshiro256::seed_from_u64(mix)
     }
 
     /// Generates one day's samples and appends them to `out`.
-    fn generate_day_into(&self, rng: &mut ChaCha8Rng, day_index: usize, out: &mut Vec<LoadSample>) {
+    fn generate_day_into(&self, rng: &mut Xoshiro256, day_index: usize, out: &mut Vec<LoadSample>) {
         let cfg = &self.cfg;
         let step = cfg.step_secs;
         let day_steps = (fgcs_core::window::SECS_PER_DAY / step) as usize;
@@ -152,7 +160,7 @@ impl TraceGenerator {
         for (hour, &rate) in activity.iter().enumerate() {
             let n = dist::poisson(rng, rate * day_factor);
             for _ in 0..n {
-                let start = hour * steps_per_hour + rng.gen_range(0..steps_per_hour);
+                let start = hour * steps_per_hour + rng.range_usize(0, steps_per_hour);
                 if start >= day_steps {
                     continue;
                 }
@@ -244,7 +252,8 @@ mod tests {
         let mut wd = (0.0, 0usize);
         let mut we = (0.0, 0usize);
         for d in 0..14 {
-            let mean: f64 = t.day_samples(d).iter().map(|s| s.host_cpu).sum::<f64>() / per_day as f64;
+            let mean: f64 =
+                t.day_samples(d).iter().map(|s| s.host_cpu).sum::<f64>() / per_day as f64;
             if DayType::of_day(d) == DayType::Weekday {
                 wd = (wd.0 + mean, wd.1 + 1);
             } else {

@@ -6,8 +6,8 @@
 //! time of the added failure state was chosen randomly between 60 and 1800
 //! seconds."
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use fgcs_runtime::impl_json_struct;
+use fgcs_runtime::rng::Rng;
 
 use fgcs_core::log::HistoryStore;
 use fgcs_core::state::State;
@@ -15,7 +15,7 @@ use fgcs_core::window::DayType;
 use fgcs_math::dist;
 
 /// Injects irregular unavailability occurrences into training logs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoiseInjector {
     /// Centre of the injection time (seconds after midnight); the paper
     /// uses 8:00 am.
@@ -32,6 +32,15 @@ pub struct NoiseInjector {
     /// the ones an N-most-recent-days predictor actually reads.
     pub recent_weekdays_only: Option<usize>,
 }
+
+impl_json_struct!(NoiseInjector {
+    time_of_day_secs,
+    jitter_secs,
+    min_hold_secs,
+    max_hold_secs,
+    failure_state,
+    recent_weekdays_only,
+});
 
 impl Default for NoiseInjector {
     fn default() -> Self {
@@ -75,11 +84,11 @@ impl NoiseInjector {
         }
         let mut injected = Vec::with_capacity(count);
         for _ in 0..count {
-            let pos = weekday_positions[rng.gen_range(0..weekday_positions.len())];
+            let pos = weekday_positions[rng.range_usize(0, weekday_positions.len())];
             let day = &mut store.days_mut()[pos];
             let step = day.log.step_secs();
             let jitter = if self.jitter_secs > 0 {
-                rng.gen_range(0..=2 * self.jitter_secs) as i64 - i64::from(self.jitter_secs)
+                i64::from(rng.range_u32(0, 2 * self.jitter_secs + 1)) - i64::from(self.jitter_secs)
             } else {
                 0
             };
@@ -102,8 +111,7 @@ impl NoiseInjector {
 mod tests {
     use super::*;
     use fgcs_core::log::{DayLog, StateLog};
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use fgcs_runtime::rng::Xoshiro256;
 
     fn quiet_store(days: usize) -> HistoryStore {
         let mut store = HistoryStore::new();
@@ -116,7 +124,7 @@ mod tests {
     #[test]
     fn injection_lands_near_eight_am_on_weekdays() {
         let mut store = quiet_store(7);
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = Xoshiro256::seed_from_u64(1);
         let inj = NoiseInjector::default();
         let marks = inj.inject(&mut store, 10, &mut rng);
         assert_eq!(marks.len(), 10);
@@ -138,7 +146,7 @@ mod tests {
     fn injection_increases_unavailability_count() {
         let mut store = quiet_store(7);
         let before = store.unavailability_occurrences();
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = Xoshiro256::seed_from_u64(2);
         NoiseInjector::default().inject(&mut store, 4, &mut rng);
         assert!(store.unavailability_occurrences() > before);
     }
@@ -147,7 +155,7 @@ mod tests {
     fn no_weekdays_means_no_injection() {
         let mut store = HistoryStore::new();
         store.push_day(DayLog::new(5, StateLog::new(6, vec![State::S1; 14_400])));
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = Xoshiro256::seed_from_u64(3);
         let marks = NoiseInjector::default().inject(&mut store, 3, &mut rng);
         assert!(marks.is_empty());
     }
@@ -156,7 +164,7 @@ mod tests {
     #[should_panic(expected = "failure state")]
     fn injecting_operational_state_panics() {
         let mut store = quiet_store(1);
-        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut rng = Xoshiro256::seed_from_u64(4);
         let inj = NoiseInjector {
             failure_state: State::S1,
             ..NoiseInjector::default()

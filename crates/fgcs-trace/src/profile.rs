@@ -7,14 +7,14 @@
 //! archetypes cover the future-work testbeds the paper names (§8):
 //! enterprise desktops and heavily loaded compute servers.
 
-use serde::{Deserialize, Serialize};
+use fgcs_runtime::impl_json_struct;
 
 use crate::revocation::RevocationConfig;
 use crate::session::{BackgroundConfig, SessionConfig};
 
 /// Static description of a machine class: how much hardware it has and how
 /// its human users behave over the day.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineProfile {
     /// Human-readable archetype name.
     pub name: String,
@@ -33,6 +33,17 @@ pub struct MachineProfile {
     /// Owner revocations and crashes.
     pub revocation: RevocationConfig,
 }
+
+impl_json_struct!(MachineProfile {
+    name,
+    physical_mem_mb,
+    base_mem_mb,
+    weekday_activity,
+    weekend_activity,
+    session,
+    background,
+    revocation,
+});
 
 impl MachineProfile {
     /// The activity curve for the given day type.

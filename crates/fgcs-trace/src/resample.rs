@@ -44,7 +44,10 @@ impl std::error::Error for ResampleError {}
 ///
 /// `target_step_secs` must be a positive multiple of the trace's step that
 /// divides the day evenly.
-pub fn resample(trace: &MachineTrace, target_step_secs: u32) -> Result<MachineTrace, ResampleError> {
+pub fn resample(
+    trace: &MachineTrace,
+    target_step_secs: u32,
+) -> Result<MachineTrace, ResampleError> {
     if target_step_secs == 0
         || !target_step_secs.is_multiple_of(trace.step_secs)
         || !fgcs_core::window::SECS_PER_DAY.is_multiple_of(target_step_secs)
@@ -79,8 +82,8 @@ pub fn resample(trace: &MachineTrace, target_step_secs: u32) -> Result<MachineTr
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fgcs_core::model::AvailabilityModel;
     use crate::generator::{TraceConfig, TraceGenerator};
+    use fgcs_core::model::AvailabilityModel;
 
     fn trace() -> MachineTrace {
         TraceGenerator::new(TraceConfig::lab_machine(3)).generate_days(2)
@@ -154,7 +157,11 @@ mod tests {
         let t = trace();
         let coarse = resample(&t, 60).unwrap();
         let fine_max = t.samples.iter().map(|s| s.host_cpu).fold(0.0, f64::max);
-        let coarse_max = coarse.samples.iter().map(|s| s.host_cpu).fold(0.0, f64::max);
+        let coarse_max = coarse
+            .samples
+            .iter()
+            .map(|s| s.host_cpu)
+            .fold(0.0, f64::max);
         assert!(coarse_max <= fine_max + 1e-12);
     }
 }

@@ -6,13 +6,13 @@
 //! correlate with human presence. Crashes add a small time-uniform
 //! component.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use fgcs_runtime::impl_json_struct;
+use fgcs_runtime::rng::Rng;
 
 use fgcs_math::dist;
 
 /// Parameters of the revocation process for one machine archetype.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RevocationConfig {
     /// Expected console-reboot revocations per day (scaled by the activity
     /// curve, so they cluster in busy hours).
@@ -25,13 +25,20 @@ pub struct RevocationConfig {
     pub outage_log_sigma: f64,
 }
 
+impl_json_struct!(RevocationConfig {
+    reboots_per_day,
+    crashes_per_day,
+    outage_log_mean,
+    outage_log_sigma,
+});
+
 impl RevocationConfig {
     /// Student lab: frequent console reboots (median outage ≈ 6 min).
     #[must_use]
     pub fn lab() -> RevocationConfig {
         RevocationConfig {
-            reboots_per_day: 0.55,
-            crashes_per_day: 0.10,
+            reboots_per_day: 0.62,
+            crashes_per_day: 0.13,
             outage_log_mean: 5.9,
             outage_log_sigma: 0.9,
         }
@@ -88,16 +95,17 @@ impl RevocationConfig {
                 }
                 h
             } else {
-                rng.gen_range(0..24)
+                rng.range_usize(0, 24)
             };
-            let start = (hour * steps_per_hour + rng.gen_range(0..steps_per_hour)).min(day_steps - 1);
+            let start =
+                (hour * steps_per_hour + rng.range_usize(0, steps_per_hour)).min(day_steps - 1);
             outages.push((start, self.sample_len(rng, step_secs)));
         }
 
         // Crashes: uniform over the day.
         let n_crashes = dist::poisson(rng, self.crashes_per_day);
         for _ in 0..n_crashes {
-            let start = rng.gen_range(0..day_steps);
+            let start = rng.range_usize(0, day_steps);
             outages.push((start, self.sample_len(rng, step_secs)));
         }
 
@@ -117,12 +125,11 @@ impl RevocationConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use fgcs_runtime::rng::Xoshiro256;
 
     #[test]
     fn outages_fit_within_day() {
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = Xoshiro256::seed_from_u64(3);
         let cfg = RevocationConfig::lab();
         let activity = [1.0; 24];
         for _ in 0..200 {
@@ -136,7 +143,7 @@ mod tests {
 
     #[test]
     fn outage_rate_roughly_matches_config() {
-        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut rng = Xoshiro256::seed_from_u64(4);
         let cfg = RevocationConfig::lab();
         let activity = [1.0; 24];
         let mut total = 0usize;
@@ -154,7 +161,7 @@ mod tests {
 
     #[test]
     fn reboots_cluster_in_active_hours() {
-        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut rng = Xoshiro256::seed_from_u64(5);
         let cfg = RevocationConfig {
             reboots_per_day: 5.0,
             crashes_per_day: 0.0,
@@ -174,7 +181,7 @@ mod tests {
 
     #[test]
     fn server_has_few_revocations() {
-        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut rng = Xoshiro256::seed_from_u64(6);
         let cfg = RevocationConfig::server();
         let activity = [1.0; 24];
         let mut total = 0;

@@ -7,13 +7,13 @@
 //! tolerance are what produce genuine S3 (CPU unavailability) periods;
 //! short background spikes exercise the transient-folding path instead.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use fgcs_runtime::impl_json_struct;
+use fgcs_runtime::rng::Rng;
 
 use fgcs_math::dist;
 
 /// Parameters of interactive sessions for one machine archetype.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionConfig {
     /// Log-space mean of the session duration (seconds).
     pub duration_log_mean: f64,
@@ -34,6 +34,17 @@ pub struct SessionConfig {
     /// Mean dwell time (seconds) of each activity level.
     pub level_dwell_secs: [f64; 4],
 }
+
+impl_json_struct!(SessionConfig {
+    duration_log_mean,
+    duration_log_sigma,
+    mem_mean_mb,
+    mem_sigma_mb,
+    mem_hog_prob,
+    mem_hog_range,
+    level_weights,
+    level_dwell_secs,
+});
 
 impl SessionConfig {
     /// Student-lab sessions: bursty, compile-heavy.
@@ -84,10 +95,10 @@ impl SessionConfig {
 
 /// CPU ranges of the four activity levels (fractions of one CPU).
 const LEVEL_CPU: [(f64, f64); 4] = [
-    (0.01, 0.07),  // idle: shell prompt, mail client polling
-    (0.08, 0.20),  // light: editing, browsing
-    (0.22, 0.50),  // medium: command pipelines, tests
-    (0.62, 0.98),  // heavy: compiles, local simulations
+    (0.01, 0.07), // idle: shell prompt, mail client polling
+    (0.08, 0.20), // light: editing, browsing
+    (0.22, 0.50), // medium: command pipelines, tests
+    (0.62, 0.98), // heavy: compiles, local simulations
 ];
 
 /// One generated session, already discretised to monitor steps.
@@ -161,7 +172,7 @@ fn pick_level<R: Rng + ?Sized>(rng: &mut R, weights: &[f64; 4]) -> usize {
 /// Background system load: a slowly varying daemon baseline plus short
 /// transient spikes (cron jobs, remote X starts — the paper's §3.3 examples
 /// of loads that exceed `Th2` for a few seconds only).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BackgroundConfig {
     /// Baseline CPU range the daemons wander in.
     pub base_cpu_range: (f64, f64),
@@ -175,6 +186,14 @@ pub struct BackgroundConfig {
     /// Spike CPU range.
     pub spike_cpu_range: (f64, f64),
 }
+
+impl_json_struct!(BackgroundConfig {
+    base_cpu_range,
+    base_redraw_secs,
+    spikes_per_hour,
+    spike_secs_range,
+    spike_cpu_range,
+});
 
 impl Default for BackgroundConfig {
     fn default() -> Self {
@@ -208,7 +227,7 @@ impl BackgroundConfig {
         let span_hours = n as f64 * f64::from(step_secs) / 3600.0;
         let spikes = dist::poisson(rng, self.spikes_per_hour * span_hours);
         for _ in 0..spikes {
-            let at = rng.gen_range(0..n);
+            let at = rng.range_usize(0, n);
             let secs = dist::uniform(rng, self.spike_secs_range.0, self.spike_secs_range.1);
             let len = ((secs / f64::from(step_secs)).ceil() as usize).max(1);
             let boost = dist::uniform(rng, self.spike_cpu_range.0, self.spike_cpu_range.1);
@@ -222,11 +241,10 @@ impl BackgroundConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use fgcs_runtime::rng::Xoshiro256;
 
-    fn rng() -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(7)
+    fn rng() -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(7)
     }
 
     #[test]

@@ -2,13 +2,13 @@
 //! paper reports about its testbed (§6.1) and that we use to calibrate the
 //! synthetic generator against it.
 
-use serde::{Deserialize, Serialize};
+use fgcs_runtime::impl_json_struct;
 
 use fgcs_core::log::HistoryStore;
 use fgcs_core::state::State;
 
 /// Summary of unavailability behaviour over a history store.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceStats {
     /// Days covered.
     pub days: usize,
@@ -21,6 +21,14 @@ pub struct TraceStats {
     /// Mean duration of a contiguous failure period, in seconds.
     pub mean_outage_secs: f64,
 }
+
+impl_json_struct!(TraceStats {
+    days,
+    occurrences,
+    by_state,
+    state_fractions,
+    mean_outage_secs,
+});
 
 impl TraceStats {
     /// Computes the statistics from a history store.

@@ -1,7 +1,8 @@
 //! Trace containers: the sampled (CPU, memory, heartbeat) series for one
 //! machine, plus conversion into availability history logs.
 
-use serde::{Deserialize, Serialize};
+use fgcs_runtime::impl_json_struct;
+use fgcs_runtime::json::JsonError;
 
 use fgcs_core::error::CoreError;
 use fgcs_core::log::HistoryStore;
@@ -10,7 +11,7 @@ use fgcs_core::model::{AvailabilityModel, LoadSample};
 /// A full monitoring trace of one machine: whole days of uniformly sampled
 /// [`LoadSample`]s. This is the synthetic stand-in for the paper's 3-month
 /// Purdue lab recordings.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineTrace {
     /// Identifier of the machine within its cluster.
     pub machine_id: u64,
@@ -23,6 +24,14 @@ pub struct MachineTrace {
     /// The samples, `samples_per_day` per day, concatenated chronologically.
     pub samples: Vec<LoadSample>,
 }
+
+impl_json_struct!(MachineTrace {
+    machine_id,
+    step_secs,
+    first_day_index,
+    physical_mem_mb,
+    samples,
+});
 
 impl MachineTrace {
     /// Samples per day at this trace's monitoring period.
@@ -60,14 +69,15 @@ impl MachineTrace {
         HistoryStore::from_samples(model, &self.samples, self.first_day_index)
     }
 
-    /// Serialises the trace to JSON.
-    pub fn to_json(&self) -> serde_json::Result<String> {
-        serde_json::to_string(self)
+    /// Serialises the trace to JSON. Deterministic: the same trace always
+    /// produces the same bytes.
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        Ok(fgcs_runtime::json::to_string(self))
     }
 
     /// Deserialises a trace from JSON.
-    pub fn from_json(json: &str) -> serde_json::Result<MachineTrace> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<MachineTrace, JsonError> {
+        fgcs_runtime::json::from_str(json)
     }
 
     /// Fraction of samples during which the machine was alive.

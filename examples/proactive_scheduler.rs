@@ -47,7 +47,12 @@ fn main() {
     for day in warm_days as u64..total_days as u64 {
         for slot in 0..12u64 {
             id += 1;
-            jobs.push(JobSpec::new(id, 5400.0, 80.0, day * per_day + slot * ticks_per_2h));
+            jobs.push(JobSpec::new(
+                id,
+                5400.0,
+                80.0,
+                day * per_day + slot * ticks_per_2h,
+            ));
         }
     }
 
@@ -81,7 +86,10 @@ fn main() {
 }
 
 fn summarize(policy: SchedulingPolicy, records: &[JobRecord], step: u32) {
-    let completed: Vec<&JobRecord> = records.iter().filter(|r| r.completed_tick.is_some()).collect();
+    let completed: Vec<&JobRecord> = records
+        .iter()
+        .filter(|r| r.completed_tick.is_some())
+        .collect();
     let kills: usize = records.iter().map(|r| r.kills).sum();
     let responses: Vec<f64> = completed
         .iter()

@@ -9,8 +9,6 @@
 
 use std::process::ExitCode;
 
-use rand::SeedableRng;
-
 use fgcs::core::predictor::evaluate_window;
 use fgcs::prelude::*;
 
@@ -98,7 +96,10 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         let path = format!("{out}/machine-{}.json", trace.machine_id);
         let json = trace.to_json().map_err(|e| e.to_string())?;
         std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
-        println!("wrote {path} ({days} days, {} samples)", trace.samples.len());
+        println!(
+            "wrote {path} ({days} days, {} samples)",
+            trace.samples.len()
+        );
     }
     Ok(())
 }
@@ -132,7 +133,7 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
     let predictor = SmpPredictor::new(model);
 
     if flag(args, "--ci") {
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xC1);
+        let mut rng = fgcs::runtime::rng::Xoshiro256::seed_from_u64(0xC1);
         let pred = predictor
             .predict_with_ci(&history, day_type, window, init, 500, 0.9, &mut rng)
             .map_err(|e| e.to_string())?;

@@ -14,7 +14,9 @@
 //! * [`timeseries`] — the linear time-series baselines (AR/BM/MA/ARMA/LAST),
 //! * [`sim`] — a discrete-event simulation of an iShare-style FGCS node
 //!   (resource monitor, state manager, gateway, job scheduler),
-//! * [`math`] — the small numerics layer everything above is built on.
+//! * [`math`] — the small numerics layer everything above is built on,
+//! * [`runtime`] — the std-only substrate (seedable PRNG, JSON, scoped
+//!   parallelism) that keeps the workspace free of external dependencies.
 //!
 //! A command-line front end ships as the `fgcs` binary (`src/bin/fgcs.rs`):
 //! `fgcs generate | stats | predict | evaluate`.
@@ -43,6 +45,7 @@
 
 pub use fgcs_core as core;
 pub use fgcs_math as math;
+pub use fgcs_runtime as runtime;
 pub use fgcs_sim as sim;
 pub use fgcs_timeseries as timeseries;
 pub use fgcs_trace as trace;
@@ -58,6 +61,7 @@ pub mod prelude {
         state::State,
         window::{DayType, TimeWindow},
     };
+    pub use fgcs_runtime::rng::{Rng, Xoshiro256};
     pub use fgcs_sim::{
         CheckpointConfig, CheckpointPolicy, Cluster, CpuContentionModel, GuestJob, GuestOutcome,
         GuestPriority, HostNode, JobRecord, JobScheduler, JobSpec, MemoryModel, MigrationPolicy,

@@ -15,11 +15,23 @@ fn cli_full_workflow() {
     // generate
     let out = fgcs()
         .args([
-            "generate", "--seed", "77", "--days", "14", "--machines", "1", "--out", dir_str,
+            "generate",
+            "--seed",
+            "77",
+            "--days",
+            "14",
+            "--machines",
+            "1",
+            "--out",
+            dir_str,
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let trace_path = dir.join("machine-0.json");
     assert!(trace_path.exists());
     let trace_str = trace_path.to_str().expect("utf8");
@@ -35,13 +47,22 @@ fn cli_full_workflow() {
         .args(["predict", trace_str, "--start", "9", "--hours", "1", "--ci"])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("TR(") && text.contains("CI"), "predict output: {text}");
+    assert!(
+        text.contains("TR(") && text.contains("CI"),
+        "predict output: {text}"
+    );
 
     // evaluate
     let out = fgcs()
-        .args(["evaluate", trace_str, "--train", "1", "--test", "1", "--hours", "1"])
+        .args([
+            "evaluate", trace_str, "--train", "1", "--test", "1", "--hours", "1",
+        ])
         .output()
         .expect("runs");
     assert!(out.status.success());
@@ -57,7 +78,10 @@ fn cli_rejects_unknown_command_and_bad_input() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 
-    let out = fgcs().args(["stats", "/nonexistent/trace.json"]).output().expect("runs");
+    let out = fgcs()
+        .args(["stats", "/nonexistent/trace.json"])
+        .output()
+        .expect("runs");
     assert!(!out.status.success());
 
     let out = fgcs().output().expect("runs");

@@ -1,0 +1,82 @@
+//! Determinism regression suite for the hermetic std-only stack: the same
+//! seed must reproduce byte-identical serialized traces and identical TR
+//! predictions across independent runs, and the scoped-parallelism helper
+//! must return exactly what the sequential sweep would.
+
+use fgcs::prelude::*;
+use fgcs::runtime::parallel::par_map_indexed;
+
+/// Generates a trace, classifies it, and predicts TR for a morning window —
+/// the full pipeline as one closed function of the seed.
+fn pipeline(seed: u64, days: usize) -> (String, f64) {
+    let model = AvailabilityModel::default();
+    let trace = TraceGenerator::new(TraceConfig::lab_machine(seed)).generate_days(days);
+    let json = trace.to_json().expect("trace serializes");
+    let history = trace.to_history(&model).unwrap();
+    let tr = SmpPredictor::new(model)
+        .predict(
+            &history,
+            DayType::Weekday,
+            TimeWindow::from_hours(8.0, 2.0),
+            State::S1,
+        )
+        .unwrap();
+    (json, tr)
+}
+
+#[test]
+fn same_seed_gives_byte_identical_trace_json() {
+    let (a, _) = pipeline(2006, 7);
+    let (b, _) = pipeline(2006, 7);
+    assert_eq!(a, b, "two runs of the same seed diverged");
+    // And the bytes survive a parse → serialize round trip unchanged
+    // (insertion-ordered objects + shortest-round-trip floats).
+    let parsed = MachineTrace::from_json(&a).expect("round trip parses");
+    assert_eq!(parsed.to_json().unwrap(), a);
+}
+
+#[test]
+fn same_seed_gives_identical_tr_predictions() {
+    let (_, tr1) = pipeline(42, 10);
+    let (_, tr2) = pipeline(42, 10);
+    assert_eq!(
+        tr1.to_bits(),
+        tr2.to_bits(),
+        "TR differs between runs: {tr1} vs {tr2}"
+    );
+    // Different seeds should not collapse to one value (sanity check that
+    // the pipeline actually depends on the seed).
+    let (json_other, _) = pipeline(43, 10);
+    assert_ne!(json_other, pipeline(42, 10).0);
+}
+
+#[test]
+fn parallel_sweep_matches_sequential_exactly() {
+    // A miniature Figure-5 sweep: per-machine TR over the window grid,
+    // once sequentially and once through the scoped-parallelism helper.
+    let machines = 4;
+    let days = 7;
+    let eval = |m: usize| -> Vec<u64> {
+        let (_, tr) = pipeline(100 + m as u64, days);
+        [1.0f64, 2.0, 3.0]
+            .iter()
+            .map(|h| {
+                let model = AvailabilityModel::default();
+                let trace = TraceGenerator::new(TraceConfig::lab_machine(100 + m as u64))
+                    .generate_days(days);
+                let history = trace.to_history(&model).unwrap();
+                let w = TimeWindow::from_hours(8.0, *h);
+                let tr_w = SmpPredictor::new(model)
+                    .predict(&history, DayType::Weekday, w, State::S1)
+                    .unwrap();
+                (tr_w + tr).to_bits()
+            })
+            .collect()
+    };
+    let sequential: Vec<Vec<u64>> = (0..machines).map(eval).collect();
+    let parallel = par_map_indexed(machines, eval);
+    assert_eq!(
+        sequential, parallel,
+        "parallel sweep diverged from sequential (bitwise)"
+    );
+}

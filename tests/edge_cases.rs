@@ -69,7 +69,9 @@ fn single_day_history_still_predicts() {
     let predictor = SmpPredictor::new(AvailabilityModel::default());
     let w = TimeWindow::from_hours(3.0, 1.0);
     assert_eq!(
-        predictor.predict(&store, DayType::Weekday, w, State::S1).unwrap(),
+        predictor
+            .predict(&store, DayType::Weekday, w, State::S1)
+            .unwrap(),
         1.0
     );
 }
@@ -101,7 +103,9 @@ fn max_history_days_zero_is_empty_history() {
     store.push_day(day_of(0, vec![State::S1; 14_400]));
     let predictor = SmpPredictor::new(AvailabilityModel::default()).with_max_history_days(0);
     let w = TimeWindow::from_hours(0.0, 1.0);
-    assert!(predictor.predict(&store, DayType::Weekday, w, State::S1).is_err());
+    assert!(predictor
+        .predict(&store, DayType::Weekday, w, State::S1)
+        .is_err());
 }
 
 #[test]
@@ -145,12 +149,11 @@ fn churny_history_keeps_probabilities_coherent() {
 
 #[test]
 fn noise_injection_into_short_history_is_clamped() {
-    use rand::SeedableRng;
     // A 100-sample day: injection near 8:00 am would target step ~4800,
     // beyond the log; overwrite must clamp, not panic.
     let mut store = HistoryStore::new();
     store.push_day(day_of(0, vec![State::S1; 100]));
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
+    let mut rng = fgcs::runtime::rng::Xoshiro256::seed_from_u64(4);
     let marks = NoiseInjector::default().inject(&mut store, 3, &mut rng);
     assert_eq!(marks.len(), 3);
     // The log is unchanged (all targets were out of range) but no panic.

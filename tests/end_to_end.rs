@@ -36,8 +36,12 @@ fn prediction_is_deterministic() {
     let history = trace.to_history(&model).unwrap();
     let predictor = SmpPredictor::new(model);
     let w = TimeWindow::from_hours(10.0, 1.0);
-    let a = predictor.predict(&history, DayType::Weekday, w, State::S1).unwrap();
-    let b = predictor.predict(&history, DayType::Weekday, w, State::S1).unwrap();
+    let a = predictor
+        .predict(&history, DayType::Weekday, w, State::S1)
+        .unwrap();
+    let b = predictor
+        .predict(&history, DayType::Weekday, w, State::S1)
+        .unwrap();
     assert_eq!(a, b);
 }
 
@@ -161,7 +165,6 @@ fn cross_midnight_prediction_consistent_with_in_day() {
 
 #[test]
 fn noise_injection_shifts_prediction_bounded() {
-    use rand::SeedableRng;
     let (model, trace) = testbed(8, 40);
     let history = trace.to_history(&model).unwrap();
     let (train, _) = history.split_ratio(1, 1);
@@ -172,7 +175,7 @@ fn noise_injection_shifts_prediction_bounded() {
         .unwrap();
 
     let mut noisy = train.clone();
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+    let mut rng = fgcs::runtime::rng::Xoshiro256::seed_from_u64(9);
     NoiseInjector::default().inject(&mut noisy, 3, &mut rng);
     let perturbed = predictor
         .predict(&noisy, DayType::Weekday, w, State::S1)

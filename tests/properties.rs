@@ -1,197 +1,263 @@
 //! Property-based tests over the core invariants, spanning crates.
-
-use proptest::prelude::*;
+//!
+//! Runs on the in-tree seeded harness (`fgcs::runtime::check`): each case is
+//! derived deterministically from the property name and case index, so a
+//! failure report reproduces by re-running the same test binary.
 
 use fgcs::core::smp::{DenseSolver, SmpParams, SparseSolver};
 use fgcs::core::{AvailabilityModel, LoadSample, State, StateClassifier};
+use fgcs::runtime::check::{check, ensure, Gen};
 
-/// Strategy: a random sparse sub-probability kernel over a small horizon.
-fn kernel_strategy(horizon: usize) -> impl Strategy<Value = SmpParams> {
-    // For each of the two source rows, draw 4 target weights and a set of
-    // holding times; normalise so the row sums to <= 1.
-    let row = proptest::collection::vec((0.0f64..1.0, 1..=horizon), 0..6);
-    (row.clone(), row).prop_map(move |(r1, r2)| {
-        let mut kernel: [[Vec<f64>; 4]; 2] = Default::default();
-        for r in &mut kernel {
-            for c in r.iter_mut() {
-                *c = vec![0.0; horizon + 1];
-            }
+const CASES: u64 = 64;
+
+/// A random sparse sub-probability kernel over a small horizon.
+///
+/// For each of the two source rows, draw up to six (target weight, holding
+/// time) entries and normalise so the row sums to < 1.
+fn random_kernel(g: &mut Gen, horizon: usize) -> SmpParams {
+    let mut kernel: [[Vec<f64>; 4]; 2] = Default::default();
+    for r in &mut kernel {
+        for c in r.iter_mut() {
+            *c = vec![0.0; horizon + 1];
         }
-        for (i, entries) in [r1, r2].into_iter().enumerate() {
-            let total: f64 = entries.iter().map(|(w, _)| w).sum::<f64>() + 1.0;
-            for (j, (w, l)) in entries.into_iter().enumerate() {
-                let k = j % 4;
-                kernel[i][k][l] += w / total;
-            }
+    }
+    for row in &mut kernel {
+        let entries = g.usize_in(0, 6);
+        let draws: Vec<(f64, usize)> = (0..entries)
+            .map(|_| (g.prob(), g.usize_in(1, horizon + 1)))
+            .collect();
+        let total: f64 = draws.iter().map(|(w, _)| w).sum::<f64>() + 1.0;
+        for (j, (w, l)) in draws.into_iter().enumerate() {
+            row[j % 4][l] += w / total;
         }
-        SmpParams::from_kernel(6, kernel)
-    })
+    }
+    SmpParams::from_kernel(6, kernel)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A random state-index sequence mapped into [`State`]s.
+fn random_states(g: &mut Gen, max_index: usize, min_len: usize, max_len: usize) -> Vec<State> {
+    let len = g.usize_in(min_len, max_len);
+    g.vec_of(len, |g| State::from_index(g.usize_in(0, max_index)))
+}
 
-    #[test]
-    fn tr_is_probability_and_monotone(params in kernel_strategy(24)) {
+#[test]
+fn tr_is_probability_and_monotone() {
+    check("tr_is_probability_and_monotone", CASES, |g| {
+        let params = random_kernel(g, 24);
         let solver = SparseSolver::new(&params);
         for init in [State::S1, State::S2] {
             let curve = solver.reliability_curve(init, 24).unwrap();
-            prop_assert_eq!(curve[0], 1.0);
+            ensure(curve[0] == 1.0, format!("curve starts at {}", curve[0]))?;
             for pair in curve.windows(2) {
-                prop_assert!(pair[1] <= pair[0] + 1e-9);
-                prop_assert!((0.0..=1.0).contains(&pair[1]));
+                ensure(
+                    pair[1] <= pair[0] + 1e-9,
+                    format!("curve not monotone: {} -> {}", pair[0], pair[1]),
+                )?;
+                ensure(
+                    (0.0..=1.0).contains(&pair[1]),
+                    format!("TR out of range: {}", pair[1]),
+                )?;
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sparse_equals_dense(params in kernel_strategy(16)) {
+#[test]
+fn sparse_equals_dense() {
+    check("sparse_equals_dense", CASES, |g| {
+        let params = random_kernel(g, 16);
         let sparse = SparseSolver::new(&params);
         let dense = DenseSolver::from_params(&params);
         for init in [State::S1, State::S2] {
             for steps in [1usize, 7, 16] {
                 let a = sparse.temporal_reliability(init, steps).unwrap();
                 let b = dense.temporal_reliability(init, steps).unwrap();
-                prop_assert!((a - b).abs() < 1e-9, "sparse {} dense {}", a, b);
+                ensure((a - b).abs() < 1e-9, format!("sparse {a} dense {b}"))?;
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn dense_rows_are_distributions(params in kernel_strategy(12)) {
+#[test]
+fn dense_rows_are_distributions() {
+    check("dense_rows_are_distributions", CASES, |g| {
+        let params = random_kernel(g, 12);
         let dense = DenseSolver::from_params(&params);
         let mats = dense.interval_matrix(12).unwrap();
         for mat in &mats {
             for row in mat {
                 let sum: f64 = row.iter().sum();
-                prop_assert!((sum - 1.0).abs() < 1e-9, "row sums to {}", sum);
+                ensure((sum - 1.0).abs() < 1e-9, format!("row sums to {sum}"))?;
                 for &p in row {
-                    prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+                    ensure(
+                        (0.0..=1.0 + 1e-12).contains(&p),
+                        format!("entry out of range: {p}"),
+                    )?;
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn estimated_q_rows_are_subprobabilities(
-        states in proptest::collection::vec(0usize..5, 20..200)
-    ) {
-        let seq: Vec<State> = states.into_iter().map(State::from_index).collect();
+#[test]
+fn estimated_q_rows_are_subprobabilities() {
+    check("estimated_q_rows_are_subprobabilities", CASES, |g| {
+        let seq = random_states(g, 5, 20, 200);
         let windows: Vec<&[State]> = vec![&seq];
         let horizon = seq.len() - 1;
         let params = SmpParams::estimate(&windows, 6, horizon);
         for from in [State::S1, State::S2] {
             let total: f64 = State::ALL.iter().map(|&to| params.q(from, to)).sum();
-            prop_assert!(total <= 1.0 + 1e-9, "row {} sums to {}", from, total);
+            ensure(total <= 1.0 + 1e-9, format!("row {from} sums to {total}"))?;
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn holding_pmfs_normalise(
-        states in proptest::collection::vec(0usize..3, 30..150)
-    ) {
-        let seq: Vec<State> = states.into_iter().map(State::from_index).collect();
+#[test]
+fn holding_pmfs_normalise() {
+    check("holding_pmfs_normalise", CASES, |g| {
+        let seq = random_states(g, 3, 30, 150);
         let windows: Vec<&[State]> = vec![&seq];
         let params = SmpParams::estimate(&windows, 6, seq.len() - 1);
         for from in [State::S1, State::S2] {
             for to in State::ALL {
                 if let Some(pmf) = params.holding_pmf(from, to) {
                     let total: f64 = pmf.iter().sum();
-                    prop_assert!((total - 1.0).abs() < 1e-9, "pmf sums to {}", total);
-                    prop_assert!(pmf.iter().all(|&p| p >= 0.0));
+                    ensure((total - 1.0).abs() < 1e-9, format!("pmf sums to {total}"))?;
+                    ensure(pmf.iter().all(|&p| p >= 0.0), "negative pmf entry")?;
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn classification_is_exhaustive_and_consistent(
-        cpus in proptest::collection::vec(0.0f64..1.0, 1..500),
-        mem in 0.0f64..1024.0,
-    ) {
+#[test]
+fn classification_is_exhaustive_and_consistent() {
+    check("classification_is_exhaustive_and_consistent", CASES, |g| {
+        let n = g.usize_in(1, 500);
+        let cpus = g.vec_of(n, Gen::prob);
+        let mem = g.f64_in(0.0, 1024.0);
         let model = AvailabilityModel::default();
         let classifier = StateClassifier::new(model);
         let samples: Vec<LoadSample> = cpus
             .iter()
-            .map(|&c| LoadSample { host_cpu: c, free_mem_mb: mem, alive: true })
+            .map(|&c| LoadSample {
+                host_cpu: c,
+                free_mem_mb: mem,
+                alive: true,
+            })
             .collect();
         let states = classifier.classify(&samples);
-        prop_assert_eq!(states.len(), samples.len());
+        ensure(
+            states.len() == samples.len(),
+            format!("{} states for {} samples", states.len(), samples.len()),
+        )?;
         let memory_short = mem < model.guest_working_set_mb;
         for (s, sample) in states.iter().zip(&samples) {
             if memory_short {
-                prop_assert_eq!(*s, State::S4);
+                ensure(*s == State::S4, format!("expected S4, got {s}"))?;
             } else {
-                prop_assert!(*s != State::S4 && *s != State::S5);
+                ensure(
+                    *s != State::S4 && *s != State::S5,
+                    format!("memory/revocation state {s} without cause"),
+                )?;
                 // Below Th1 can only be S1; folding can also pull spikes down
                 // to S1/S2, never up.
                 if sample.host_cpu < model.th1 {
-                    prop_assert_eq!(*s, State::S1);
+                    ensure(*s == State::S1, format!("cpu {} gave {s}", sample.host_cpu))?;
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn folding_never_creates_failures(
-        cpus in proptest::collection::vec(0.0f64..1.0, 1..300)
-    ) {
+#[test]
+fn folding_never_creates_failures() {
+    check("folding_never_creates_failures", CASES, |g| {
+        let n = g.usize_in(1, 300);
+        let cpus = g.vec_of(n, Gen::prob);
         let model = AvailabilityModel::default();
         let with = StateClassifier::new(model);
         let without = StateClassifier::new(model).without_transient_folding();
         let samples: Vec<LoadSample> = cpus
             .iter()
-            .map(|&c| LoadSample { host_cpu: c, free_mem_mb: 512.0, alive: true })
+            .map(|&c| LoadSample {
+                host_cpu: c,
+                free_mem_mb: 512.0,
+                alive: true,
+            })
             .collect();
         let folded = with.classify(&samples);
         let raw = without.classify(&samples);
         for (f, r) in folded.iter().zip(&raw) {
             // Folding can only downgrade S3 to an operational state.
             if f != r {
-                prop_assert_eq!(*r, State::S3);
-                prop_assert!(f.is_operational());
+                ensure(*r == State::S3, format!("folding changed {r} (not S3)"))?;
+                ensure(f.is_operational(), format!("folded into failure {f}"))?;
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn levinson_matches_lu_on_random_stationary_series(
-        xs in proptest::collection::vec(-10.0f64..10.0, 50..200)
-    ) {
-        use fgcs::math::{matrix::Matrix, stats, toeplitz};
-        let p = 4;
-        let acov = stats::autocovariance(&xs, p);
-        prop_assume!(acov[0] > 1e-6);
-        let ld = match toeplitz::levinson_durbin(&acov, p) {
-            Ok(r) => r,
-            Err(_) => return Ok(()),
-        };
-        let mut m = Matrix::zeros(p, p);
-        let mut rhs = vec![0.0; p];
-        for i in 0..p {
-            for j in 0..p {
-                m[(i, j)] = acov[i.abs_diff(j)];
+#[test]
+fn levinson_matches_lu_on_random_stationary_series() {
+    check(
+        "levinson_matches_lu_on_random_stationary_series",
+        CASES,
+        |g| {
+            use fgcs::math::{matrix::Matrix, stats, toeplitz};
+            let n = g.usize_in(50, 200);
+            let xs = g.vec_of(n, |g| g.f64_in(-10.0, 10.0));
+            let p = 4;
+            let acov = stats::autocovariance(&xs, p);
+            if acov[0] <= 1e-6 {
+                // Degenerate (near-constant) series: nothing to compare.
+                return Ok(());
             }
-            rhs[i] = acov[i + 1];
-        }
-        if let Ok(direct) = m.solve(&rhs) {
-            for (a, b) in ld.coeffs.iter().zip(&direct) {
-                prop_assert!((a - b).abs() < 1e-6, "LD {} vs LU {}", a, b);
+            let ld = match toeplitz::levinson_durbin(&acov, p) {
+                Ok(r) => r,
+                Err(_) => return Ok(()),
+            };
+            let mut m = Matrix::zeros(p, p);
+            let mut rhs = vec![0.0; p];
+            for i in 0..p {
+                for j in 0..p {
+                    m[(i, j)] = acov[i.abs_diff(j)];
+                }
+                rhs[i] = acov[i + 1];
             }
-        }
-    }
+            if let Ok(direct) = m.solve(&rhs) {
+                for (a, b) in ld.coeffs.iter().zip(&direct) {
+                    ensure((a - b).abs() < 1e-6, format!("LD {a} vs LU {b}"))?;
+                }
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn guest_job_progress_conserves_work(
-        allocs in proptest::collection::vec(0.0f64..1.0, 1..100)
-    ) {
+#[test]
+fn guest_job_progress_conserves_work() {
+    check("guest_job_progress_conserves_work", CASES, |g| {
         use fgcs::sim::GuestJob;
+        let n = g.usize_in(1, 100);
+        let allocs = g.vec_of(n, Gen::prob);
         let mut job = GuestJob::new(1, 1e6, 50.0);
         let mut expected = 0.0;
         for a in allocs {
             job.advance(a, 6.0);
             expected += a * 6.0;
         }
-        prop_assert!((job.progress_secs - expected).abs() < 1e-6);
-    }
+        ensure(
+            (job.progress_secs - expected).abs() < 1e-6,
+            format!("progress {} expected {expected}", job.progress_secs),
+        )
+    });
 }

@@ -1,52 +1,66 @@
 //! Property-based tests over the simulation layer: gateway state machine,
 //! contention model, directory semantics and trace-generation invariants.
-
-use proptest::prelude::*;
+//!
+//! Runs on the in-tree seeded harness (`fgcs::runtime::check`).
 
 use fgcs::core::State;
+use fgcs::runtime::check::{check, ensure, Gen};
 use fgcs::sim::contention::GuestPriority;
 use fgcs::sim::state_manager::OnlineDecision;
 use fgcs::sim::{CpuContentionModel, Gateway, GuestAction, GuestJob, ResourceDirectory};
 
-/// Strategy for an arbitrary online decision.
-fn decision_strategy() -> impl Strategy<Value = OnlineDecision> {
-    prop_oneof![
-        Just(OnlineDecision::Operational(State::S1)),
-        Just(OnlineDecision::Operational(State::S2)),
-        Just(OnlineDecision::Transient),
-        Just(OnlineDecision::Failed(State::S3)),
-        Just(OnlineDecision::Failed(State::S4)),
-        Just(OnlineDecision::Failed(State::S5)),
-    ]
+const CASES: u64 = 128;
+
+/// An arbitrary online decision.
+fn random_decision(g: &mut Gen) -> OnlineDecision {
+    *g.pick(&[
+        OnlineDecision::Operational(State::S1),
+        OnlineDecision::Operational(State::S2),
+        OnlineDecision::Transient,
+        OnlineDecision::Failed(State::S3),
+        OnlineDecision::Failed(State::S4),
+        OnlineDecision::Failed(State::S5),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn gateway_never_runs_during_failure_or_transient(
-        decisions in proptest::collection::vec(decision_strategy(), 1..200)
-    ) {
-        let mut gw = Gateway::new(2);
-        for d in decisions {
-            let action = gw.step(d);
-            match d {
-                OnlineDecision::Failed(s) => prop_assert_eq!(action, GuestAction::Kill(s)),
-                OnlineDecision::Transient => prop_assert_eq!(action, GuestAction::Suspend),
-                OnlineDecision::Operational(_) => prop_assert!(
-                    action != GuestAction::Kill(State::S3)
-                        && action != GuestAction::Kill(State::S4)
-                        && action != GuestAction::Kill(State::S5)
-                ),
+#[test]
+fn gateway_never_runs_during_failure_or_transient() {
+    check(
+        "gateway_never_runs_during_failure_or_transient",
+        CASES,
+        |g| {
+            let n = g.usize_in(1, 200);
+            let decisions = g.vec_of(n, random_decision);
+            let mut gw = Gateway::new(2);
+            for d in decisions {
+                let action = gw.step(d);
+                match d {
+                    OnlineDecision::Failed(s) => ensure(
+                        action == GuestAction::Kill(s),
+                        format!("failure {s} gave {action:?}"),
+                    )?,
+                    OnlineDecision::Transient => ensure(
+                        action == GuestAction::Suspend,
+                        format!("transient gave {action:?}"),
+                    )?,
+                    OnlineDecision::Operational(_) => ensure(
+                        action != GuestAction::Kill(State::S3)
+                            && action != GuestAction::Kill(State::S4)
+                            && action != GuestAction::Kill(State::S5),
+                        format!("operational decision killed: {action:?}"),
+                    )?,
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn gateway_resumes_within_quiet_budget(
-        quiet in 1usize..5,
-        ops in 5usize..20,
-    ) {
+#[test]
+fn gateway_resumes_within_quiet_budget() {
+    check("gateway_resumes_within_quiet_budget", CASES, |g| {
+        let quiet = g.usize_in(1, 5);
+        let ops = g.usize_in(5, 20);
         let mut gw = Gateway::new(quiet);
         gw.step(OnlineDecision::Transient);
         let mut resumed_at = None;
@@ -58,68 +72,119 @@ proptest! {
             }
         }
         // Resume happens exactly after `quiet` operational periods.
-        prop_assert_eq!(resumed_at, Some(quiet - 1));
-    }
+        ensure(
+            resumed_at == Some(quiet - 1),
+            format!("quiet {quiet}: resumed at {resumed_at:?}"),
+        )
+    });
+}
 
-    #[test]
-    fn contention_allocations_are_conservative(
-        demands in proptest::collection::vec(0.0f64..1.0, 0..6),
-        guest_demand in 0.0f64..1.0,
-        lowest in proptest::bool::ANY,
-    ) {
+#[test]
+fn contention_allocations_are_conservative() {
+    check("contention_allocations_are_conservative", CASES, |g| {
+        let n = g.usize_in(0, 6);
+        let demands = g.vec_of(n, Gen::prob);
+        let guest_demand = g.prob();
+        let lowest = g.bool_with(0.5);
         let m = CpuContentionModel::default();
-        let prio = if lowest { GuestPriority::Lowest } else { GuestPriority::Default };
+        let prio = if lowest {
+            GuestPriority::Lowest
+        } else {
+            GuestPriority::Default
+        };
         let alloc = m.allocate(&demands, guest_demand, prio);
         let total: f64 = alloc.host.iter().sum::<f64>() + alloc.guest;
-        prop_assert!(total <= 1.0 + 1e-9, "allocated {} > capacity", total);
+        ensure(total <= 1.0 + 1e-9, format!("allocated {total} > capacity"))?;
         for (a, d) in alloc.host.iter().zip(&demands) {
-            prop_assert!(*a <= d + 1e-9, "host got {} for demand {}", a, d);
+            ensure(*a <= d + 1e-9, format!("host got {a} for demand {d}"))?;
         }
-        prop_assert!(alloc.guest <= guest_demand + 1e-9);
-        prop_assert!(alloc.host_effective >= 0.0);
+        ensure(
+            alloc.guest <= guest_demand + 1e-9,
+            format!("guest got {} for demand {guest_demand}", alloc.guest),
+        )?;
+        ensure(
+            alloc.host_effective >= 0.0,
+            format!("negative effective host share {}", alloc.host_effective),
+        )?;
         // Interference can only shrink what the hosts got.
         let raw: f64 = alloc.host.iter().sum();
-        prop_assert!(alloc.host_effective <= raw + 1e-9);
-    }
+        ensure(
+            alloc.host_effective <= raw + 1e-9,
+            format!("effective {} above raw {raw}", alloc.host_effective),
+        )
+    });
+}
 
-    #[test]
-    fn reduction_rate_is_a_fraction(
-        demands in proptest::collection::vec(0.0f64..1.0, 1..6),
-        lowest in proptest::bool::ANY,
-    ) {
+#[test]
+fn reduction_rate_is_a_fraction() {
+    check("reduction_rate_is_a_fraction", CASES, |g| {
+        let n = g.usize_in(1, 6);
+        let demands = g.vec_of(n, Gen::prob);
+        let lowest = g.bool_with(0.5);
         let m = CpuContentionModel::default();
-        let prio = if lowest { GuestPriority::Lowest } else { GuestPriority::Default };
+        let prio = if lowest {
+            GuestPriority::Lowest
+        } else {
+            GuestPriority::Default
+        };
         let r = m.host_reduction_rate(&demands, prio);
-        prop_assert!((0.0..=1.0).contains(&r), "reduction {}", r);
-    }
+        ensure((0.0..=1.0).contains(&r), format!("reduction {r}"))
+    });
+}
 
-    #[test]
-    fn guest_job_invariants_hold_under_arbitrary_schedules(
-        allocs in proptest::collection::vec((0.0f64..1.0, proptest::bool::ANY), 1..300)
-    ) {
-        use fgcs::sim::CheckpointConfig;
-        let mut job = GuestJob::new(1, 600.0, 50.0).with_checkpointing(CheckpointConfig {
-            interval_secs: 60.0,
-            cost_secs: 6.0,
-        });
-        for (alloc, kill) in allocs {
-            job.advance(alloc, 6.0);
-            if kill {
-                job.rollback();
+#[test]
+fn guest_job_invariants_hold_under_arbitrary_schedules() {
+    check(
+        "guest_job_invariants_hold_under_arbitrary_schedules",
+        CASES,
+        |g| {
+            use fgcs::sim::CheckpointConfig;
+            let n = g.usize_in(1, 300);
+            let allocs = g.vec_of(n, |g| (g.prob(), g.bool_with(0.5)));
+            let mut job = GuestJob::new(1, 600.0, 50.0).with_checkpointing(CheckpointConfig {
+                interval_secs: 60.0,
+                cost_secs: 6.0,
+            });
+            for (alloc, kill) in allocs {
+                job.advance(alloc, 6.0);
+                if kill {
+                    job.rollback();
+                }
+                // Invariants after every event:
+                ensure(
+                    job.progress_secs >= job.checkpointed_secs - 1e-9,
+                    format!(
+                        "progress {} below checkpoint {}",
+                        job.progress_secs, job.checkpointed_secs
+                    ),
+                )?;
+                ensure(
+                    job.progress_secs <= job.work_secs + 1e-9,
+                    format!(
+                        "progress {} above work {}",
+                        job.progress_secs, job.work_secs
+                    ),
+                )?;
+                ensure(
+                    job.checkpointed_secs >= 0.0,
+                    format!("negative checkpoint {}", job.checkpointed_secs),
+                )?;
+                ensure(
+                    job.overhead_secs >= 0.0,
+                    format!("negative overhead {}", job.overhead_secs),
+                )?;
             }
-            // Invariants after every event:
-            prop_assert!(job.progress_secs >= job.checkpointed_secs - 1e-9);
-            prop_assert!(job.progress_secs <= job.work_secs + 1e-9);
-            prop_assert!(job.checkpointed_secs >= 0.0);
-            prop_assert!(job.overhead_secs >= 0.0);
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn directory_discovery_is_sorted_and_live(
-        ads in proptest::collection::vec((0u64..20, 0u64..100, 0.0f64..1.0), 0..30),
-        now in 50u64..200,
-    ) {
+#[test]
+fn directory_discovery_is_sorted_and_live() {
+    check("directory_discovery_is_sorted_and_live", CASES, |g| {
+        let n = g.usize_in(0, 30);
+        let ads = g.vec_of(n, |g| (g.u64() % 20, g.u64() % 100, g.prob()));
+        let now = 50 + g.u64() % 150;
         let mut dir = ResourceDirectory::new(60);
         for (id, at, tr) in &ads {
             dir.publish(fgcs::sim::ResourceAd {
@@ -136,13 +201,17 @@ proptest! {
         let mut dedup = found.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        prop_assert_eq!(dedup.len(), found.len());
+        ensure(
+            dedup.len() == found.len(),
+            format!("duplicates in discovery: {found:?}"),
+        )?;
         // All hits are live.
         for id in &found {
             let ad = dir.live_ads(now).into_iter().find(|a| a.node_id == *id);
-            prop_assert!(ad.is_some(), "discovered an expired ad");
+            ensure(ad.is_some(), "discovered an expired ad")?;
         }
-    }
+        Ok(())
+    });
 }
 
 #[test]

@@ -92,12 +92,12 @@ fn checkpointing_reduces_lost_work() {
     };
 
     let plain = run(GuestJob::new(1, 7200.0, 50.0));
-    let checkpointed = run(GuestJob::new(2, 7200.0, 50.0).with_checkpointing(
-        CheckpointConfig {
+    let checkpointed = run(
+        GuestJob::new(2, 7200.0, 50.0).with_checkpointing(CheckpointConfig {
             interval_secs: 300.0,
             cost_secs: 5.0,
-        },
-    ));
+        }),
+    );
     // Both get killed by the overload; the checkpointed job retains
     // progress, the plain one restarts from zero.
     assert!(matches!(plain.outcome, GuestOutcome::Killed { .. }));
@@ -133,7 +133,10 @@ fn cluster_workload_accounting_is_complete() {
         }
     }
     // On a 3-node lab cluster over two days, most half-hour jobs finish.
-    let completed = records.iter().filter(|r| r.completed_tick.is_some()).count();
+    let completed = records
+        .iter()
+        .filter(|r| r.completed_tick.is_some())
+        .count();
     assert!(completed >= 4, "only {completed}/6 jobs completed");
 }
 
