@@ -12,10 +12,26 @@ cd "$(dirname "$0")"
 echo "== cargo fmt --check"
 cargo fmt --check
 
+echo "== cargo clippy --offline --workspace --all-targets -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo clippy (bench-harness targets)"
+cargo clippy --offline -p fgcs-bench --all-targets --features bench-harness -- -D warnings
+
+echo "== cargo check fgcs-runtime without the metrics feature (no-op macro path)"
+cargo check -q --offline -p fgcs-runtime --no-default-features
+
 echo "== cargo build --release --offline"
 cargo build --release --offline --workspace
 
+echo "== cargo build --release --offline --examples"
+cargo build --release --offline --workspace --examples
+
 echo "== cargo test -q --offline"
 cargo test -q --offline --workspace
+
+echo "== bench smoke -> BENCH_baseline.json"
+cargo run -q --release --offline -p fgcs-bench --bin bench_smoke -- --out BENCH_baseline.json
+cargo run -q --release --offline -p fgcs-bench --bin bench_smoke -- --check BENCH_baseline.json
 
 echo "CI OK"

@@ -1,0 +1,238 @@
+//! Bench smoke mode: bounded-iteration versions of the micro-bench
+//! workloads, emitting `BENCH_baseline.json` with the median ns/op per
+//! bench — the perf-trajectory artifact CI regenerates and sanity-checks
+//! on every run.
+//!
+//! ```text
+//! bench_smoke [--out PATH]            # run the benches, write the baseline
+//! bench_smoke --check PATH            # validate a baseline file, exit 1 on problems
+//! ```
+//!
+//! Unlike the `--features bench-harness` targets (tuned for comparing
+//! solvers at many window lengths), the smoke run keeps each measurement to
+//! a few milliseconds so the whole suite stays CI-cheap. It also measures
+//! the metrics subsystem's overhead on a miniature Fig. 5 sweep — run with
+//! the registry disabled vs enabled — and exports it as
+//! `metrics_overhead_pct`, which `--check` asserts stays below 5 %.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use fgcs_bench::{smp_error, Testbed};
+use fgcs_core::classify::StateClassifier;
+use fgcs_core::predictor::SmpPredictor;
+use fgcs_core::smp::{CompactSolver, SmpParams, SparseSolver};
+use fgcs_core::state::State;
+use fgcs_core::window::{DayType, TimeWindow};
+use fgcs_runtime::bench::measure;
+use fgcs_runtime::json::Json;
+use fgcs_trace::{TraceConfig, TraceGenerator};
+
+/// Samples per bench; the median of these is what lands in the baseline.
+const SAMPLES: usize = 7;
+/// Per-sample calibration target: small enough that the full suite stays
+/// in CI-smoke territory, large enough to average out timer noise.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+/// Bench keys `--check` requires (the ISSUE-2 acceptance set).
+const REQUIRED_KEYS: [&str; 5] = [
+    "smp_solver/paper_eq3_2h",
+    "smp_solver/compact_2h",
+    "qh_estimation/2h",
+    "classify/whole_day_offline",
+    "trace_gen/machine_day_lab",
+];
+
+/// Enabled-vs-disabled overhead budget for the instrumented Fig. 5 sweep.
+const OVERHEAD_BUDGET_PCT: f64 = 5.0;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opt = |key: &str| {
+        args.iter()
+            .position(|a| a == key)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    if let Some(path) = opt("--check") {
+        return match check_baseline(&path) {
+            Ok(()) => {
+                println!("{path}: baseline OK");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let out = opt("--out").unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let json = run_smoke().to_string();
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("error: writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("baseline written to {out}");
+    ExitCode::SUCCESS
+}
+
+fn run_smoke() -> Json {
+    let model = fgcs_core::model::AvailabilityModel::default();
+    let trace = TraceGenerator::new(TraceConfig::lab_machine(2006)).generate_days(30);
+    let history = trace.to_history(&model).unwrap();
+    let predictor = SmpPredictor::new(model);
+
+    let window = TimeWindow::from_hours(8.0, 2.0);
+    let steps = window.steps(model.monitor_period_secs);
+    let params = predictor
+        .estimate_params(&history, DayType::Weekday, window)
+        .unwrap();
+    let windows: Vec<Vec<State>> = history.recent_windows(DayType::Weekday, window, None);
+    let refs: Vec<&[State]> = windows.iter().map(Vec::as_slice).collect();
+    let day = trace.day_samples(0).to_vec();
+    let classifier = StateClassifier::new(model);
+    let generator = TraceGenerator::new(TraceConfig::lab_machine(1));
+
+    let mut benches: Vec<(String, Json)> = Vec::new();
+    let mut run = |name: &str, f: &mut dyn FnMut()| {
+        let m = measure(SAMPLES, TARGET_SAMPLE, &mut || f());
+        println!("{name}: {:.0} ns/op (median of {SAMPLES})", m.median_ns);
+        benches.push((name.to_string(), Json::F64(m.median_ns)));
+    };
+
+    use std::hint::black_box;
+    run("smp_solver/paper_eq3_2h", &mut || {
+        black_box(
+            SparseSolver::new(&params)
+                .temporal_reliability(State::S1, steps)
+                .unwrap(),
+        );
+    });
+    run("smp_solver/compact_2h", &mut || {
+        black_box(
+            CompactSolver::from_params(&params)
+                .temporal_reliability(State::S1, steps)
+                .unwrap(),
+        );
+    });
+    run("qh_estimation/2h", &mut || {
+        black_box(SmpParams::estimate(&refs, model.monitor_period_secs, steps));
+    });
+    run("classify/whole_day_offline", &mut || {
+        black_box(classifier.classify(&day));
+    });
+    run("trace_gen/machine_day_lab", &mut || {
+        black_box(generator.generate_days(1));
+    });
+
+    let overhead = metrics_overhead_pct();
+    println!("metrics_overhead_pct: {overhead:.2}");
+
+    Json::Obj(vec![
+        ("schema".into(), Json::Str("fgcs-bench-smoke/v1".into())),
+        ("samples_per_bench".into(), Json::U64(SAMPLES as u64)),
+        ("unit".into(), Json::Str("median ns/op".into())),
+        ("benches".into(), Json::Obj(benches)),
+        ("metrics_overhead_pct".into(), Json::F64(overhead)),
+    ])
+}
+
+/// One pass of a miniature Fig. 5 sweep: every machine × window length ×
+/// a grid of start hours on a train/test split — the workload the <5 %
+/// metrics-overhead acceptance criterion is defined against.
+fn fig5_mini_sweep(tb: &Testbed) -> usize {
+    let predictor = SmpPredictor::new(tb.model);
+    let mut evaluated = 0;
+    for history in &tb.histories {
+        let (train, test) = history.split_ratio(1, 1);
+        for hours in [1.0, 2.0, 3.0] {
+            for start in [0.0f64, 4.0, 8.0, 12.0, 16.0, 20.0] {
+                let w = TimeWindow::from_hours(start, hours);
+                if smp_error(&predictor, &train, &test, DayType::Weekday, w).is_some() {
+                    evaluated += 1;
+                }
+            }
+        }
+    }
+    evaluated
+}
+
+/// Runs the mini sweep with the registry disabled and enabled
+/// (interleaved, best-of-N each) and returns the relative slowdown in
+/// percent. Best-of comparisons are the standard way to cancel scheduler
+/// noise when the expected difference is small.
+fn metrics_overhead_pct() -> f64 {
+    let tb = Testbed::generate(2006, 3, 21);
+    // Warm up caches and page in the histories, once per gate position so
+    // the first measured round of either mode isn't paying one-time costs
+    // (lazy instrument registration, branch-predictor training).
+    fig5_mini_sweep(&tb);
+    fgcs_runtime::metrics::set_enabled(true);
+    fig5_mini_sweep(&tb);
+    let rounds = 9;
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    for _ in 0..rounds {
+        fgcs_runtime::metrics::set_enabled(false);
+        let t = std::time::Instant::now();
+        std::hint::black_box(fig5_mini_sweep(&tb));
+        best_off = best_off.min(t.elapsed().as_secs_f64());
+
+        fgcs_runtime::metrics::set_enabled(true);
+        let t = std::time::Instant::now();
+        std::hint::black_box(fig5_mini_sweep(&tb));
+        best_on = best_on.min(t.elapsed().as_secs_f64());
+    }
+    fgcs_runtime::metrics::set_enabled(false);
+    (100.0 * (best_on / best_off - 1.0)).max(0.0)
+}
+
+fn check_baseline(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("parse failed: {e}"))?;
+    let Json::Obj(top) = &json else {
+        return Err("top level is not an object".into());
+    };
+    let field = |key: &str| {
+        top.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing key `{key}`"))
+    };
+    let Json::Obj(benches) = field("benches")? else {
+        return Err("`benches` is not an object".into());
+    };
+    for key in REQUIRED_KEYS {
+        let Some((_, value)) = benches.iter().find(|(k, _)| k == key) else {
+            return Err(format!("missing bench `{key}`"));
+        };
+        let ns = as_finite_number(value).ok_or_else(|| format!("bench `{key}` is not finite"))?;
+        if ns <= 0.0 {
+            return Err(format!("bench `{key}` is not positive: {ns}"));
+        }
+    }
+    for (key, value) in benches {
+        if as_finite_number(value).is_none() {
+            return Err(format!("bench `{key}` is not a finite number"));
+        }
+    }
+    let overhead = as_finite_number(field("metrics_overhead_pct")?)
+        .ok_or("`metrics_overhead_pct` is not finite")?;
+    if overhead >= OVERHEAD_BUDGET_PCT {
+        return Err(format!(
+            "metrics overhead {overhead:.2}% exceeds the {OVERHEAD_BUDGET_PCT}% budget"
+        ));
+    }
+    Ok(())
+}
+
+/// Accepts any JSON number, rejecting the `null` the writer emits for
+/// non-finite floats.
+fn as_finite_number(v: &Json) -> Option<f64> {
+    match v {
+        Json::F64(x) if x.is_finite() => Some(*x),
+        Json::I64(x) => Some(*x as f64),
+        Json::U64(x) => Some(*x as f64),
+        _ => None,
+    }
+}

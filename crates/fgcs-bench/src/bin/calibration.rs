@@ -9,6 +9,7 @@ use fgcs_core::model::AvailabilityModel;
 use fgcs_trace::{generate_cluster, TraceConfig, TraceStats};
 
 fn main() {
+    let _metrics = fgcs_bench::MetricsExport::from_args();
     let mut args = std::env::args().skip(1);
     let machines: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
     let days: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(90);

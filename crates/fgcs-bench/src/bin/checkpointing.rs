@@ -18,6 +18,7 @@ use fgcs_sim::{
 use fgcs_trace::{generate_cluster, TraceConfig};
 
 fn main() {
+    let _metrics = fgcs_bench::MetricsExport::from_args();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let get = |key: &str, default: usize| {
         args.iter()

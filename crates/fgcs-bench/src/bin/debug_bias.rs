@@ -6,6 +6,7 @@ use fgcs_core::predictor::{evaluate_window, SmpPredictor};
 use fgcs_core::window::{DayType, TimeWindow};
 
 fn main() {
+    let _metrics = fgcs_bench::MetricsExport::from_args();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let hours: f64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(10.0);
     let tb = Testbed::generate(2006, 4, 90);

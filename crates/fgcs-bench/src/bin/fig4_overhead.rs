@@ -20,6 +20,7 @@ use fgcs_core::state::State;
 use fgcs_core::window::{DayType, TimeWindow};
 
 fn main() {
+    let _metrics = fgcs_bench::MetricsExport::from_args();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let step: u32 = args
         .iter()

@@ -25,6 +25,7 @@ use fgcs_core::predictor::SmpPredictor;
 use fgcs_core::window::{DayType, TimeWindow};
 
 fn main() {
+    let _metrics = fgcs_bench::MetricsExport::from_args();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let get = |key: &str, default: usize| {
         args.iter()

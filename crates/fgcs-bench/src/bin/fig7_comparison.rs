@@ -21,6 +21,7 @@ use fgcs_core::window::{DayType, TimeWindow, SECS_PER_DAY};
 use fgcs_timeseries::{evaluate_ts_window, paper_lineup, severity_series, TsDayCase};
 
 fn main() {
+    let _metrics = fgcs_bench::MetricsExport::from_args();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let get = |key: &str, default: usize| {
         args.iter()

@@ -13,6 +13,7 @@
 use fgcs_sim::contention::{CpuContentionModel, GuestPriority, MemoryModel};
 
 fn main() {
+    let _metrics = fgcs_bench::MetricsExport::from_args();
     let model = CpuContentionModel::default();
 
     for (label, priority) in [

@@ -114,6 +114,47 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}%", 100.0 * x)
 }
 
+/// `--metrics-out PATH` support for the experiment binaries: construct one
+/// at the top of `main` and keep it alive; if the flag is present in the
+/// process arguments the metrics registry is enabled for the run and its
+/// JSON snapshot is written to PATH when the guard drops.
+pub struct MetricsExport {
+    path: Option<String>,
+}
+
+impl MetricsExport {
+    /// Parses `--metrics-out` from [`std::env::args`].
+    #[must_use]
+    pub fn from_args() -> MetricsExport {
+        let args: Vec<String> = std::env::args().collect();
+        let path = args
+            .iter()
+            .position(|a| a == "--metrics-out")
+            .and_then(|i| args.get(i + 1))
+            .cloned();
+        if path.is_some() {
+            fgcs_runtime::metrics::set_enabled(true);
+        }
+        MetricsExport { path }
+    }
+}
+
+impl Drop for MetricsExport {
+    fn drop(&mut self) {
+        if let Some(path) = self.path.take() {
+            let json = fgcs_runtime::metrics::registry()
+                .snapshot()
+                .to_json()
+                .to_string();
+            if let Err(e) = std::fs::write(&path, json + "\n") {
+                eprintln!("warning: could not write metrics to {path}: {e}");
+            } else {
+                eprintln!("metrics snapshot written to {path}");
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

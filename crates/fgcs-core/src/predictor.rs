@@ -65,6 +65,8 @@ impl SmpPredictor {
         day_type: DayType,
         window: TimeWindow,
     ) -> Result<SmpParams, CoreError> {
+        let _span = fgcs_runtime::time_span!("core.estimate_params_ns");
+        fgcs_runtime::counter_add!("core.qh_estimations", 1);
         let step = self.model.monitor_period_secs;
         let mut slices = history.recent_windows(day_type, window, self.max_history_days);
         if !self.same_day_type_only {
@@ -77,6 +79,7 @@ impl SmpPredictor {
         if slices.is_empty() {
             return Err(CoreError::EmptyHistory { window });
         }
+        fgcs_runtime::histogram_record!("core.history_window_days", slices.len() as u64);
         let horizon = window.steps(step);
         let refs: Vec<&[State]> = slices.iter().map(Vec::as_slice).collect();
         Ok(SmpParams::estimate(&refs, step, horizon))
@@ -113,6 +116,8 @@ impl SmpPredictor {
         if init.is_failure() {
             return Err(CoreError::FailureInitialState(init));
         }
+        let _span = fgcs_runtime::time_span!("core.tr_query_ns");
+        fgcs_runtime::counter_add!("core.tr_queries", 1);
         let params = self.estimate_params(history, day_type, window)?;
         let steps = window.steps(self.model.monitor_period_secs);
         // The compact solver is property-tested equal to the paper's Eq.-3

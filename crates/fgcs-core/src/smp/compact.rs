@@ -76,6 +76,14 @@ impl CompactSolver {
                 available: self.horizon,
             });
         }
+        fgcs_runtime::counter_add!("core.solver.compact_runs", 1);
+        fgcs_runtime::counter_add!("core.solver.compact_steps", steps as u64);
+        // Each step m scans at most every event list once: the
+        // O(steps · nnz) cost this solver exists to achieve.
+        fgcs_runtime::counter_add!(
+            "core.solver.compact_iterations",
+            (steps as u64) * self.nnz() as u64
+        );
         let mut p1: [Vec<f64>; 3] = [
             vec![0.0; steps + 1],
             vec![0.0; steps + 1],
@@ -144,6 +152,16 @@ impl CompactSolver {
             return Err(CoreError::FailureInitialState(init));
         }
         let probs = self.interval_probabilities(steps)?;
+        // Mass outside [0,1] before the final clamp is the recursion's
+        // numerical drift — exported as the convergence residual.
+        let raw: f64 = match init {
+            State::S1 => probs.p1.iter().sum(),
+            _ => probs.p2.iter().sum(),
+        };
+        fgcs_runtime::gauge_set!(
+            "core.solver.compact_last_residual",
+            (raw - raw.clamp(0.0, 1.0)).abs()
+        );
         Ok((1.0 - probs.failure_probability(init)).clamp(0.0, 1.0))
     }
 

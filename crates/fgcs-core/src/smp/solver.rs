@@ -72,6 +72,14 @@ impl<'a> SparseSolver<'a> {
                 available: self.params.horizon(),
             });
         }
+        fgcs_runtime::counter_add!("core.solver.sparse_runs", 1);
+        fgcs_runtime::counter_add!("core.solver.sparse_steps", steps as u64);
+        // The recursion below touches 3 targets × m inner terms per step m,
+        // so one run costs 3·steps·(steps+1)/2 kernel multiply-adds.
+        fgcs_runtime::counter_add!(
+            "core.solver.sparse_iterations",
+            3 * (steps as u64) * (steps as u64 + 1) / 2
+        );
         // Kernel rows: row(0) = from S1 with targets [S2, S3, S4, S5],
         // row(1) = from S2 with targets [S1, S3, S4, S5].
         let q1 = self.params.row(0);
@@ -121,6 +129,17 @@ impl<'a> SparseSolver<'a> {
             return Err(CoreError::FailureInitialState(init));
         }
         let probs = self.interval_probabilities(steps)?;
+        // The per-state sums are clamped into [0,1]; any mass outside that
+        // range is numerical drift of the recursion. Export it as the
+        // solver's convergence residual.
+        let raw: f64 = match init {
+            State::S1 => probs.p1.iter().sum(),
+            _ => probs.p2.iter().sum(),
+        };
+        fgcs_runtime::gauge_set!(
+            "core.solver.sparse_last_residual",
+            (raw - raw.clamp(0.0, 1.0)).abs()
+        );
         Ok((1.0 - probs.failure_probability(init)).clamp(0.0, 1.0))
     }
 

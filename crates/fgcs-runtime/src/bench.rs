@@ -21,22 +21,51 @@ const SAMPLES: usize = 11;
 /// sample last roughly [`TARGET_SAMPLE`], then reports the median over
 /// [`SAMPLES`] samples.
 pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    let m = measure(SAMPLES, TARGET_SAMPLE, &mut f);
+    println!(
+        "{name}: {} /iter (min {}, {} iters/sample)",
+        fmt_ns(m.median_ns),
+        fmt_ns(m.min_ns),
+        m.iters
+    );
+}
+
+/// The result of a bounded [`measure`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Median ns per iteration across the samples.
+    pub median_ns: f64,
+    /// Fastest sample's ns per iteration.
+    pub min_ns: f64,
+    /// Iterations per sample chosen by calibration.
+    pub iters: u64,
+}
+
+/// Times `f` with a bounded budget and returns the per-iteration stats
+/// instead of printing — the building block for both [`bench`] and the
+/// `fgcs-bench` smoke mode that emits `BENCH_baseline.json`.
+///
+/// A calibration pass doubles the iteration count until one batch lasts at
+/// least `target_sample`, then `samples` timed batches are taken.
+pub fn measure<R>(
+    samples: usize,
+    target_sample: Duration,
+    f: &mut impl FnMut() -> R,
+) -> Measurement {
     // Warm-up + calibration: double iters until a batch is long enough.
     let mut iters: u64 = 1;
-    let per_iter = loop {
+    loop {
         let start = Instant::now();
         for _ in 0..iters {
             black_box(f());
         }
-        let elapsed = start.elapsed();
-        if elapsed >= TARGET_SAMPLE || iters >= 1 << 30 {
-            break elapsed.as_nanos() as f64 / iters as f64;
+        if start.elapsed() >= target_sample || iters >= 1 << 30 {
+            break;
         }
         iters *= 2;
-    };
-    let _ = per_iter;
+    }
 
-    let mut samples: Vec<f64> = (0..SAMPLES)
+    let mut timings: Vec<f64> = (0..samples.max(1))
         .map(|_| {
             let start = Instant::now();
             for _ in 0..iters {
@@ -45,14 +74,12 @@ pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
             start.elapsed().as_nanos() as f64 / iters as f64
         })
         .collect();
-    samples.sort_by(|a, b| a.total_cmp(b));
-    let median = samples[samples.len() / 2];
-    let min = samples[0];
-    println!(
-        "{name}: {} /iter (min {}, {iters} iters/sample)",
-        fmt_ns(median),
-        fmt_ns(min)
-    );
+    timings.sort_by(|a, b| a.total_cmp(b));
+    Measurement {
+        median_ns: timings[timings.len() / 2],
+        min_ns: timings[0],
+        iters,
+    }
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -79,6 +106,19 @@ mod tests {
             acc = acc.wrapping_add(1);
             acc
         });
+    }
+
+    #[test]
+    fn measure_returns_finite_positive_stats() {
+        let mut acc = 0u64;
+        let m = measure(3, Duration::from_micros(200), &mut || {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert!(m.median_ns.is_finite() && m.median_ns > 0.0);
+        assert!(m.min_ns.is_finite() && m.min_ns > 0.0);
+        assert!(m.min_ns <= m.median_ns);
+        assert!(m.iters >= 1);
     }
 
     #[test]

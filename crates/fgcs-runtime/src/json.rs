@@ -748,7 +748,7 @@ mod tests {
             1e300,
             -2.2250738585072014e-308,
             std::f64::consts::PI,
-            123456789.123456789,
+            123_456_789.123_456_79,
         ] {
             let text = Json::F64(x).to_string();
             let back = Json::parse(&text).unwrap().as_f64().unwrap();

@@ -16,6 +16,10 @@
 //!   `proptest` for the workspace's invariant suites).
 //! - [`bench`] — a tiny wall-clock micro-benchmark harness (replaces
 //!   `criterion` for the `--features bench-harness` targets).
+//! - [`metrics`] — counters, gauges, log2 histograms, span timers and a
+//!   process-wide registry with byte-stable JSON export (replaces
+//!   `metrics` + `prometheus`-style client crates). Compile-time zero-cost
+//!   when the `metrics` feature is off; run-time gated off by default.
 //!
 //! Everything is deterministic given a seed: the same seed produces the same
 //! byte stream on every platform, which is what makes the generated traces
@@ -25,6 +29,7 @@ pub mod bench;
 pub mod check;
 pub mod dist;
 pub mod json;
+pub mod metrics;
 pub mod parallel;
 pub mod rng;
 

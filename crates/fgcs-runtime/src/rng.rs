@@ -66,7 +66,8 @@ pub trait Rng {
     /// Returns a uniform `f64` in `[lo, hi)`; returns `lo` when the range is
     /// empty or degenerate.
     fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        if !(hi > lo) {
+        // `lo` is also the answer when either bound is NaN (incomparable).
+        if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
             return lo;
         }
         lo + (hi - lo) * self.next_f64()

@@ -364,6 +364,7 @@ impl Cluster {
                 });
             if policy.should_migrate(current_tr, best_alt) {
                 if let Some(job) = self.nodes[i].recall_guest() {
+                    fgcs_runtime::counter_add!("sim.migration.count", 1);
                     if let Some(r) = records.iter_mut().find(|r| r.id == job.id) {
                         r.migrations += 1;
                     }

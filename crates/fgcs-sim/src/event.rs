@@ -56,6 +56,7 @@ impl<E> EventQueue<E> {
 
     /// Schedules `event` at `time`.
     pub fn push(&mut self, time: u64, event: E) {
+        fgcs_runtime::counter_add!("sim.events.scheduled", 1);
         let entry = Entry {
             time,
             seq: self.seq,
@@ -67,7 +68,11 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(u64, E)> {
-        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+        let popped = self.heap.pop().map(|Reverse(e)| (e.time, e.event));
+        if popped.is_some() {
+            fgcs_runtime::counter_add!("sim.events.dispatched", 1);
+        }
+        popped
     }
 
     /// The timestamp of the earliest pending event.

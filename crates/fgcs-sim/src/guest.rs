@@ -159,6 +159,7 @@ impl GuestJob {
                 self.overhead_secs += pay;
                 gained -= pay;
                 if self.checkpoint_paid >= cp.cost_secs - 1e-9 {
+                    fgcs_runtime::counter_add!("sim.checkpoint.taken", 1);
                     self.checkpointed_secs = self.progress_secs;
                     self.checkpoint_paid = 0.0;
                 }
@@ -185,6 +186,7 @@ impl GuestJob {
     /// Takes an out-of-band checkpoint immediately (used when migrating a
     /// job off a machine): all progress becomes durable.
     pub fn force_checkpoint(&mut self) {
+        fgcs_runtime::counter_add!("sim.checkpoint.forced", 1);
         self.checkpointed_secs = self.progress_secs;
         self.checkpoint_paid = 0.0;
     }

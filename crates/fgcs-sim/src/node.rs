@@ -130,6 +130,7 @@ impl HostNode {
         if !self.available() {
             return Err(job);
         }
+        fgcs_runtime::counter_add!("sim.guest.submitted", 1);
         self.gateway.reset();
         self.guest = Some((
             job,
@@ -153,6 +154,16 @@ impl HostNode {
             let action = self.gateway.step(decision);
             match action {
                 GuestAction::Kill(reason) => {
+                    // UEC kills are resource-contention evictions (S3 CPU,
+                    // S4 memory); URR kills are ownership revocations (S5).
+                    fgcs_runtime::counter_add!(
+                        match reason {
+                            State::S3 => "sim.guest.kills_uec_cpu",
+                            State::S4 => "sim.guest.kills_uec_mem",
+                            _ => "sim.guest.kills_urr",
+                        },
+                        1
+                    );
                     job.rollback();
                     self.records.push(GuestRecord {
                         job,
@@ -164,6 +175,7 @@ impl HostNode {
                     });
                 }
                 GuestAction::Suspend => {
+                    fgcs_runtime::counter_add!("sim.guest.suspended_steps", 1);
                     self.guest = Some((job, GuestStatus::Suspended, launched_at));
                 }
                 running => {
@@ -175,6 +187,7 @@ impl HostNode {
                         .guest;
                     let done = job.advance(alloc, f64::from(self.trace.step_secs));
                     if done {
+                        fgcs_runtime::counter_add!("sim.guest.completed", 1);
                         self.records.push(GuestRecord {
                             job,
                             outcome: GuestOutcome::Completed {

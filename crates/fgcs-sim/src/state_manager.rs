@@ -153,6 +153,22 @@ impl StateManager {
     }
 
     fn push(&mut self, state: State) {
+        // Online per-state sample counts and transition count. Counts
+        // reflect the decisions as made; the transient-overload rewrite may
+        // later fold short S3 runs into the surrounding operational state.
+        fgcs_runtime::counter_add!(
+            match state {
+                State::S1 => "sim.state.s1_samples",
+                State::S2 => "sim.state.s2_samples",
+                State::S3 => "sim.state.s3_samples",
+                State::S4 => "sim.state.s4_samples",
+                State::S5 => "sim.state.s5_samples",
+            },
+            1
+        );
+        if self.current_day.last().is_some_and(|&prev| prev != state) {
+            fgcs_runtime::counter_add!("sim.state.transitions", 1);
+        }
         self.current_day.push(state);
         if self.current_day.len() >= self.model.samples_per_day() {
             self.end_day();
@@ -164,6 +180,7 @@ impl StateManager {
         if self.current_day.is_empty() {
             return;
         }
+        fgcs_runtime::counter_add!("sim.state.days_closed", 1);
         let states = std::mem::take(&mut self.current_day);
         self.store.push_day(DayLog::new(
             self.day_index,

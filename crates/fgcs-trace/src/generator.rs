@@ -121,6 +121,9 @@ impl TraceGenerator {
             let day_index = cfg.first_day_index + d;
             self.generate_day_into(&mut rng, day_index, &mut samples);
         }
+        fgcs_runtime::counter_add!("trace.gen.calls", 1);
+        fgcs_runtime::counter_add!("trace.gen.days", days as u64);
+        fgcs_runtime::counter_add!("trace.gen.samples", samples.len() as u64);
         MachineTrace {
             machine_id: cfg.machine_id,
             step_secs: step,
@@ -159,6 +162,7 @@ impl TraceGenerator {
         // Interactive sessions: inhomogeneous Poisson arrivals by hour.
         for (hour, &rate) in activity.iter().enumerate() {
             let n = dist::poisson(rng, rate * day_factor);
+            fgcs_runtime::counter_add!("trace.gen.sessions", n);
             for _ in 0..n {
                 let start = hour * steps_per_hour + rng.range_usize(0, steps_per_hour);
                 if start >= day_steps {
@@ -182,6 +186,7 @@ impl TraceGenerator {
             .profile
             .revocation
             .sample_outages(rng, activity, day_steps, step);
+        fgcs_runtime::counter_add!("trace.gen.outages", outages.len() as u64);
         let mut alive = vec![true; day_steps];
         for (start, len) in outages {
             for a in &mut alive[start..start + len] {

@@ -57,6 +57,7 @@ pub fn resample(
             target_step: target_step_secs,
         });
     }
+    fgcs_runtime::counter_add!("trace.resample.passes", 1);
     let stride = (target_step_secs / trace.step_secs) as usize;
     let samples: Vec<LoadSample> = trace
         .samples

@@ -13,7 +13,13 @@ use fgcs::core::predictor::evaluate_window;
 use fgcs::prelude::*;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--metrics-out PATH` is global: strip it before command dispatch so
+    // positional matching (e.g. the TRACE.json lookup) never sees the path.
+    let metrics_out = take_metrics_out(&mut args);
+    if metrics_out.is_some() {
+        fgcs::runtime::metrics::set_enabled(true);
+    }
     let Some(cmd) = args.first() else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
@@ -24,12 +30,19 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(rest),
         "predict" => cmd_predict(rest),
         "evaluate" => cmd_evaluate(rest),
+        "metrics" => cmd_metrics(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
+    if let Some(path) = metrics_out {
+        if let Err(e) = write_metrics_snapshot(&path) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -37,6 +50,25 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Removes `--metrics-out PATH` from the argument list, returning the path.
+fn take_metrics_out(args: &mut Vec<String>) -> Option<String> {
+    let i = args.iter().position(|a| a == "--metrics-out")?;
+    if i + 1 >= args.len() {
+        return None;
+    }
+    let path = args.remove(i + 1);
+    args.remove(i);
+    Some(path)
+}
+
+fn write_metrics_snapshot(path: &str) -> Result<(), String> {
+    let json = fgcs::runtime::metrics::registry()
+        .snapshot()
+        .to_json()
+        .to_string();
+    std::fs::write(path, json + "\n").map_err(|e| format!("writing {path}: {e}"))
 }
 
 const USAGE: &str = "\
@@ -47,6 +79,10 @@ USAGE:
   fgcs stats    TRACE.json
   fgcs predict  TRACE.json --start HOURS --hours H [--init S1|S2] [--weekend] [--ci]
   fgcs evaluate TRACE.json [--train A --test B] [--start HOURS] [--hours H]
+  fgcs metrics  [--seed N] [--days D]
+
+Any command also accepts --metrics-out PATH: enables the metrics registry
+for the run and dumps its JSON snapshot to PATH on exit.
 ";
 
 /// Looks up `--key value` in the argument list.
@@ -147,6 +183,28 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         println!("TR({window}, {day_type}, init {init}) = {tr:.4}");
     }
+    Ok(())
+}
+
+/// Runs a small generate → classify → predict pipeline with the registry
+/// enabled and prints the resulting snapshot — a self-contained way to see
+/// what the instrumentation records without wiring up trace files.
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let seed: u64 = parse(args, "--seed", 2006)?;
+    let days: usize = parse(args, "--days", 14)?;
+    fgcs::runtime::metrics::set_enabled(true);
+    let model = AvailabilityModel::default();
+    let trace = TraceGenerator::new(TraceConfig::lab_machine(seed)).generate_days(days);
+    let history = trace.to_history(&model).map_err(|e| e.to_string())?;
+    let predictor = SmpPredictor::new(model);
+    for hours in [1.0, 2.0, 5.0] {
+        let window = TimeWindow::from_hours(9.0, hours);
+        predictor
+            .predict(&history, DayType::Weekday, window, State::S1)
+            .map_err(|e| e.to_string())?;
+    }
+    let snapshot = fgcs::runtime::metrics::registry().snapshot();
+    println!("{}", snapshot.to_json());
     Ok(())
 }
 

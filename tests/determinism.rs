@@ -3,8 +3,20 @@
 //! predictions across independent runs, and the scoped-parallelism helper
 //! must return exactly what the sequential sweep would.
 
+use std::sync::Mutex;
+
 use fgcs::prelude::*;
+use fgcs::runtime::metrics;
 use fgcs::runtime::parallel::par_map_indexed;
+
+/// Serializes every test in this binary: the metrics tests toggle the
+/// process-wide registry gate, and a concurrently running pipeline would
+/// pollute the counters between two supposedly identical runs.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Generates a trace, classifies it, and predicts TR for a morning window —
 /// the full pipeline as one closed function of the seed.
@@ -26,6 +38,7 @@ fn pipeline(seed: u64, days: usize) -> (String, f64) {
 
 #[test]
 fn same_seed_gives_byte_identical_trace_json() {
+    let _guard = lock();
     let (a, _) = pipeline(2006, 7);
     let (b, _) = pipeline(2006, 7);
     assert_eq!(a, b, "two runs of the same seed diverged");
@@ -37,6 +50,7 @@ fn same_seed_gives_byte_identical_trace_json() {
 
 #[test]
 fn same_seed_gives_identical_tr_predictions() {
+    let _guard = lock();
     let (_, tr1) = pipeline(42, 10);
     let (_, tr2) = pipeline(42, 10);
     assert_eq!(
@@ -52,6 +66,7 @@ fn same_seed_gives_identical_tr_predictions() {
 
 #[test]
 fn parallel_sweep_matches_sequential_exactly() {
+    let _guard = lock();
     // A miniature Figure-5 sweep: per-machine TR over the window grid,
     // once sequentially and once through the scoped-parallelism helper.
     let machines = 4;
@@ -79,4 +94,83 @@ fn parallel_sweep_matches_sequential_exactly() {
         sequential, parallel,
         "parallel sweep diverged from sequential (bitwise)"
     );
+}
+
+#[test]
+fn metrics_export_is_byte_identical_across_seeded_runs() {
+    let _guard = lock();
+    let registry = metrics::registry();
+    let export = || {
+        registry.reset();
+        metrics::set_enabled(true);
+        let (json, tr) = pipeline(2006, 7);
+        metrics::set_enabled(false);
+        // Deterministic export: full counters/gauges/histograms, timing
+        // histograms reduced to their call counts.
+        (
+            registry.snapshot().deterministic_json().to_string(),
+            json,
+            tr,
+        )
+    };
+    let (a, json_a, tr_a) = export();
+    let (b, json_b, tr_b) = export();
+    assert_eq!(a, b, "metrics export diverged between identical runs");
+    assert_eq!(json_a, json_b);
+    assert_eq!(tr_a.to_bits(), tr_b.to_bits());
+    // The export actually observed the pipeline (not an empty registry).
+    assert!(
+        a.contains(r#""trace.gen.samples":100800"#),
+        "expected 7 days of samples in {a}"
+    );
+    assert!(
+        a.contains(r#""core.tr_queries":1"#),
+        "missing TR query: {a}"
+    );
+    // Byte-stable means parse → serialize round-trips too.
+    let parsed = fgcs::runtime::Json::parse(&a).expect("export parses");
+    assert_eq!(parsed.to_string(), a);
+}
+
+#[test]
+fn concurrent_counter_increments_sum_exactly() {
+    let _guard = lock();
+    // Workers hammer one shared counter through the same scoped-parallelism
+    // helper the experiment sweeps use; sharding must lose no increments.
+    let registry = metrics::Registry::new();
+    let counter = registry.counter("test.concurrent_adds");
+    let workers = 8;
+    let per_worker = 50_000u64;
+    par_map_indexed(workers, |_| {
+        for _ in 0..per_worker {
+            counter.inc();
+        }
+    });
+    assert_eq!(counter.get(), workers as u64 * per_worker);
+}
+
+#[test]
+fn histogram_buckets_split_at_powers_of_two() {
+    let _guard = lock();
+    let registry = metrics::Registry::new();
+    let hist = registry.histogram("test.pow2");
+    // One observation on each side of every power-of-two boundary.
+    for k in 1..16u32 {
+        let v = 1u64 << k;
+        hist.record(v - 1); // needs k bits  -> bucket k
+        hist.record(v); //     needs k+1 bits -> bucket k+1
+    }
+    let snap = hist.snapshot();
+    for (bucket, count) in snap.buckets {
+        let (lo, hi) = metrics::bucket_range(bucket as usize);
+        assert!(lo <= hi);
+        // Every value this test put in the bucket lies inside its range.
+        assert_eq!(metrics::bucket_of(lo) as u64, bucket);
+        assert_eq!(metrics::bucket_of(hi) as u64, bucket);
+        assert!(count >= 1);
+    }
+    // Boundary spot checks: 2^k opens bucket k+1, 2^k - 1 closes bucket k.
+    assert_eq!(metrics::bucket_of(1023), 10);
+    assert_eq!(metrics::bucket_of(1024), 11);
+    assert_eq!(metrics::bucket_of(1025), 11);
 }
