@@ -6,6 +6,7 @@
 //! ```text
 //! bench_smoke [--out PATH]            # run the benches, write the baseline
 //! bench_smoke --check PATH            # validate a baseline file, exit 1 on problems
+//! bench_smoke --check PATH --against OLD   # also flag >1.25x regressions vs OLD
 //! ```
 //!
 //! Unlike the `--features bench-harness` targets (tuned for comparing
@@ -14,11 +15,20 @@
 //! the metrics subsystem's overhead on a miniature Fig. 5 sweep — run with
 //! the registry disabled vs enabled — and exports it as
 //! `metrics_overhead_pct`, which `--check` asserts stays below 5 %.
+//!
+//! The multi-horizon pair — `smp_solver/per_horizon_sweep_2h` (16
+//! independent paper-order Eq.-3 solves) vs `smp_solver/batched_sweep_2h`
+//! (one [`BatchSolver`] pass answering all 16) — feeds the exported
+//! `batch_sweep_speedup_x` ratio, which `--check` asserts stays ≥ 5×.
+//! Before timing, the batched answers are asserted bit-identical to the
+//! standalone solves, so the speedup never comes from changed arithmetic.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use fgcs_bench::{smp_error, Testbed};
+use fgcs_core::batch::BatchSolver;
+use fgcs_core::cache::QhCache;
 use fgcs_core::classify::StateClassifier;
 use fgcs_core::predictor::SmpPredictor;
 use fgcs_core::smp::{CompactSolver, SmpParams, SparseSolver};
@@ -34,17 +44,33 @@ const SAMPLES: usize = 7;
 /// in CI-smoke territory, large enough to average out timer noise.
 const TARGET_SAMPLE: Duration = Duration::from_millis(5);
 
-/// Bench keys `--check` requires (the ISSUE-2 acceptance set).
-const REQUIRED_KEYS: [&str; 5] = [
+/// Bench keys `--check` requires (the ISSUE-2 acceptance set plus the
+/// ISSUE-3 multi-horizon batching set).
+const REQUIRED_KEYS: [&str; 8] = [
     "smp_solver/paper_eq3_2h",
     "smp_solver/compact_2h",
+    "smp_solver/per_horizon_sweep_2h",
+    "smp_solver/batched_sweep_2h",
     "qh_estimation/2h",
+    "predictor/cached_qh",
     "classify/whole_day_offline",
     "trace_gen/machine_day_lab",
 ];
 
 /// Enabled-vs-disabled overhead budget for the instrumented Fig. 5 sweep.
 const OVERHEAD_BUDGET_PCT: f64 = 5.0;
+
+/// Horizon count for the Fig. 5-style multi-horizon sweep pair.
+const SWEEP_HORIZONS: usize = 16;
+
+/// Minimum batched-vs-per-horizon speedup `--check` accepts. The op-count
+/// ratio alone (Σ (i·M/16)² vs M² for evenly spaced horizons) is ≈ 5.8×,
+/// so this floor holds without relying on the blocked-convolve constant.
+const MIN_BATCH_SPEEDUP_X: f64 = 5.0;
+
+/// A bench present in both baselines may grow at most this much before
+/// `--against` reports a regression.
+const REGRESSION_FACTOR: f64 = 1.25;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,7 +81,11 @@ fn main() -> ExitCode {
             .cloned()
     };
     if let Some(path) = opt("--check") {
-        return match check_baseline(&path) {
+        let result = check_baseline(&path).and_then(|()| match opt("--against") {
+            Some(old) => compare_baselines(&path, &old),
+            None => Ok(()),
+        });
+        return match result {
             Ok(()) => {
                 println!("{path}: baseline OK");
                 ExitCode::SUCCESS
@@ -93,6 +123,34 @@ fn run_smoke() -> Json {
     let classifier = StateClassifier::new(model);
     let generator = TraceGenerator::new(TraceConfig::lab_machine(1));
 
+    // Evenly spaced horizons up to the 2-hour window — the Fig. 5-style
+    // sweep the batch engine is built for. Guard the acceptance criterion
+    // before any timing: the batched curve must reproduce each standalone
+    // paper-order solve bit for bit.
+    let horizons: Vec<usize> = (1..=SWEEP_HORIZONS)
+        .map(|i| i * steps / SWEEP_HORIZONS)
+        .collect();
+    let batched = BatchSolver::new(&params)
+        .tr_at_horizons(State::S1, &horizons)
+        .unwrap();
+    for (&m, &tr) in horizons.iter().zip(&batched) {
+        let standalone = SparseSolver::new(&params)
+            .temporal_reliability(State::S1, m)
+            .unwrap();
+        assert_eq!(
+            tr.to_bits(),
+            standalone.to_bits(),
+            "batched TR at horizon {m} differs from the standalone solve"
+        );
+    }
+
+    // Warm query for the cached-Q/H bench: after this, every iteration is
+    // a pure cache hit (the history never changes during the measurement).
+    let qh_cache = QhCache::new(8);
+    predictor
+        .predict_cached(&qh_cache, 0, &history, DayType::Weekday, window, State::S1)
+        .unwrap();
+
     let mut benches: Vec<(String, Json)> = Vec::new();
     let mut run = |name: &str, f: &mut dyn FnMut()| {
         let m = measure(SAMPLES, TARGET_SAMPLE, &mut || f());
@@ -115,8 +173,31 @@ fn run_smoke() -> Json {
                 .unwrap(),
         );
     });
+    run("smp_solver/per_horizon_sweep_2h", &mut || {
+        for &m in &horizons {
+            black_box(
+                SparseSolver::new(&params)
+                    .temporal_reliability(State::S1, m)
+                    .unwrap(),
+            );
+        }
+    });
+    run("smp_solver/batched_sweep_2h", &mut || {
+        black_box(
+            BatchSolver::new(&params)
+                .tr_at_horizons(State::S1, &horizons)
+                .unwrap(),
+        );
+    });
     run("qh_estimation/2h", &mut || {
         black_box(SmpParams::estimate(&refs, model.monitor_period_secs, steps));
+    });
+    run("predictor/cached_qh", &mut || {
+        black_box(
+            predictor
+                .predict_cached(&qh_cache, 0, &history, DayType::Weekday, window, State::S1)
+                .unwrap(),
+        );
     });
     run("classify/whole_day_offline", &mut || {
         black_box(classifier.classify(&day));
@@ -124,6 +205,16 @@ fn run_smoke() -> Json {
     run("trace_gen/machine_day_lab", &mut || {
         black_box(generator.generate_days(1));
     });
+
+    let median = |name: &str| {
+        benches
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| as_finite_number(v))
+            .expect("bench just ran")
+    };
+    let speedup = median("smp_solver/per_horizon_sweep_2h") / median("smp_solver/batched_sweep_2h");
+    println!("batch_sweep_speedup_x: {speedup:.2}");
 
     let overhead = metrics_overhead_pct();
     println!("metrics_overhead_pct: {overhead:.2}");
@@ -133,6 +224,7 @@ fn run_smoke() -> Json {
         ("samples_per_bench".into(), Json::U64(SAMPLES as u64)),
         ("unit".into(), Json::Str("median ns/op".into())),
         ("benches".into(), Json::Obj(benches)),
+        ("batch_sweep_speedup_x".into(), Json::F64(speedup)),
         ("metrics_overhead_pct".into(), Json::F64(overhead)),
     ])
 }
@@ -223,7 +315,80 @@ fn check_baseline(path: &str) -> Result<(), String> {
             "metrics overhead {overhead:.2}% exceeds the {OVERHEAD_BUDGET_PCT}% budget"
         ));
     }
+    let speedup = as_finite_number(field("batch_sweep_speedup_x")?)
+        .ok_or("`batch_sweep_speedup_x` is not finite")?;
+    if speedup < MIN_BATCH_SPEEDUP_X {
+        return Err(format!(
+            "batched sweep speedup {speedup:.2}x is below the {MIN_BATCH_SPEEDUP_X}x floor"
+        ));
+    }
     Ok(())
+}
+
+/// Flags benches present in *both* baselines whose median grew by more
+/// than [`REGRESSION_FACTOR`] — after dividing out the run's overall
+/// speed factor (the median new/old ratio across shared keys). The old
+/// baseline may come from a different machine or a differently loaded
+/// one; a uniform slowdown shifts every key equally and cancels in the
+/// normalization, while a genuine regression moves one key relative to
+/// the rest and still trips the check. Keys unique to either file are
+/// ignored, so adding or retiring a bench never trips the comparison.
+fn compare_baselines(new_path: &str, old_path: &str) -> Result<(), String> {
+    let load = |path: &str| -> Result<Vec<(String, f64)>, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("{path}: read failed: {e}"))?;
+        let json = Json::parse(&text).map_err(|e| format!("{path}: parse failed: {e}"))?;
+        let Json::Obj(top) = json else {
+            return Err(format!("{path}: top level is not an object"));
+        };
+        let benches = top.into_iter().find_map(|(k, v)| match (k, v) {
+            (k, Json::Obj(b)) if k == "benches" => Some(b),
+            _ => None,
+        });
+        let Some(benches) = benches else {
+            return Err(format!("{path}: missing `benches` object"));
+        };
+        Ok(benches
+            .into_iter()
+            .filter_map(|(k, v)| as_finite_number(&v).map(|ns| (k, ns)))
+            .collect())
+    };
+    let new = load(new_path)?;
+    let old = load(old_path)?;
+    let shared: Vec<(&str, f64, f64)> = new
+        .iter()
+        .filter_map(|(key, new_ns)| {
+            old.iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, old_ns)| (key.as_str(), *new_ns, *old_ns))
+        })
+        .filter(|(_, new_ns, old_ns)| *new_ns > 0.0 && *old_ns > 0.0)
+        .collect();
+    if shared.is_empty() {
+        return Ok(());
+    }
+    let mut ratios: Vec<f64> = shared.iter().map(|(_, n, o)| n / o).collect();
+    ratios.sort_by(f64::total_cmp);
+    let speed_factor = ratios[ratios.len() / 2];
+    let mut regressions = Vec::new();
+    for (key, new_ns, old_ns) in &shared {
+        let normalized = (new_ns / old_ns) / speed_factor;
+        if normalized > REGRESSION_FACTOR {
+            regressions.push(format!(
+                "{key}: {new_ns:.0} ns/op vs {old_ns:.0} ns/op \
+                 ({normalized:.2}x speed-normalized > {REGRESSION_FACTOR}x)"
+            ));
+        }
+    }
+    if regressions.is_empty() {
+        println!("{new_path}: no regressions vs {old_path} (speed factor {speed_factor:.2}x)");
+        Ok(())
+    } else {
+        Err(format!(
+            "perf regressions vs {old_path} (speed factor {speed_factor:.2}x):\n  {}",
+            regressions.join("\n  ")
+        ))
+    }
 }
 
 /// Accepts any JSON number, rejecting the `null` the writer emits for

@@ -20,8 +20,9 @@
 //! future-work plan ("test our prediction mechanisms on testbeds with
 //! different workload patterns, such as ... enterprise desktop resources").
 
-use fgcs_bench::{pct, per_machine, smp_error, summarize_errors, Testbed, WINDOW_HOURS};
-use fgcs_core::predictor::SmpPredictor;
+use fgcs_bench::{pct, summarize_errors, Testbed, WINDOW_HOURS};
+use fgcs_core::batch::{evaluate_cluster, EvalQuery};
+use fgcs_core::predictor::{SmpPredictor, WindowEvaluation};
 use fgcs_core::window::{DayType, TimeWindow};
 
 fn main() {
@@ -73,6 +74,15 @@ fn main() {
         tb.histories.clone()
     };
 
+    // One split and one predictor for the whole sweep; each (window, start)
+    // point fans the machines across worker threads via `evaluate_cluster`
+    // (machine order is preserved, so the pooling below is deterministic).
+    let splits: Vec<_> = histories.iter().map(|h| h.split_ratio(1, 1)).collect();
+    let mut predictor = SmpPredictor::new(tb.model);
+    if all_days {
+        predictor = predictor.with_all_day_types();
+    }
+
     for day_type in [DayType::Weekday, DayType::Weekend] {
         println!(
             "\n## ({}) prediction on {day_type}s",
@@ -90,32 +100,25 @@ fn main() {
             // One evaluation per machine and start hour; the per-start error
             // pools all machines' test days (predicted and empirical TR are
             // day-weighted averages across the testbed), as the paper's
-            // per-window points do.
-            let per = per_machine(machines, |mi| {
-                let (train, test) = histories[mi].split_ratio(1, 1);
-                let mut predictor = SmpPredictor::new(tb.model);
-                if all_days {
-                    predictor = predictor.with_all_day_types();
-                }
-                let mut evals = Vec::new();
-                for start in 0..24u32 {
-                    let window = TimeWindow::from_hours(f64::from(start), hours);
-                    evals.push(
-                        smp_error(&predictor, &train, &test, day_type, window)
-                            .map(|(eval, _)| eval),
-                    );
-                }
-                evals
-            });
+            // per-window points do. A machine only contributes where its
+            // error metric is defined, matching `fgcs_bench::smp_error`.
             let mut errors = Vec::new();
-            for start in 0..24usize {
+            for start in 0..24u32 {
+                let window = TimeWindow::from_hours(f64::from(start), hours);
+                let queries: Vec<EvalQuery<'_>> = splits
+                    .iter()
+                    .map(|(train, test)| EvalQuery { train, test })
+                    .collect();
+                let evals: Vec<Option<WindowEvaluation>> =
+                    evaluate_cluster(&predictor, &queries, day_type, window)
+                        .into_iter()
+                        .map(|r| r.ok().filter(|e| e.relative_error().is_some()))
+                        .collect();
                 let (mut pred, mut emp, mut n) = (0.0, 0.0, 0usize);
-                for evals in &per {
-                    if let Some(e) = &evals[start] {
-                        pred += e.predicted * e.days_used as f64;
-                        emp += e.empirical * e.days_used as f64;
-                        n += e.days_used;
-                    }
+                for e in evals.iter().flatten() {
+                    pred += e.predicted * e.days_used as f64;
+                    emp += e.empirical * e.days_used as f64;
+                    n += e.days_used;
                 }
                 if n > 0 && emp > 0.0 {
                     errors.push((pred - emp).abs() / emp);

@@ -16,6 +16,7 @@
 //!       [--machines N] [--days D]`
 
 use fgcs_bench::{per_machine, Testbed};
+use fgcs_core::batch::{evaluate_cluster, EvalQuery};
 use fgcs_core::predictor::SmpPredictor;
 use fgcs_core::window::{DayType, TimeWindow, SECS_PER_DAY};
 use fgcs_timeseries::{evaluate_ts_window, paper_lineup, severity_series, TsDayCase};
@@ -58,20 +59,29 @@ fn main() {
     }
     println!();
 
+    // The 1:1 split is deterministic, so compute it once; the SMP column is
+    // then one `evaluate_cluster` sweep per window (machine-parallel, order
+    // preserved), while the Markov and time-series columns keep the
+    // per-machine fan-out.
+    let splits: Vec<_> = tb.histories.iter().map(|h| h.split_ratio(1, 1)).collect();
+    let predictor = SmpPredictor::new(tb.model);
+
     for hours in 1..=10usize {
         let window = TimeWindow::from_hours(start_hour, hours as f64);
-        // Per machine: SMP error and each TS model's error.
+        let queries: Vec<EvalQuery<'_>> = splits
+            .iter()
+            .map(|(train, test)| EvalQuery { train, test })
+            .collect();
+        let smp_errors: Vec<Option<f64>> = evaluate_cluster(&predictor, &queries, day_type, window)
+            .into_iter()
+            .map(|r| r.ok().and_then(|e| e.relative_error()))
+            .collect();
+        // Per machine: the Markov baseline and each TS model's error.
         let rows = per_machine(machines, |mi| {
-            let history = &tb.histories[mi];
             let trace = &tb.traces[mi];
-            let (train, test) = history.split_ratio(1, 1);
-            let predictor = SmpPredictor::new(tb.model);
-            let smp =
-                fgcs_core::predictor::evaluate_window(&predictor, &train, &test, day_type, window)
-                    .ok()
-                    .and_then(|e| e.relative_error());
+            let (train, test) = &splits[mi];
             let markov = fgcs_core::predictor::evaluate_window_markov(
-                &predictor, &train, &test, day_type, window,
+                &predictor, train, test, day_type, window,
             )
             .ok()
             .and_then(|e| e.relative_error());
@@ -106,18 +116,12 @@ fn main() {
                         .and_then(|e| e.relative_error())
                 })
                 .collect();
-            (smp, markov, ts)
+            (markov, ts)
         });
 
         // Maximum over machines, per algorithm.
-        let max_smp = rows
-            .iter()
-            .filter_map(|(s, _, _)| *s)
-            .fold(f64::NAN, f64::max);
-        let max_markov = rows
-            .iter()
-            .filter_map(|(_, m, _)| *m)
-            .fold(f64::NAN, f64::max);
+        let max_smp = smp_errors.iter().flatten().fold(f64::NAN, |a, &b| a.max(b));
+        let max_markov = rows.iter().filter_map(|(m, _)| *m).fold(f64::NAN, f64::max);
         print!(
             "{:>10} {:>9.1}% {:>9.1}%",
             hours,
@@ -127,7 +131,7 @@ fn main() {
         for k in 0..model_names.len() {
             let max_ts = rows
                 .iter()
-                .filter_map(|(_, _, ts)| ts[k])
+                .filter_map(|(_, ts)| ts[k])
                 .fold(f64::NAN, f64::max);
             print!(" {:>9.1}%", 100.0 * max_ts);
         }

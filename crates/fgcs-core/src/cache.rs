@@ -1,0 +1,296 @@
+//! Memoization of estimated SMP parameters.
+//!
+//! Q/H estimation re-reads the raw history logs on every TR query
+//! (`qh_estimation/2h` ≈ 43 µs in `BENCH_baseline.json`) even though a
+//! scheduler polling the same machines re-asks for the same
+//! (host, window, day-class, history) over and over. [`QhCache`] is a
+//! capacity-bounded LRU over [`fgcs_runtime::cache::LruCache`] keyed by
+//! exactly those coordinates. The history *length* is part of the key, so
+//! appending a day implicitly invalidates every stale entry for that host;
+//! in-place edits of existing days (e.g. `HistoryStore::days_mut`) must
+//! call [`QhCache::invalidate_host`] explicitly.
+
+use std::sync::{Arc, Mutex};
+
+use fgcs_runtime::cache::LruCache;
+
+use crate::error::CoreError;
+use crate::log::HistoryStore;
+use crate::predictor::SmpPredictor;
+use crate::smp::SmpParams;
+use crate::window::{DayType, TimeWindow};
+
+/// The coordinates that determine an estimated kernel.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct QhKey {
+    host: u64,
+    day_type: DayType,
+    window: TimeWindow,
+    max_history_days: Option<usize>,
+    same_day_type_only: bool,
+    /// Days in the store at estimation time — appends change this, giving
+    /// implicit invalidation without touching the store's representation.
+    history_days: usize,
+}
+
+/// A thread-safe LRU cache of estimated [`SmpParams`], shared across
+/// queries via interior mutability (all methods take `&self`).
+///
+/// Values are held behind [`Arc`] so a hit hands back the cached kernel
+/// without cloning the (multi-kilobyte) holding-time vectors.
+pub struct QhCache {
+    inner: Mutex<LruCache<QhKey, Arc<SmpParams>>>,
+}
+
+impl QhCache {
+    /// Creates a cache bounded to `capacity` kernels.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> QhCache {
+        QhCache {
+            inner: Mutex::new(LruCache::new(capacity)),
+        }
+    }
+
+    /// Returns the cached kernel for the query coordinates, estimating and
+    /// inserting it on a miss. Hits return the *same* parameters the first
+    /// estimation produced, bit for bit.
+    pub fn get_or_estimate(
+        &self,
+        predictor: &SmpPredictor,
+        host: u64,
+        history: &HistoryStore,
+        day_type: DayType,
+        window: TimeWindow,
+    ) -> Result<Arc<SmpParams>, CoreError> {
+        let (max_history_days, same_day_type_only) = predictor.history_selection();
+        let key = QhKey {
+            host,
+            day_type,
+            window,
+            max_history_days,
+            same_day_type_only,
+            history_days: history.days().len(),
+        };
+        if let Some(params) = self.lock().get(&key) {
+            fgcs_runtime::counter_add!("core.qh_cache.hits", 1);
+            return Ok(Arc::clone(params));
+        }
+        fgcs_runtime::counter_add!("core.qh_cache.misses", 1);
+        // Estimate outside the lock: concurrent misses may estimate the
+        // same kernel twice, but the estimator is deterministic so either
+        // result is the same value and the cache stays consistent.
+        let params = Arc::new(predictor.estimate_params(history, day_type, window)?);
+        let mut cache = self.lock();
+        if cache.put(key, Arc::clone(&params)).is_some() {
+            fgcs_runtime::counter_add!("core.qh_cache.evictions", 1);
+        }
+        fgcs_runtime::gauge_set!("core.qh_cache.entries", cache.len() as f64);
+        Ok(params)
+    }
+
+    /// Drops every entry belonging to `host` (needed after in-place
+    /// history mutation; plain appends are covered by the length key).
+    /// Returns how many entries were dropped.
+    pub fn invalidate_host(&self, host: u64) -> usize {
+        let dropped = self.lock().remove_if(|k| k.host == host);
+        fgcs_runtime::counter_add!("core.qh_cache.invalidations", dropped as u64);
+        dropped
+    }
+
+    /// Drops every entry.
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    /// Number of kernels currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// The configured capacity bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.lock().capacity()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, LruCache<QhKey, Arc<SmpParams>>> {
+        self.inner.lock().expect("QhCache lock poisoned")
+    }
+}
+
+impl Clone for QhCache {
+    fn clone(&self) -> QhCache {
+        QhCache {
+            inner: Mutex::new(self.lock().clone()),
+        }
+    }
+}
+
+impl std::fmt::Debug for QhCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cache = self.lock();
+        f.debug_struct("QhCache")
+            .field("len", &cache.len())
+            .field("capacity", &cache.capacity())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{DayLog, StateLog};
+    use crate::model::AvailabilityModel;
+    use crate::state::State::*;
+
+    fn store(days: usize) -> HistoryStore {
+        let mut s = HistoryStore::new();
+        for day in 0..days {
+            let samples: Vec<_> = (0..1000)
+                .map(|i| if i % 97 == day % 7 { S2 } else { S1 })
+                .collect();
+            s.push_day(DayLog::new(day, StateLog::new(6, samples)));
+        }
+        s
+    }
+
+    fn predictor() -> SmpPredictor {
+        SmpPredictor::new(AvailabilityModel::default())
+    }
+
+    #[test]
+    fn hit_returns_bit_identical_params() {
+        let cache = QhCache::new(4);
+        let history = store(5);
+        let p = predictor();
+        let w = TimeWindow::new(0, 600);
+        let first = cache
+            .get_or_estimate(&p, 7, &history, DayType::Weekday, w)
+            .unwrap();
+        let second = cache
+            .get_or_estimate(&p, 7, &history, DayType::Weekday, w)
+            .unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "hit must share the Arc");
+        assert_eq!(*first, *second);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn append_invalidates_implicitly() {
+        let cache = QhCache::new(4);
+        let mut history = store(4);
+        let p = predictor();
+        let w = TimeWindow::new(0, 600);
+        let before = cache
+            .get_or_estimate(&p, 1, &history, DayType::Weekday, w)
+            .unwrap();
+        // A new day with very different behaviour must change the answer.
+        let failing: Vec<_> = (0..1000).map(|i| if i < 50 { S1 } else { S3 }).collect();
+        history.push_day(DayLog::new(4, StateLog::new(6, failing)));
+        let after = cache
+            .get_or_estimate(&p, 1, &history, DayType::Weekday, w)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&before, &after));
+        assert_ne!(*before, *after);
+    }
+
+    #[test]
+    fn different_hosts_and_windows_do_not_collide() {
+        let cache = QhCache::new(8);
+        let history = store(5);
+        let p = predictor();
+        let w1 = TimeWindow::new(0, 600);
+        let w2 = TimeWindow::new(600, 600);
+        cache
+            .get_or_estimate(&p, 1, &history, DayType::Weekday, w1)
+            .unwrap();
+        cache
+            .get_or_estimate(&p, 2, &history, DayType::Weekday, w1)
+            .unwrap();
+        cache
+            .get_or_estimate(&p, 1, &history, DayType::Weekday, w2)
+            .unwrap();
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn invalidate_host_drops_only_that_host() {
+        let cache = QhCache::new(8);
+        let history = store(5);
+        let p = predictor();
+        let w = TimeWindow::new(0, 600);
+        for host in [1, 1, 2] {
+            let w2 = if host == 2 {
+                TimeWindow::new(1200, 600)
+            } else {
+                w
+            };
+            cache
+                .get_or_estimate(&p, host, &history, DayType::Weekday, w2)
+                .unwrap();
+        }
+        cache
+            .get_or_estimate(&p, 1, &history, DayType::Weekday, TimeWindow::new(600, 600))
+            .unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.invalidate_host(1), 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn predictor_config_is_part_of_the_key() {
+        let cache = QhCache::new(8);
+        let history = store(10);
+        let w = TimeWindow::new(0, 600);
+        let all = predictor();
+        let recent = predictor().with_max_history_days(2);
+        let a = cache
+            .get_or_estimate(&all, 1, &history, DayType::Weekday, w)
+            .unwrap();
+        let b = cache
+            .get_or_estimate(&recent, 1, &history, DayType::Weekday, w)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "different configs must not share");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn capacity_bounds_and_clear() {
+        let cache = QhCache::new(2);
+        let history = store(5);
+        let p = predictor();
+        for i in 0..5u32 {
+            let w = TimeWindow::new(i * 600, 600);
+            cache
+                .get_or_estimate(&p, 1, &history, DayType::Weekday, w)
+                .unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.capacity(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn estimation_errors_pass_through() {
+        let cache = QhCache::new(2);
+        let empty = HistoryStore::new();
+        let p = predictor();
+        let w = TimeWindow::new(0, 600);
+        assert!(matches!(
+            cache.get_or_estimate(&p, 1, &empty, DayType::Weekday, w),
+            Err(CoreError::EmptyHistory { .. })
+        ));
+        assert!(cache.is_empty(), "errors must not be cached");
+    }
+}

@@ -25,6 +25,8 @@
 //! the quantity a job scheduler uses to place guest jobs on machines with
 //! high expected availability.
 
+pub mod batch;
+pub mod cache;
 pub mod classify;
 pub mod error;
 pub mod log;
@@ -34,6 +36,11 @@ pub mod smp;
 pub mod state;
 pub mod window;
 
+pub use batch::{
+    evaluate_cluster, predict_cluster, BatchSolver, ClusterQuery, EvalQuery, IntervalCurves,
+    TrCurve,
+};
+pub use cache::QhCache;
 pub use classify::StateClassifier;
 pub use error::CoreError;
 pub use log::{DayLog, HistoryStore, StateLog};

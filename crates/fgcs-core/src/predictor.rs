@@ -4,6 +4,8 @@
 use fgcs_runtime::impl_json_struct;
 use fgcs_runtime::rng::Rng;
 
+use crate::batch::{BatchSolver, TrCurve};
+use crate::cache::QhCache;
 use crate::error::CoreError;
 use crate::log::HistoryStore;
 use crate::model::AvailabilityModel;
@@ -56,6 +58,12 @@ impl SmpPredictor {
     #[must_use]
     pub fn model(&self) -> &AvailabilityModel {
         &self.model
+    }
+
+    /// The history-selection knobs `(max_history_days,
+    /// same_day_type_only)`, exactly as the kernel cache keys them.
+    pub(crate) fn history_selection(&self) -> (Option<usize>, bool) {
+        (self.max_history_days, self.same_day_type_only)
     }
 
     /// Estimates the SMP parameters for a window from the history store.
@@ -123,6 +131,45 @@ impl SmpPredictor {
         // The compact solver is property-tested equal to the paper's Eq.-3
         // recursion and asymptotically faster on estimated kernels.
         CompactSolver::from_params(&params).temporal_reliability(init, steps)
+    }
+
+    /// Like [`SmpPredictor::predict`], but memoizes the estimated kernel in
+    /// `cache` under `host` and the query coordinates: repeated queries for
+    /// the same (host, window, day-class, history) skip the Q/H estimation
+    /// entirely and produce the same TR bit for bit.
+    pub fn predict_cached(
+        &self,
+        cache: &QhCache,
+        host: u64,
+        history: &HistoryStore,
+        day_type: DayType,
+        window: TimeWindow,
+        init: State,
+    ) -> Result<f64, CoreError> {
+        if init.is_failure() {
+            return Err(CoreError::FailureInitialState(init));
+        }
+        let _span = fgcs_runtime::time_span!("core.tr_query_ns");
+        fgcs_runtime::counter_add!("core.tr_queries", 1);
+        let params = cache.get_or_estimate(self, host, history, day_type, window)?;
+        let steps = window.steps(self.model.monitor_period_secs);
+        CompactSolver::from_params(&params).temporal_reliability(init, steps)
+    }
+
+    /// Predicts the full temporal-reliability curve `TR(m)` over the window
+    /// for *both* operational initial states from a single batched Eq.-3
+    /// run — the entry point for multi-horizon sweeps (a job scheduler
+    /// comparing deadlines, or a Fig. 5-style TR-vs-length plot sharing one
+    /// kernel).
+    pub fn predict_tr_curve(
+        &self,
+        history: &HistoryStore,
+        day_type: DayType,
+        window: TimeWindow,
+    ) -> Result<TrCurve, CoreError> {
+        let params = self.estimate_params(history, day_type, window)?;
+        let steps = window.steps(self.model.monitor_period_secs);
+        BatchSolver::new(&params).tr_curve(steps)
     }
 
     /// Predicts the temporal reliability together with a bootstrap
@@ -355,9 +402,12 @@ pub fn evaluate_window(
     let params = predictor.estimate_params(train, day_type, window)?;
     let steps = window.steps(predictor.model().monitor_period_secs);
     let solver = CompactSolver::from_params(&params);
-    // The two possible predictions, computed once.
-    let tr_s1 = solver.temporal_reliability(State::S1, steps)?;
-    let tr_s2 = solver.temporal_reliability(State::S2, steps)?;
+    // Both possible predictions from ONE recursion run: the six interval
+    // probabilities contain the S1 and S2 rows, so running the solver per
+    // initial state would do the same work twice for identical values.
+    let probs = solver.interval_probabilities(steps)?;
+    let tr_s1 = (1.0 - probs.failure_probability(State::S1)).clamp(0.0, 1.0);
+    let tr_s2 = (1.0 - probs.failure_probability(State::S2)).clamp(0.0, 1.0);
 
     let mut used = 0usize;
     let mut survived = 0usize;

@@ -31,6 +31,7 @@ pub struct CompactSolver {
     /// `i ∈ {S1, S2}`, `k ∈ {other, S3, S4, S5}`.
     events: [[EventList; 4]; 2],
     horizon: usize,
+    step_secs: u32,
 }
 
 impl CompactSolver {
@@ -49,7 +50,11 @@ impl CompactSolver {
                 }
             }
         }
-        CompactSolver { events, horizon }
+        CompactSolver {
+            events,
+            horizon,
+            step_secs: params.step_secs(),
+        }
     }
 
     /// Total number of nonzero kernel entries (the `nnz` in the cost).
@@ -163,6 +168,20 @@ impl CompactSolver {
             (raw - raw.clamp(0.0, 1.0)).abs()
         );
         Ok((1.0 - probs.failure_probability(init)).clamp(0.0, 1.0))
+    }
+
+    /// The materialized [`TrCurve`](crate::batch::TrCurve) for both
+    /// operational initial states from a single recursion run — the
+    /// event-list-speed counterpart of
+    /// [`crate::batch::BatchSolver::tr_curve`] for production query paths
+    /// that do not need bit-identicality with the paper-order solver.
+    pub fn tr_curve(&self, steps: usize) -> Result<crate::batch::TrCurve, CoreError> {
+        let (p1, p2) = self.run(steps)?;
+        Ok(crate::batch::TrCurve::from_raw_curves(
+            self.step_secs,
+            &p1,
+            &p2,
+        ))
     }
 
     /// The whole reliability curve `TR(m)` for `m = 0..=steps`.

@@ -37,6 +37,11 @@ impl IntervalProbs {
     /// Probability of hitting *any* failure state from the given initial
     /// state within the horizon.
     ///
+    /// In debug builds, each curve value is asserted to lie in `[0, 1]`
+    /// before the final clamp: a NaN or negative entry means the kernel
+    /// itself was malformed, and silently clamping it would launder the
+    /// bug into a plausible-looking probability.
+    ///
     /// # Panics
     /// Panics for failure initial states (the caller validates these).
     #[must_use]
@@ -46,6 +51,13 @@ impl IntervalProbs {
             State::S2 => &self.p2,
             s => panic!("failure_probability undefined for failure state {s}"),
         };
+        for (j, &p) in row.iter().enumerate() {
+            debug_assert!(
+                (0.0..=1.0).contains(&p),
+                "P_{{{init},S{}}} out of [0,1]: {p} (NaN or unnormalised kernel?)",
+                j + 3
+            );
+        }
         row.iter().sum::<f64>().clamp(0.0, 1.0)
     }
 }

@@ -18,8 +18,8 @@ const SAMPLES: usize = 11;
 /// Times `f` and prints `name: <median> ns/iter (min <min>)`.
 ///
 /// Runs a calibration pass to pick an iteration count that makes each
-/// sample last roughly [`TARGET_SAMPLE`], then reports the median over
-/// [`SAMPLES`] samples.
+/// sample last roughly `TARGET_SAMPLE` (20 ms), then reports the median
+/// over `SAMPLES` (11) samples.
 pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
     let m = measure(SAMPLES, TARGET_SAMPLE, &mut f);
     println!(
@@ -42,7 +42,7 @@ pub struct Measurement {
 }
 
 /// Times `f` with a bounded budget and returns the per-iteration stats
-/// instead of printing — the building block for both [`bench`] and the
+/// instead of printing — the building block for both [`bench()`] and the
 /// `fgcs-bench` smoke mode that emits `BENCH_baseline.json`.
 ///
 /// A calibration pass doubles the iteration count until one batch lasts at

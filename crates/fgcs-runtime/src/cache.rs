@@ -1,0 +1,320 @@
+//! A capacity-bounded LRU cache on `std` alone.
+//!
+//! Replaces the `lru` crate for the kernel-parameter memoization layer:
+//! `get`/`put`/`remove` are all O(1) via a slab of doubly-linked nodes
+//! (indices instead of pointers, so no `unsafe`) plus a `HashMap` from key
+//! to slab slot. Eviction returns the displaced entry so callers can count
+//! or inspect it.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Sentinel slab index meaning "no node".
+const NIL: usize = usize::MAX;
+
+/// One slab entry: the key/value pair plus intrusive list links.
+#[derive(Debug, Clone)]
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A least-recently-used cache holding at most `capacity` entries.
+///
+/// `get` promotes the entry to most-recently-used; `put` on a full cache
+/// evicts the least-recently-used entry and returns it.
+///
+/// ```
+/// use fgcs_runtime::cache::LruCache;
+///
+/// let mut cache = LruCache::new(2);
+/// cache.put("a", 1);
+/// cache.put("b", 2);
+/// cache.get(&"a");                      // "a" is now most recent
+/// let evicted = cache.put("c", 3);      // so "b" is evicted
+/// assert_eq!(evicted, Some(("b", 2)));
+/// assert_eq!(cache.get(&"a"), Some(&1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    /// Slots are `None` only while parked on the free list.
+    slab: Vec<Option<Node<K, V>>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache bounded to `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero (a zero-capacity LRU cannot satisfy
+    /// the put-then-get contract and is always a configuration bug).
+    #[must_use]
+    pub fn new(capacity: usize) -> LruCache<K, V> {
+        assert!(capacity > 0, "LruCache capacity must be positive");
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// The configured capacity bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The number of entries currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key` and promotes the entry to most-recently-used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.detach(idx);
+        self.attach_front(idx);
+        Some(&self.node(idx).value)
+    }
+
+    /// Looks up `key` without touching the recency order.
+    #[must_use]
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&idx| &self.node(idx).value)
+    }
+
+    /// Inserts or replaces `key`; returns the entry evicted to make room
+    /// (replacing an existing key returns its old value under that key).
+    pub fn put(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&idx) = self.map.get(&key) {
+            let old = std::mem::replace(&mut self.node_mut(idx).value, value);
+            self.detach(idx);
+            self.attach_front(idx);
+            return Some((key, old));
+        }
+        let evicted = if self.map.len() == self.capacity {
+            let lru = self.tail;
+            self.detach(lru);
+            let node = self.slab[lru].take().expect("tail slot occupied");
+            self.map.remove(&node.key);
+            self.free.push(lru);
+            Some((node.key, node.value))
+        } else {
+            None
+        };
+        let node = Node {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = Some(node);
+                slot
+            }
+            None => {
+                self.slab.push(Some(node));
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+        evicted
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.detach(idx);
+        let node = self.slab[idx].take().expect("mapped slot occupied");
+        self.free.push(idx);
+        Some(node.value)
+    }
+
+    /// Removes every entry for which `pred(key)` holds; returns how many
+    /// were dropped.
+    pub fn remove_if<F: Fn(&K) -> bool>(&mut self, pred: F) -> usize {
+        let doomed: Vec<K> = self.map.keys().filter(|k| pred(k)).cloned().collect();
+        for key in &doomed {
+            self.remove(key);
+        }
+        doomed.len()
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn node(&self, idx: usize) -> &Node<K, V> {
+        self.slab[idx].as_ref().expect("linked slot occupied")
+    }
+
+    fn node_mut(&mut self, idx: usize) -> &mut Node<K, V> {
+        self.slab[idx].as_mut().expect("linked slot occupied")
+    }
+
+    /// Unlinks a node from the recency list.
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = {
+            let node = self.node(idx);
+            (node.prev, node.next)
+        };
+        if prev != NIL {
+            self.node_mut(prev).next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.node_mut(next).prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        let node = self.node_mut(idx);
+        node.prev = NIL;
+        node.next = NIL;
+    }
+
+    /// Links a node at the most-recently-used end.
+    fn attach_front(&mut self, idx: usize) {
+        let head = self.head;
+        {
+            let node = self.node_mut(idx);
+            node.prev = NIL;
+            node.next = head;
+        }
+        if head != NIL {
+            self.node_mut(head).prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_promotes_and_put_evicts_lru() {
+        let mut c = LruCache::new(2);
+        assert_eq!(c.put(1, "one"), None);
+        assert_eq!(c.put(2, "two"), None);
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.put(3, "three"), Some((2, "two")));
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.get(&3), Some(&"three"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn replacing_a_key_returns_old_value_without_eviction() {
+        let mut c = LruCache::new(2);
+        c.put("k", 1);
+        assert_eq!(c.put("k", 2), Some(("k", 1)));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&"k"), Some(&2));
+    }
+
+    #[test]
+    fn peek_does_not_promote() {
+        let mut c = LruCache::new(2);
+        c.put(1, ());
+        c.put(2, ());
+        assert_eq!(c.peek(&1), Some(&()));
+        // 1 was NOT promoted, so it is still the LRU entry.
+        assert_eq!(c.put(3, ()), Some((1, ())));
+    }
+
+    #[test]
+    fn remove_and_reuse_slot() {
+        let mut c = LruCache::new(3);
+        c.put(1, "a");
+        c.put(2, "b");
+        assert_eq!(c.remove(&1), Some("a"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.remove(&1), None);
+        c.put(3, "c");
+        c.put(4, "d");
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&2), Some(&"b"));
+        assert_eq!(c.get(&3), Some(&"c"));
+        assert_eq!(c.get(&4), Some(&"d"));
+    }
+
+    #[test]
+    fn remove_if_filters_by_key() {
+        let mut c = LruCache::new(8);
+        for i in 0..6 {
+            c.put(i, i * 10);
+        }
+        let dropped = c.remove_if(|k| k % 2 == 0);
+        assert_eq!(dropped, 3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&0), None);
+        assert_eq!(c.get(&1), Some(&10));
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut c = LruCache::new(2);
+        c.put(1, ());
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+        c.put(2, ());
+        assert_eq!(c.get(&2), Some(&()));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = LruCache::<u32, u32>::new(0);
+    }
+
+    #[test]
+    fn single_capacity_cache_always_holds_last_put() {
+        let mut c = LruCache::new(1);
+        assert_eq!(c.put(1, "a"), None);
+        assert_eq!(c.put(2, "b"), Some((1, "a")));
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&2), Some(&"b"));
+    }
+
+    #[test]
+    fn heavy_churn_keeps_len_bounded() {
+        let mut c = LruCache::new(16);
+        for i in 0..1000u32 {
+            c.put(i, i);
+            assert!(c.len() <= 16);
+        }
+        // The 16 most recent keys survive.
+        for i in 984..1000 {
+            assert_eq!(c.peek(&i), Some(&i));
+        }
+    }
+}

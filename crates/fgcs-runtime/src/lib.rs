@@ -14,8 +14,10 @@
 //!   (replaces `crossbeam::scope` / `parking_lot`).
 //! - [`check`] — a seeded, shrink-free property-test harness (replaces
 //!   `proptest` for the workspace's invariant suites).
-//! - [`bench`] — a tiny wall-clock micro-benchmark harness (replaces
+//! - [`mod@bench`] — a tiny wall-clock micro-benchmark harness (replaces
 //!   `criterion` for the `--features bench-harness` targets).
+//! - [`cache`] — a capacity-bounded O(1) LRU cache (replaces the `lru`
+//!   crate for kernel-parameter memoization).
 //! - [`metrics`] — counters, gauges, log2 histograms, span timers and a
 //!   process-wide registry with byte-stable JSON export (replaces
 //!   `metrics` + `prometheus`-style client crates). Compile-time zero-cost
@@ -26,6 +28,7 @@
 //! and the paper figures reproducible.
 
 pub mod bench;
+pub mod cache;
 pub mod check;
 pub mod dist;
 pub mod json;

@@ -44,5 +44,5 @@ pub use guest::{CheckpointConfig, GuestJob, GuestOutcome, GuestStatus};
 pub use migration::MigrationPolicy;
 pub use monitor::{MonitorReport, ResourceMonitor};
 pub use node::{GuestRecord, HostNode};
-pub use scheduler::{JobScheduler, SchedulingPolicy};
+pub use scheduler::{predict_cluster, JobScheduler, SchedulingPolicy};
 pub use state_manager::{OnlineDecision, StateManager};

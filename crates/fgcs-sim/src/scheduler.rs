@@ -14,6 +14,42 @@ use crate::checkpoint::CheckpointPolicy;
 use crate::guest::GuestJob;
 use crate::node::HostNode;
 
+/// Candidate count from which the prediction-driven policies fan their TR
+/// queries across worker threads. Below this, thread spawn/join overhead
+/// exceeds the few-microsecond per-node query cost.
+const PARALLEL_QUERY_THRESHOLD: usize = 4;
+
+/// Queries every node's predicted TR over `horizon_secs` in parallel and
+/// returns the results in node order — the cluster-wide counterpart of
+/// [`HostNode::predict_tr`]. The result is element-for-element identical
+/// to the sequential loop (`fgcs_runtime::parallel` guarantees index
+/// ordering), so simulations stay deterministic regardless of core count.
+pub fn predict_cluster(
+    nodes: &[HostNode],
+    horizon_secs: u32,
+) -> Vec<Result<f64, fgcs_core::error::CoreError>> {
+    fgcs_runtime::counter_add!("sim.scheduler.cluster_sweeps", 1);
+    fgcs_runtime::histogram_record!("sim.scheduler.sweep_size", nodes.len() as u64);
+    fgcs_runtime::parallel::par_map(nodes, |n| n.predict_tr(horizon_secs))
+}
+
+/// TR for each candidate index (with the neutral-prior fallback), fanned
+/// across threads when the candidate set is large enough to pay for them.
+fn candidate_trs(nodes: &[HostNode], candidates: &[usize], horizon_secs: u32) -> Vec<f64> {
+    fgcs_runtime::histogram_record!("sim.scheduler.sweep_size", candidates.len() as u64);
+    let query = |&i: &usize| {
+        // Nodes without usable history fall back to a neutral prior
+        // rather than being excluded.
+        nodes[i].predict_tr(horizon_secs).unwrap_or(0.5)
+    };
+    if candidates.len() >= PARALLEL_QUERY_THRESHOLD {
+        fgcs_runtime::counter_add!("sim.scheduler.parallel_sweeps", 1);
+        fgcs_runtime::parallel::par_map(candidates, query)
+    } else {
+        candidates.iter().map(query).collect()
+    }
+}
+
 /// Placement policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulingPolicy {
@@ -113,11 +149,9 @@ impl JobScheduler {
             }),
             SchedulingPolicy::MaxReliability => {
                 let horizon = (job.remaining_secs() * self.runtime_slack) as u32;
+                let trs = candidate_trs(nodes, &candidates, horizon.max(60));
                 let mut best: Option<(usize, f64)> = None;
-                for i in candidates {
-                    // Nodes without usable history fall back to a neutral
-                    // prior rather than being excluded.
-                    let tr = nodes[i].predict_tr(horizon.max(60)).unwrap_or(0.5);
+                for (&i, &tr) in candidates.iter().zip(&trs) {
                     if best.map(|(_, b)| tr > b).unwrap_or(true) {
                         best = Some((i, tr));
                     }
@@ -126,9 +160,9 @@ impl JobScheduler {
             }
             SchedulingPolicy::ReliabilitySpeed => {
                 let horizon = (job.remaining_secs() * self.runtime_slack) as u32;
+                let trs = candidate_trs(nodes, &candidates, horizon.max(60));
                 let mut best: Option<(usize, f64)> = None;
-                for i in candidates {
-                    let tr = nodes[i].predict_tr(horizon.max(60)).unwrap_or(0.5);
+                for (&i, &tr) in candidates.iter().zip(&trs) {
                     let speed = 1.0 - nodes[i].current_host_load().unwrap_or(1.0);
                     let score = tr * speed.max(0.0);
                     if best.map(|(_, b)| score > b).unwrap_or(true) {
@@ -167,6 +201,23 @@ mod tests {
         let mut n = HostNode::new(trace, model);
         n.warm_up(warm);
         n
+    }
+
+    #[test]
+    fn predict_cluster_matches_sequential_queries() {
+        let nodes: Vec<HostNode> = (0..5u64)
+            .map(|i| node_with_load(i, 0.1 + 0.05 * i as f64, 3, 2))
+            .collect();
+        let swept = predict_cluster(&nodes, 3600);
+        let sequential: Vec<_> = nodes.iter().map(|n| n.predict_tr(3600)).collect();
+        assert_eq!(swept.len(), sequential.len());
+        for (par, seq) in swept.iter().zip(&sequential) {
+            match (par, seq) {
+                (Ok(a), Ok(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                (Err(_), Err(_)) => {}
+                other => panic!("parallel/sequential disagree: {other:?}"),
+            }
+        }
     }
 
     #[test]

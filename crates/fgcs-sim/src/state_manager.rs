@@ -10,6 +10,7 @@
 //! match what [`fgcs_core::classify::StateClassifier`] would produce
 //! offline (up to spikes at day boundaries).
 
+use fgcs_core::cache::QhCache;
 use fgcs_core::error::CoreError;
 use fgcs_core::log::{DayLog, HistoryStore, StateLog};
 use fgcs_core::model::{AvailabilityModel, LoadSample};
@@ -31,6 +32,11 @@ pub enum OnlineDecision {
     Failed(State),
 }
 
+/// Kernels memoized per manager: enough for the handful of distinct
+/// (window, day-type) coordinates a scheduling round asks about, small
+/// enough that a thousand-node cluster stays cheap.
+const QH_CACHE_CAPACITY: usize = 32;
+
 /// Online classifier + history logger + prediction endpoint for one node.
 #[derive(Debug, Clone)]
 pub struct StateManager {
@@ -42,6 +48,11 @@ pub struct StateManager {
     last_operational: State,
     overload_run: usize,
     currently_failed: bool,
+    /// Memoized Q/H estimations for the prediction endpoint. The history
+    /// length is part of the cache key, so the daily append in
+    /// [`StateManager::end_day`] invalidates implicitly; wholesale store
+    /// replacement must clear explicitly.
+    qh_cache: QhCache,
 }
 
 impl StateManager {
@@ -58,6 +69,7 @@ impl StateManager {
             last_operational: State::S1,
             overload_run: 0,
             currently_failed: false,
+            qh_cache: QhCache::new(QH_CACHE_CAPACITY),
         }
     }
 
@@ -73,6 +85,10 @@ impl StateManager {
             self.day_index = last.day_index + 1;
         }
         self.store = store;
+        // The replacement store may coincidentally have the same number of
+        // days as the old one, which would defeat the length-keyed implicit
+        // invalidation — drop everything.
+        self.qh_cache.clear();
     }
 
     /// Processes one monitoring period. `truth` is `None` while the machine
@@ -224,6 +240,11 @@ impl StateManager {
     /// Predicts the temporal reliability for the next `horizon_secs`
     /// seconds, anchored at the current time-of-day — the §5.1 endpoint the
     /// gateway answers job-submission queries with.
+    ///
+    /// The Q/H estimation behind the query is memoized in a per-manager
+    /// LRU: a scheduling round that probes the same node for several jobs
+    /// (or a choose + configure pair with the same horizon) estimates the
+    /// kernel once and reuses it until the history grows.
     pub fn predict_tr(&self, horizon_secs: u32) -> Result<f64, CoreError> {
         let start = self
             .time_of_day_secs()
@@ -231,7 +252,16 @@ impl StateManager {
         let horizon = horizon_secs.min(2 * fgcs_core::window::SECS_PER_DAY - start);
         let window = TimeWindow::new(start, horizon.max(self.model.monitor_period_secs));
         let day_type = DayType::of_day(self.day_index);
-        SmpPredictor::new(self.model).predict(&self.store, day_type, window, self.last_operational)
+        // The cache is private to this manager, so the host component of
+        // the key is constant.
+        SmpPredictor::new(self.model).predict_cached(
+            &self.qh_cache,
+            0,
+            &self.store,
+            day_type,
+            window,
+            self.last_operational,
+        )
     }
 }
 

@@ -122,7 +122,7 @@ impl std::fmt::Display for TraceStats {
 
 /// The paper's foundational observation, measured: "the daily patterns of
 /// host workloads are comparable to those in the most recent days" (§1,
-/// citing [19]). For each same-type day, correlates its hourly mean-load
+/// citing \[19\]). For each same-type day, correlates its hourly mean-load
 /// profile against the mean profile of the *other* same-type days
 /// (leave-one-out — the view the predictor actually has: one future day vs
 /// pooled history), and returns the average correlation. `None` when fewer

@@ -4,6 +4,7 @@
 //! fgcs generate --seed 42 --days 30 --machines 2 --profile lab --out traces/
 //! fgcs stats    traces/machine-0.json
 //! fgcs predict  traces/machine-0.json --start 9.0 --hours 2 [--init S2] [--weekend] [--ci]
+//! fgcs sweep    traces/machine-0.json --start 9.0 --hours 2 [--points 12] [--init S2] [--weekend]
 //! fgcs evaluate traces/machine-0.json --train 6 --test 4
 //! ```
 
@@ -29,6 +30,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(rest),
         "stats" => cmd_stats(rest),
         "predict" => cmd_predict(rest),
+        "sweep" => cmd_sweep(rest),
         "evaluate" => cmd_evaluate(rest),
         "metrics" => cmd_metrics(rest),
         "help" | "--help" | "-h" => {
@@ -78,6 +80,7 @@ USAGE:
   fgcs generate --seed N --days D [--machines M] [--profile lab|enterprise|server] [--out DIR]
   fgcs stats    TRACE.json
   fgcs predict  TRACE.json --start HOURS --hours H [--init S1|S2] [--weekend] [--ci]
+  fgcs sweep    TRACE.json --start HOURS --hours H [--points N] [--init S1|S2] [--weekend]
   fgcs evaluate TRACE.json [--train A --test B] [--start HOURS] [--hours H]
   fgcs metrics  [--seed N] [--days D]
 
@@ -182,6 +185,50 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
             .predict(&history, day_type, window, init)
             .map_err(|e| e.to_string())?;
         println!("TR({window}, {day_type}, init {init}) = {tr:.4}");
+    }
+    Ok(())
+}
+
+/// Prints a TR-vs-horizon table for every horizon on an evenly spaced grid
+/// up to the window length — all answered from a *single* batched Eq.-3
+/// recursion pass, where `predict` would pay one pass per horizon.
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    let start: f64 = parse(args, "--start", 9.0)?;
+    let hours: f64 = parse(args, "--hours", 2.0)?;
+    let points: usize = parse(args, "--points", 12)?;
+    if points == 0 {
+        return Err("--points must be positive".into());
+    }
+    let init = match opt(args, "--init").unwrap_or("S1") {
+        "S1" | "s1" => State::S1,
+        "S2" | "s2" => State::S2,
+        other => return Err(format!("init must be S1 or S2, got {other}")),
+    };
+    let day_type = if flag(args, "--weekend") {
+        DayType::Weekend
+    } else {
+        DayType::Weekday
+    };
+    let model = AvailabilityModel::default();
+    let history = trace.to_history(&model).map_err(|e| e.to_string())?;
+    let window = TimeWindow::from_hours(start, hours);
+    let predictor = SmpPredictor::new(model);
+    let curve = predictor
+        .predict_tr_curve(&history, day_type, window)
+        .map_err(|e| e.to_string())?;
+    let steps = curve.horizon_steps();
+
+    println!(
+        "machine {} — TR vs horizon, {day_type} window {window}, init {init}",
+        trace.machine_id
+    );
+    println!("{:>10} {:>8} {:>8}", "horizon_hr", "steps", "TR");
+    for i in 1..=points {
+        let m = i * steps / points;
+        let tr = curve.tr(init, m).map_err(|e| e.to_string())?;
+        let horizon_hr = m as f64 * f64::from(curve.step_secs()) / 3600.0;
+        println!("{horizon_hr:>10.2} {m:>8} {tr:>8.4}");
     }
     Ok(())
 }

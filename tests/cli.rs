@@ -58,6 +58,43 @@ fn cli_full_workflow() {
         "predict output: {text}"
     );
 
+    // sweep: 8 points, all answered from one batched recursion pass
+    let out = fgcs()
+        .args([
+            "sweep", trace_str, "--start", "9", "--hours", "1", "--points", "8",
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("horizon_hr"), "sweep output: {text}");
+    assert_eq!(
+        text.lines().count(),
+        2 + 8,
+        "header lines plus one row per point: {text}"
+    );
+    // A point's TR must never exceed an earlier (shorter-horizon) one.
+    let trs: Vec<f64> = text
+        .lines()
+        .skip(2)
+        .filter_map(|l| l.split_whitespace().last()?.parse().ok())
+        .collect();
+    assert_eq!(trs.len(), 8);
+    for pair in trs.windows(2) {
+        assert!(pair[1] <= pair[0] + 1e-9, "TR rose with horizon: {trs:?}");
+    }
+
+    // sweep rejects a zero point count
+    let out = fgcs()
+        .args(["sweep", trace_str, "--points", "0"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+
     // evaluate
     let out = fgcs()
         .args([

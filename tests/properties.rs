@@ -64,6 +64,70 @@ fn tr_is_probability_and_monotone() {
 }
 
 #[test]
+fn interval_probability_curves_are_monotone_in_horizon() {
+    // Eq. 3's P_{init,j}(m) is the probability of *ever* having entered
+    // failure state j within m steps — a non-decreasing function of m.
+    // The batched engine exposes the whole curve from one pass, making
+    // this property directly checkable.
+    use fgcs::core::batch::BatchSolver;
+    check(
+        "interval_probability_curves_are_monotone_in_horizon",
+        CASES,
+        |g| {
+            let params = random_kernel(g, 24);
+            let curves = BatchSolver::new(&params).interval_curves(24).unwrap();
+            for (init, rows) in [("S1", &curves.p1), ("S2", &curves.p2)] {
+                for (j, row) in rows.iter().enumerate() {
+                    ensure(row[0] == 0.0, format!("P_{{{init},S{}}}(0) != 0", j + 3))?;
+                    for (m, pair) in row.windows(2).enumerate() {
+                        ensure(
+                            pair[1] + 1e-12 >= pair[0],
+                            format!(
+                                "P_{{{init},S{}}} decreases at m={}: {} -> {}",
+                                j + 3,
+                                m + 1,
+                                pair[0],
+                                pair[1]
+                            ),
+                        )?;
+                        ensure(
+                            (0.0..=1.0).contains(&pair[1]),
+                            format!("P out of range: {}", pair[1]),
+                        )?;
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn batched_tr_curve_matches_standalone_solves_bitwise() {
+    use fgcs::core::batch::BatchSolver;
+    check(
+        "batched_tr_curve_matches_standalone_solves_bitwise",
+        CASES,
+        |g| {
+            let params = random_kernel(g, 20);
+            let curve = BatchSolver::new(&params).tr_curve(20).unwrap();
+            let solver = SparseSolver::new(&params);
+            for init in [State::S1, State::S2] {
+                for m in 0..=20usize {
+                    let batched = curve.tr(init, m).unwrap();
+                    let standalone = solver.temporal_reliability(init, m).unwrap();
+                    ensure(
+                        batched.to_bits() == standalone.to_bits(),
+                        format!("m={m} init={init}: batched {batched} standalone {standalone}"),
+                    )?;
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
 fn sparse_equals_dense() {
     check("sparse_equals_dense", CASES, |g| {
         let params = random_kernel(g, 16);
