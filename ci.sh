@@ -30,6 +30,22 @@ cargo build --release --offline --workspace --examples
 echo "== cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "== chaos smoke: fixed-seed fault campaign (invariants enforced by exit code)"
+cargo run -q --release --offline --bin fgcs -- \
+  chaos --seed 20060625 --steps 2000 --machines 4 > /dev/null
+
+echo "== chaos smoke: zero-fault plan must be bit-identical to the unfaulted pipeline"
+zero_out=$(cargo run -q --release --offline --bin fgcs -- \
+  chaos --seed 20060625 --steps 2000 --machines 4 --zero-faults)
+plain_out=$(cargo run -q --release --offline --bin fgcs -- \
+  chaos --seed 20060625 --steps 2000 --machines 4 --no-faults)
+if [ "$zero_out" != "$plain_out" ]; then
+  echo "zero-fault chaos report diverged from the unfaulted pipeline:"
+  echo "  zero-faults: $zero_out"
+  echo "  no-faults:   $plain_out"
+  exit 1
+fi
+
 echo "== cargo doc --offline --workspace --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --workspace --no-deps
 

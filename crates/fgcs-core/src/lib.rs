@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// Library code must surface errors through `CoreError`, not panic: an
+// `unwrap()` on a volunteer host's data path is exactly the brittleness
+// the robustness layer exists to remove. Tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! # fgcs-core
 //!
 //! The primary contribution of *Ren, Lee, Eigenmann, Bagchi: "Resource
@@ -18,7 +22,10 @@
 //!   same-type days ([`smp::SmpParams`]), and the sparse Eq.-3 solver for
 //!   the interval transition probabilities ([`smp::SparseSolver`]),
 //! * the end-to-end **temporal reliability predictor** and its evaluation
-//!   harness ([`predictor::SmpPredictor`], [`predictor::evaluate_window`]).
+//!   harness ([`predictor::SmpPredictor`], [`predictor::evaluate_window`]),
+//! * **graceful degradation** for corrupted or missing history: lossy
+//!   ingestion ([`log::HistoryStore::from_samples_lossy`]) and the tagged
+//!   fallback chain ([`robust::RobustPredictor`]).
 //!
 //! Temporal reliability `TR(W)` is the probability that a machine never
 //! enters a failure state (S3/S4/S5) throughout a future time window `W` —
@@ -32,6 +39,7 @@ pub mod error;
 pub mod log;
 pub mod model;
 pub mod predictor;
+pub mod robust;
 pub mod smp;
 pub mod state;
 pub mod window;
@@ -43,12 +51,13 @@ pub use batch::{
 pub use cache::QhCache;
 pub use classify::StateClassifier;
 pub use error::CoreError;
-pub use log::{DayLog, HistoryStore, StateLog};
+pub use log::{DayLog, HistoryStore, IngestReport, StateLog};
 pub use model::{AvailabilityModel, LoadSample};
 pub use predictor::{
     empirical_tr, evaluate_window, evaluate_window_markov, SmpPredictor, TrPrediction,
     WindowEvaluation,
 };
+pub use robust::{PredictionQuality, QualifiedTr, RobustPredictor, DEFAULT_PRIOR_TR};
 pub use smp::{CompactSolver, DenseSolver, IntervalProbs, MarkovChain, SmpParams, SparseSolver};
 pub use state::State;
 pub use window::{DayType, TimeWindow, SECS_PER_DAY};

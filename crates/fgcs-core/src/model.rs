@@ -131,6 +131,20 @@ impl LoadSample {
             alive: false,
         }
     }
+
+    /// Whether the readings are physically plausible: a finite CPU load in
+    /// `[0, 1]` and finite, non-negative free memory. Real monitors emit
+    /// NaN/±inf/out-of-range values under contention; the threshold
+    /// comparisons in the classifier would silently misfile such garbage
+    /// (NaN fails every `>` test and classifies as idle), so insane samples
+    /// must be repaired *before* classification.
+    #[must_use]
+    pub fn is_sane(&self) -> bool {
+        self.host_cpu.is_finite()
+            && (0.0..=1.0).contains(&self.host_cpu)
+            && self.free_mem_mb.is_finite()
+            && self.free_mem_mb >= 0.0
+    }
 }
 
 #[cfg(test)]
@@ -193,5 +207,31 @@ mod tests {
         assert_eq!(s.host_cpu, 0.0);
         let r = LoadSample::revoked();
         assert!(!r.alive);
+    }
+
+    #[test]
+    fn sanity_check_rejects_garbage_readings() {
+        assert!(LoadSample::idle(512.0).is_sane());
+        assert!(LoadSample::revoked().is_sane());
+        let nan = LoadSample {
+            host_cpu: f64::NAN,
+            ..LoadSample::idle(512.0)
+        };
+        assert!(!nan.is_sane());
+        let inf_mem = LoadSample {
+            free_mem_mb: f64::INFINITY,
+            ..LoadSample::idle(512.0)
+        };
+        assert!(!inf_mem.is_sane());
+        let over = LoadSample {
+            host_cpu: 1.5,
+            ..LoadSample::idle(512.0)
+        };
+        assert!(!over.is_sane());
+        let neg_mem = LoadSample {
+            free_mem_mb: -1.0,
+            ..LoadSample::idle(512.0)
+        };
+        assert!(!neg_mem.is_sane());
     }
 }

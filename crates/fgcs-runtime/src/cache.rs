@@ -158,6 +158,17 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         doomed.len()
     }
 
+    /// Visits every `(key, value)` pair without touching the recency
+    /// order. Iteration order is unspecified (it follows the internal map),
+    /// so callers needing determinism must reduce with an order-insensitive
+    /// operation (e.g. `max_by_key` over unique keys).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.values().map(|&idx| {
+            let node = self.node(idx);
+            (&node.key, &node.value)
+        })
+    }
+
     /// Drops every entry.
     pub fn clear(&mut self) {
         self.map.clear();
@@ -277,6 +288,20 @@ mod tests {
         assert_eq!(c.len(), 3);
         assert_eq!(c.get(&0), None);
         assert_eq!(c.get(&1), Some(&10));
+    }
+
+    #[test]
+    fn iter_visits_every_entry_without_promoting() {
+        let mut c = LruCache::new(4);
+        c.put(1, "a");
+        c.put(2, "b");
+        c.put(3, "c");
+        let mut seen: Vec<(i32, &str)> = c.iter().map(|(&k, &v)| (k, v)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(1, "a"), (2, "b"), (3, "c")]);
+        // Iteration must not promote: 1 is still the LRU entry.
+        c.put(4, "d");
+        assert_eq!(c.put(5, "e"), Some((1, "a")));
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   `criterion` for the `--features bench-harness` targets).
 //! - [`cache`] — a capacity-bounded O(1) LRU cache (replaces the `lru`
 //!   crate for kernel-parameter memoization).
+//! - [`fault`] — a seeded, fully deterministic fault-injection plan for
+//!   robustness campaigns (corrupt values, dropped/duplicated/stuck
+//!   samples, monitor outages, truncated days, node blackouts).
 //! - [`metrics`] — counters, gauges, log2 histograms, span timers and a
 //!   process-wide registry with byte-stable JSON export (replaces
 //!   `metrics` + `prometheus`-style client crates). Compile-time zero-cost
@@ -31,6 +34,7 @@ pub mod bench;
 pub mod cache;
 pub mod check;
 pub mod dist;
+pub mod fault;
 pub mod json;
 pub mod metrics;
 pub mod parallel;

@@ -346,6 +346,11 @@ impl Cluster {
     ) {
         let n = self.nodes.len();
         for i in 0..n {
+            // An unreachable node can neither answer the TR query nor hand
+            // its guest over; skip it until connectivity returns.
+            if self.nodes[i].blacked_out() {
+                continue;
+            }
             let Some(remaining) = self.nodes[i].guest_remaining_secs() else {
                 continue;
             };
@@ -357,7 +362,7 @@ impl Cluster {
                 .nodes
                 .iter()
                 .enumerate()
-                .filter(|(j, node)| *j != i && node.available())
+                .filter(|(j, node)| *j != i && node.available() && !node.blacked_out())
                 .filter_map(|(_, node)| node.predict_tr(horizon).ok())
                 .fold(None::<f64>, |acc, tr| {
                     Some(acc.map_or(tr, |best| best.max(tr)))

@@ -19,8 +19,12 @@
 //!   of them running a workload,
 //! * [`scheduler`] — the client-side Job Scheduler with the proactive
 //!   (max-reliability) policy and prediction-oblivious baselines,
-//! * [`event`] — a deterministic event queue for workload construction.
+//! * [`event`] — a deterministic event queue for workload construction,
+//! * [`chaos`] — seeded fault-injection campaigns asserting the
+//!   robustness invariants (no panics, in-range TRs, deterministic
+//!   reports, zero-fault ≡ unfaulted).
 
+pub mod chaos;
 pub mod checkpoint;
 pub mod cluster;
 pub mod contention;
@@ -34,6 +38,7 @@ pub mod node;
 pub mod scheduler;
 pub mod state_manager;
 
+pub use chaos::{run_campaign, ChaosConfig, ChaosReport};
 pub use checkpoint::{youngs_interval, CheckpointPolicy};
 pub use cluster::{group_records, Cluster, GroupRecord, JobRecord, JobSpec};
 pub use contention::{CpuContentionModel, GuestPriority, MemoryModel};
@@ -43,6 +48,6 @@ pub use gateway::{Gateway, GuestAction};
 pub use guest::{CheckpointConfig, GuestJob, GuestOutcome, GuestStatus};
 pub use migration::MigrationPolicy;
 pub use monitor::{MonitorReport, ResourceMonitor};
-pub use node::{GuestRecord, HostNode};
-pub use scheduler::{predict_cluster, JobScheduler, SchedulingPolicy};
+pub use node::{GuestRecord, HostNode, QueryError};
+pub use scheduler::{predict_cluster, predict_cluster_qualified, JobScheduler, SchedulingPolicy};
 pub use state_manager::{OnlineDecision, StateManager};

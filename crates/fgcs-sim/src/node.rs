@@ -1,14 +1,42 @@
 //! A host node: trace replay + State Manager + Gateway + (at most) one
 //! guest process, wired together exactly as in the paper's Figure 2.
+//!
+//! The node is also the *live* fault-injection boundary: an attached
+//! [`FaultInjector`] corrupts what the State Manager observes (the
+//! monitoring stream) without touching physical reality (the trace sample
+//! that drives CPU contention). A node with a zero-rate plan behaves
+//! bit-for-bit like a node with no injector at all.
 
-use fgcs_core::model::AvailabilityModel;
+use fgcs_core::model::{AvailabilityModel, LoadSample};
+use fgcs_core::robust::QualifiedTr;
 use fgcs_core::state::State;
+use fgcs_runtime::fault::{FaultInjector, FaultPlan, ValueFault};
 use fgcs_trace::MachineTrace;
 
 use crate::contention::CpuContentionModel;
 use crate::gateway::{action_priority, Gateway, GuestAction};
 use crate::guest::{GuestJob, GuestOutcome, GuestStatus};
 use crate::state_manager::StateManager;
+
+/// Why a gateway query produced no answer. With the robust prediction
+/// path a *reachable* node always answers (degrading down to the prior),
+/// so the only remaining failure mode is not reaching the node at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// The node is unreachable: a monitoring/communication blackout. No
+    /// query can be answered until connectivity returns.
+    Blackout,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Blackout => f.write_str("node unreachable: monitoring blackout"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 /// A finished guest run on this node.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +61,10 @@ pub struct HostNode {
     guest: Option<(GuestJob, GuestStatus, u64)>,
     cursor: usize,
     records: Vec<GuestRecord>,
+    faults: Option<FaultInjector>,
+    /// Last sane reading the monitor produced — the hold-last substitute
+    /// for corrupted observations.
+    held_sample: LoadSample,
 }
 
 impl HostNode {
@@ -40,6 +72,7 @@ impl HostNode {
     #[must_use]
     pub fn new(trace: MachineTrace, model: AvailabilityModel) -> HostNode {
         let manager = StateManager::new(model, trace.first_day_index);
+        let held_sample = LoadSample::idle(trace.physical_mem_mb);
         HostNode {
             id: trace.machine_id,
             trace,
@@ -49,7 +82,20 @@ impl HostNode {
             guest: None,
             cursor: 0,
             records: Vec::new(),
+            faults: None,
+            held_sample,
         }
+    }
+
+    /// Attaches a fault injector: from now on every observation the State
+    /// Manager receives passes through the plan's corruption boundary
+    /// (value faults, drops, duplicates, stuck readings, outages) and the
+    /// node suffers the plan's communication blackouts. The fault stream
+    /// is the node id, so a cluster of nodes under one plan decorrelates.
+    #[must_use]
+    pub fn with_fault_injector(mut self, plan: FaultPlan) -> HostNode {
+        self.faults = Some(FaultInjector::new(plan));
+        self
     }
 
     /// Replays the first `days` of the trace into the history store without
@@ -92,10 +138,31 @@ impl HostNode {
     }
 
     /// The host load of the sample about to be replayed (what a scheduler
-    /// could observe by probing the node now).
+    /// could observe by probing the node now). `None` while the node is
+    /// unreachable; a non-finite reading is treated as no reading at all
+    /// and an out-of-range one is clamped, so callers can compare loads
+    /// without defending against NaN.
     #[must_use]
     pub fn current_host_load(&self) -> Option<f64> {
-        self.trace.samples.get(self.cursor).map(|s| s.host_cpu)
+        if self.blacked_out() {
+            return None;
+        }
+        self.trace
+            .samples
+            .get(self.cursor)
+            .map(|s| s.host_cpu)
+            .filter(|l| l.is_finite())
+            .map(|l| l.clamp(0.0, 1.0))
+    }
+
+    /// Whether the node is currently unreachable because its fault plan
+    /// has it in a communication blackout. Queries and submissions fail
+    /// while this holds; the node itself keeps running.
+    #[must_use]
+    pub fn blacked_out(&self) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|inj| inj.in_blackout(self.id, self.cursor as u64))
     }
 
     /// Whether the machine is alive at the current cursor.
@@ -114,6 +181,18 @@ impl HostNode {
         self.manager.predict_tr(horizon_secs)
     }
 
+    /// Predicted temporal reliability through the graceful-degradation
+    /// chain: a reachable node always answers, tagging the answer with the
+    /// [`fgcs_core::robust::PredictionQuality`] of the path that produced
+    /// it. Fails only while the node is [`HostNode::blacked_out`].
+    pub fn predict_tr_qualified(&self, horizon_secs: u32) -> Result<QualifiedTr, QueryError> {
+        if self.blacked_out() {
+            fgcs_runtime::counter_add!("sim.node.blackout_rejections", 1);
+            return Err(QueryError::Blackout);
+        }
+        Ok(self.manager.predict_tr_qualified(horizon_secs))
+    }
+
     /// Whether the node can accept a guest right now: not busy, alive, and
     /// not currently observed in a failure state.
     #[must_use]
@@ -125,9 +204,9 @@ impl HostNode {
     }
 
     /// Launches a guest job. Returns the job back when the node is busy,
-    /// dead, currently failed, or out of trace.
+    /// dead, currently failed, unreachable, or out of trace.
     pub fn submit(&mut self, job: GuestJob) -> Result<(), GuestJob> {
-        if !self.available() {
+        if !self.available() || self.blacked_out() {
             return Err(job);
         }
         fgcs_runtime::counter_add!("sim.guest.submitted", 1);
@@ -146,8 +225,9 @@ impl HostNode {
         let Some(&sample) = self.trace.samples.get(self.cursor) else {
             return false;
         };
+        let idx = self.cursor as u64;
         self.cursor += 1;
-        let truth = if sample.alive { Some(sample) } else { None };
+        let truth = self.observe_through_faults(sample, idx);
         let decision = self.manager.observe(truth);
 
         if let Some((mut job, _status, launched_at)) = self.guest.take() {
@@ -207,6 +287,53 @@ impl HostNode {
         self.cursor < self.trace.samples.len() || self.finish_trailing_day()
     }
 
+    /// The fault-injection boundary between the physical machine and its
+    /// monitor: what the State Manager receives is the trace sample
+    /// filtered through the node's injector. Physical reality (`sample`)
+    /// still drives guest CPU contention — faults corrupt *observation*,
+    /// not the machine. With no injector (or a zero-rate plan) the result
+    /// is bit-identical to the plain `alive → Some(sample)` path.
+    fn observe_through_faults(&mut self, sample: LoadSample, idx: u64) -> Option<LoadSample> {
+        let Some(injector) = &self.faults else {
+            return if sample.alive { Some(sample) } else { None };
+        };
+        if injector.in_blackout(self.id, idx) {
+            fgcs_runtime::counter_add!("runtime.fault.blackout_steps", 1);
+        }
+        if injector.in_outage(self.id, idx) || injector.dropped(self.id, idx) {
+            // The monitor produced nothing this period. Sustained gaps are
+            // indistinguishable from revocation, exactly as in a real
+            // deployment with a dead monitor daemon.
+            return None;
+        }
+        let mut s = sample;
+        if injector.stuck_at(self.id, idx) || injector.duplicated(self.id, idx) {
+            // A stuck or repeated reading: the previous values under the
+            // current heartbeat.
+            s = LoadSample {
+                alive: sample.alive,
+                ..self.held_sample
+            };
+        } else if let Some(fault) = injector.value_fault(self.id, idx) {
+            corrupt_observation(&mut s, fault);
+        }
+        if !s.is_sane() {
+            // Live hold-last repair, preserving the heartbeat so
+            // revocation detection keeps working on repaired samples.
+            fgcs_runtime::counter_add!("sim.monitor.insane_repaired", 1);
+            s = LoadSample {
+                alive: s.alive,
+                ..self.held_sample
+            };
+        }
+        self.held_sample = s;
+        if s.alive {
+            Some(s)
+        } else {
+            None
+        }
+    }
+
     fn finish_trailing_day(&mut self) -> bool {
         self.manager.end_day();
         false
@@ -237,6 +364,29 @@ impl HostNode {
     #[must_use]
     pub fn last_operational(&self) -> State {
         self.manager.last_operational()
+    }
+}
+
+/// Applies one value fault to an observed sample, leaving the heartbeat
+/// intact (value corruption and machine death are independent failures).
+fn corrupt_observation(sample: &mut LoadSample, fault: ValueFault) {
+    match fault {
+        ValueFault::Nan => {
+            sample.host_cpu = f64::NAN;
+            sample.free_mem_mb = f64::NAN;
+        }
+        ValueFault::PosInf => {
+            sample.host_cpu = f64::INFINITY;
+            sample.free_mem_mb = f64::INFINITY;
+        }
+        ValueFault::NegInf => {
+            sample.host_cpu = f64::NEG_INFINITY;
+            sample.free_mem_mb = f64::NEG_INFINITY;
+        }
+        ValueFault::OutOfRange => {
+            sample.host_cpu = 17.5;
+            sample.free_mem_mb = -4096.0;
+        }
     }
 }
 
@@ -363,6 +513,65 @@ mod tests {
         assert_eq!(node.history().len(), 7);
         let tr = node.predict_tr(3600).unwrap();
         assert_eq!(tr, 1.0);
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_unfaulted() {
+        use fgcs_runtime::fault::FaultPlan;
+        let trace = quiet_trace(8);
+        let mut plain = HostNode::new(trace.clone(), AvailabilityModel::default());
+        let mut zeroed = HostNode::new(trace, AvailabilityModel::default())
+            .with_fault_injector(FaultPlan::none(99));
+        plain.warm_up(7);
+        zeroed.warm_up(7);
+        assert_eq!(plain.history(), zeroed.history());
+        let a = plain.predict_tr(3600).unwrap();
+        let b = zeroed.predict_tr(3600).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+        let qa = plain.predict_tr_qualified(3600).unwrap();
+        let qb = zeroed.predict_tr_qualified(3600).unwrap();
+        assert_eq!(qa.tr.to_bits(), qb.tr.to_bits());
+        assert_eq!(qa.quality, qb.quality);
+    }
+
+    #[test]
+    fn chaotic_observations_are_absorbed_without_panic() {
+        use fgcs_runtime::fault::FaultPlan;
+        // Aggressive corruption of every kind on a quiet machine: the node
+        // must keep stepping, keep logging days, and keep answering
+        // qualified queries with in-range TRs.
+        let plan = FaultPlan {
+            nan_rate: 0.05,
+            inf_rate: 0.02,
+            out_of_range_rate: 0.05,
+            ..FaultPlan::chaos(3)
+        };
+        let mut node =
+            HostNode::new(quiet_trace(8), AvailabilityModel::default()).with_fault_injector(plan);
+        node.warm_up(7);
+        assert!(!node.history().is_empty());
+        let q = node.predict_tr_qualified(3600);
+        if let Ok(q) = q {
+            assert!((0.0..=1.0).contains(&q.tr), "tr {}", q.tr);
+        }
+    }
+
+    #[test]
+    fn blackout_rejects_queries_and_submissions() {
+        use fgcs_runtime::fault::FaultPlan;
+        let plan = FaultPlan {
+            blackout_rate: 1.0,
+            blackout_len: 10,
+            ..FaultPlan::none(1)
+        };
+        let mut node =
+            HostNode::new(quiet_trace(1), AvailabilityModel::default()).with_fault_injector(plan);
+        assert!(node.blacked_out());
+        assert_eq!(node.predict_tr_qualified(600), Err(QueryError::Blackout));
+        assert_eq!(node.current_host_load(), None);
+        assert!(node.submit(GuestJob::new(1, 10.0, 50.0)).is_err());
+        // The machine itself keeps running through the blackout.
+        assert!(node.step());
     }
 
     #[test]

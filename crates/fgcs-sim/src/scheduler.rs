@@ -8,11 +8,14 @@
 //! baselines, quantifying the §1 claim that proactive management improves
 //! job response times.
 
+use std::collections::HashMap;
+
+use fgcs_core::robust::QualifiedTr;
 use fgcs_runtime::rng::{Rng, Xoshiro256};
 
 use crate::checkpoint::CheckpointPolicy;
 use crate::guest::GuestJob;
-use crate::node::HostNode;
+use crate::node::{HostNode, QueryError};
 
 /// Candidate count from which the prediction-driven policies fan their TR
 /// queries across worker threads. Below this, thread spawn/join overhead
@@ -33,21 +36,63 @@ pub fn predict_cluster(
     fgcs_runtime::parallel::par_map(nodes, |n| n.predict_tr(horizon_secs))
 }
 
-/// TR for each candidate index (with the neutral-prior fallback), fanned
-/// across threads when the candidate set is large enough to pay for them.
-fn candidate_trs(nodes: &[HostNode], candidates: &[usize], horizon_secs: u32) -> Vec<f64> {
+/// Queries every node's *qualified* TR over `horizon_secs` in parallel —
+/// the robust counterpart of [`predict_cluster`]. A reachable node always
+/// answers (degrading down to its prior); `Err` marks nodes that could not
+/// be reached at all (monitoring blackout).
+pub fn predict_cluster_qualified(
+    nodes: &[HostNode],
+    horizon_secs: u32,
+) -> Vec<Result<QualifiedTr, QueryError>> {
+    fgcs_runtime::counter_add!("sim.scheduler.cluster_sweeps", 1);
+    fgcs_runtime::histogram_record!("sim.scheduler.sweep_size", nodes.len() as u64);
+    fgcs_runtime::parallel::par_map(nodes, |n| n.predict_tr_qualified(horizon_secs))
+}
+
+/// Qualified TR for each candidate index, fanned across threads when the
+/// candidate set is large enough to pay for them. Query failures stay
+/// failures — counted in `sim.scheduler.predict_failures`, never papered
+/// over with an invented TR.
+fn candidate_predictions(
+    nodes: &[HostNode],
+    candidates: &[usize],
+    horizon_secs: u32,
+) -> Vec<Result<QualifiedTr, QueryError>> {
     fgcs_runtime::histogram_record!("sim.scheduler.sweep_size", candidates.len() as u64);
-    let query = |&i: &usize| {
-        // Nodes without usable history fall back to a neutral prior
-        // rather than being excluded.
-        nodes[i].predict_tr(horizon_secs).unwrap_or(0.5)
-    };
-    if candidates.len() >= PARALLEL_QUERY_THRESHOLD {
+    let query = |&i: &usize| nodes[i].predict_tr_qualified(horizon_secs);
+    let results = if candidates.len() >= PARALLEL_QUERY_THRESHOLD {
         fgcs_runtime::counter_add!("sim.scheduler.parallel_sweeps", 1);
         fgcs_runtime::parallel::par_map(candidates, query)
     } else {
         candidates.iter().map(query).collect()
+    };
+    let failures = results.iter().filter(|r| r.is_err()).count();
+    if failures > 0 {
+        fgcs_runtime::counter_add!("sim.scheduler.predict_failures", failures as u64);
     }
+    let degraded = results
+        .iter()
+        .filter(|r| matches!(r, Ok(q) if q.quality.is_degraded()))
+        .count();
+    if degraded > 0 {
+        fgcs_runtime::counter_add!("sim.scheduler.degraded_predictions", degraded as u64);
+    }
+    results
+}
+
+/// Consecutive failed queries before a node is blacklisted.
+const BLACKLIST_THRESHOLD: u32 = 3;
+/// Initial blacklist duration, in scheduling rounds.
+const BLACKLIST_BASE_ROUNDS: u64 = 8;
+/// Blacklist backoff ceiling, in scheduling rounds.
+const BLACKLIST_MAX_ROUNDS: u64 = 256;
+
+/// Per-node query-failure bookkeeping for the blacklist.
+#[derive(Debug, Clone, Copy)]
+struct BlacklistEntry {
+    consecutive_failures: u32,
+    barred_until_round: u64,
+    backoff_rounds: u64,
 }
 
 /// Placement policy.
@@ -76,6 +121,10 @@ pub struct JobScheduler {
     policy: SchedulingPolicy,
     rng: Xoshiro256,
     rr_cursor: usize,
+    /// Scheduling rounds seen so far (one per [`JobScheduler::choose`]).
+    round: u64,
+    /// Nodes whose queries keep failing, barred with exponential backoff.
+    blacklist: HashMap<u64, BlacklistEntry>,
     /// Multiplier applied to the job's remaining work to estimate the
     /// reliability window (slack for contention-induced slowdown).
     pub runtime_slack: f64,
@@ -92,6 +141,8 @@ impl JobScheduler {
             policy,
             rng: Xoshiro256::seed_from_u64(seed),
             rr_cursor: 0,
+            round: 0,
+            blacklist: HashMap::new(),
             runtime_slack: 1.3,
             checkpoint: CheckpointPolicy::None,
         }
@@ -124,8 +175,11 @@ impl JobScheduler {
     }
 
     /// Chooses a node index for `job` among `nodes`, or `None` when no node
-    /// can accept it right now.
+    /// can accept it right now. As long as any candidate exists, the
+    /// prediction-driven policies always return a decision: failed queries
+    /// feed the blacklist instead of silently becoming invented TRs.
     pub fn choose(&mut self, nodes: &[HostNode], job: &GuestJob) -> Option<usize> {
+        self.round += 1;
         let candidates: Vec<usize> = nodes
             .iter()
             .enumerate()
@@ -143,35 +197,106 @@ impl JobScheduler {
                 Some(pick)
             }
             SchedulingPolicy::LeastLoaded => candidates.into_iter().min_by(|&a, &b| {
+                // Probes are sanitized (non-finite loads become None), but
+                // total ordering keeps even a hostile NaN from panicking.
                 let la = nodes[a].current_host_load().unwrap_or(1.0);
                 let lb = nodes[b].current_host_load().unwrap_or(1.0);
-                la.partial_cmp(&lb).expect("loads are finite")
+                la.total_cmp(&lb)
             }),
             SchedulingPolicy::MaxReliability => {
                 let horizon = (job.remaining_secs() * self.runtime_slack) as u32;
-                let trs = candidate_trs(nodes, &candidates, horizon.max(60));
-                let mut best: Option<(usize, f64)> = None;
-                for (&i, &tr) in candidates.iter().zip(&trs) {
-                    if best.map(|(_, b)| tr > b).unwrap_or(true) {
-                        best = Some((i, tr));
-                    }
-                }
-                best.map(|(i, _)| i)
+                self.prediction_pick(nodes, &candidates, horizon.max(60), false)
             }
             SchedulingPolicy::ReliabilitySpeed => {
                 let horizon = (job.remaining_secs() * self.runtime_slack) as u32;
-                let trs = candidate_trs(nodes, &candidates, horizon.max(60));
-                let mut best: Option<(usize, f64)> = None;
-                for (&i, &tr) in candidates.iter().zip(&trs) {
-                    let speed = 1.0 - nodes[i].current_host_load().unwrap_or(1.0);
-                    let score = tr * speed.max(0.0);
+                self.prediction_pick(nodes, &candidates, horizon.max(60), true)
+            }
+        }
+    }
+
+    /// The quality-tagged placement core shared by the prediction-driven
+    /// policies: probe every non-blacklisted candidate, rank by
+    /// `tr × confidence` (optionally × leftover speed, for
+    /// [`SchedulingPolicy::ReliabilitySpeed`]), and feed query failures
+    /// into the blacklist.
+    fn prediction_pick(
+        &mut self,
+        nodes: &[HostNode],
+        candidates: &[usize],
+        horizon_secs: u32,
+        weigh_speed: bool,
+    ) -> Option<usize> {
+        let probed: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| !self.is_barred(nodes[i].id))
+            .collect();
+        let skipped = candidates.len() - probed.len();
+        if skipped > 0 {
+            fgcs_runtime::counter_add!("sim.scheduler.blacklist_skips", skipped as u64);
+        }
+        let predictions = candidate_predictions(nodes, &probed, horizon_secs);
+        let mut best: Option<(usize, f64)> = None;
+        for (&i, prediction) in probed.iter().zip(&predictions) {
+            match prediction {
+                Ok(q) => {
+                    self.record_query_success(nodes[i].id);
+                    let mut score = q.score();
+                    if weigh_speed {
+                        let speed = 1.0 - nodes[i].current_host_load().unwrap_or(1.0);
+                        score *= speed.max(0.0);
+                    }
                     if best.map(|(_, b)| score > b).unwrap_or(true) {
                         best = Some((i, score));
                     }
                 }
-                best.map(|(i, _)| i)
+                Err(_) => self.record_query_failure(nodes[i].id),
             }
         }
+        // A scheduler that answers "nobody" while free nodes exist would
+        // stall the workload: when every probe failed (or everything is
+        // barred), fall back to the first candidate deterministically and
+        // let the submission attempt sort it out.
+        best.map(|(i, _)| i).or_else(|| {
+            fgcs_runtime::counter_add!("sim.scheduler.fallback_picks", 1);
+            candidates.first().copied()
+        })
+    }
+
+    /// Whether `node_id` is currently barred by the blacklist. Expired
+    /// bars are re-probed on the next round (and re-barred with doubled
+    /// backoff if they fail again).
+    fn is_barred(&self, node_id: u64) -> bool {
+        self.blacklist
+            .get(&node_id)
+            .is_some_and(|e| self.round < e.barred_until_round)
+    }
+
+    fn record_query_failure(&mut self, node_id: u64) {
+        let entry = self.blacklist.entry(node_id).or_insert(BlacklistEntry {
+            consecutive_failures: 0,
+            barred_until_round: 0,
+            backoff_rounds: BLACKLIST_BASE_ROUNDS,
+        });
+        entry.consecutive_failures += 1;
+        if entry.consecutive_failures >= BLACKLIST_THRESHOLD {
+            entry.barred_until_round = self.round + entry.backoff_rounds;
+            entry.backoff_rounds = (entry.backoff_rounds * 2).min(BLACKLIST_MAX_ROUNDS);
+            fgcs_runtime::counter_add!("sim.scheduler.blacklisted", 1);
+        }
+    }
+
+    fn record_query_success(&mut self, node_id: u64) {
+        self.blacklist.remove(&node_id);
+    }
+
+    /// Number of nodes currently barred by the blacklist.
+    #[must_use]
+    pub fn blacklisted_now(&self) -> usize {
+        self.blacklist
+            .values()
+            .filter(|e| self.round < e.barred_until_round)
+            .count()
     }
 }
 
@@ -294,6 +419,99 @@ mod tests {
         let nodes = vec![busy];
         let mut s = JobScheduler::new(SchedulingPolicy::Random, 1);
         assert_eq!(s.choose(&nodes, &GuestJob::new(1, 10.0, 50.0)), None);
+    }
+
+    #[test]
+    fn unreachable_node_is_blacklisted_with_backoff() {
+        use fgcs_runtime::fault::FaultPlan;
+        // Node 0 is permanently blacked out; node 1 is healthy. The
+        // prediction policy must keep picking node 1, and after
+        // BLACKLIST_THRESHOLD failed probes node 0 gets barred.
+        let dark_plan = FaultPlan {
+            blackout_rate: 1.0,
+            blackout_len: 10,
+            ..FaultPlan::none(1)
+        };
+        let dark = {
+            let model = AvailabilityModel::default();
+            let trace = MachineTrace {
+                machine_id: 0,
+                step_secs: 6,
+                first_day_index: 0,
+                physical_mem_mb: 512.0,
+                samples: vec![LoadSample::idle(400.0); model.samples_per_day()],
+            };
+            HostNode::new(trace, model).with_fault_injector(dark_plan)
+        };
+        let healthy = node_with_load(1, 0.1, 3, 2);
+        let nodes = vec![dark, healthy];
+        let mut s = JobScheduler::new(SchedulingPolicy::MaxReliability, 1);
+        let job = GuestJob::new(1, 600.0, 50.0);
+        for _ in 0..BLACKLIST_THRESHOLD {
+            assert_eq!(s.choose(&nodes, &job), Some(1));
+        }
+        assert_eq!(s.blacklisted_now(), 1);
+        // While barred, the dark node is not even probed but the pick
+        // stays correct.
+        assert_eq!(s.choose(&nodes, &job), Some(1));
+    }
+
+    #[test]
+    fn all_probes_failing_still_yields_a_decision() {
+        use fgcs_runtime::fault::FaultPlan;
+        let model = AvailabilityModel::default();
+        let dark_plan = FaultPlan {
+            blackout_rate: 1.0,
+            blackout_len: 10,
+            ..FaultPlan::none(1)
+        };
+        let nodes: Vec<HostNode> = (0..2u64)
+            .map(|id| {
+                let trace = MachineTrace {
+                    machine_id: id,
+                    step_secs: 6,
+                    first_day_index: 0,
+                    physical_mem_mb: 512.0,
+                    samples: vec![LoadSample::idle(400.0); model.samples_per_day()],
+                };
+                HostNode::new(trace, model).with_fault_injector(dark_plan.clone())
+            })
+            .collect();
+        let mut s = JobScheduler::new(SchedulingPolicy::MaxReliability, 1);
+        let job = GuestJob::new(1, 600.0, 50.0);
+        // Every probe fails, and eventually every node is barred — the
+        // scheduler must still return a deterministic decision each round.
+        for _ in 0..20 {
+            assert_eq!(s.choose(&nodes, &job), Some(0));
+        }
+    }
+
+    #[test]
+    fn degraded_history_loses_to_exact_history() {
+        // Node 0 has no history at all (prior-quality answer); node 1 has
+        // a healthy warm history (exact answer). Even though the prior TR
+        // on a quiet trace could be numerically close, the confidence
+        // discount must push the pick to the exact node.
+        let cold = node_with_load(0, 0.1, 3, 0);
+        let warm = node_with_load(1, 0.1, 3, 2);
+        let nodes = vec![cold, warm];
+        let mut s = JobScheduler::new(SchedulingPolicy::MaxReliability, 1);
+        let job = GuestJob::new(1, 600.0, 50.0);
+        assert_eq!(s.choose(&nodes, &job), Some(1));
+    }
+
+    #[test]
+    fn qualified_cluster_sweep_matches_sequential() {
+        let nodes: Vec<HostNode> = (0..5u64)
+            .map(|i| node_with_load(i, 0.1 + 0.05 * i as f64, 3, 2))
+            .collect();
+        let swept = predict_cluster_qualified(&nodes, 3600);
+        for (node, result) in nodes.iter().zip(&swept) {
+            let seq = node.predict_tr_qualified(3600).unwrap();
+            let par = result.as_ref().unwrap();
+            assert_eq!(par.tr.to_bits(), seq.tr.to_bits());
+            assert_eq!(par.quality, seq.quality);
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@ use fgcs_core::error::CoreError;
 use fgcs_core::log::{DayLog, HistoryStore, StateLog};
 use fgcs_core::model::{AvailabilityModel, LoadSample};
 use fgcs_core::predictor::SmpPredictor;
+use fgcs_core::robust::{PredictionQuality, QualifiedTr, RobustPredictor};
 use fgcs_core::state::State;
 use fgcs_core::window::{DayType, TimeWindow};
 
@@ -246,12 +247,7 @@ impl StateManager {
     /// (or a choose + configure pair with the same horizon) estimates the
     /// kernel once and reuses it until the history grows.
     pub fn predict_tr(&self, horizon_secs: u32) -> Result<f64, CoreError> {
-        let start = self
-            .time_of_day_secs()
-            .min(fgcs_core::window::SECS_PER_DAY - 1);
-        let horizon = horizon_secs.min(2 * fgcs_core::window::SECS_PER_DAY - start);
-        let window = TimeWindow::new(start, horizon.max(self.model.monitor_period_secs));
-        let day_type = DayType::of_day(self.day_index);
+        let (day_type, window) = self.query_window(horizon_secs);
         // The cache is private to this manager, so the host component of
         // the key is constant.
         SmpPredictor::new(self.model).predict_cached(
@@ -262,6 +258,46 @@ impl StateManager {
             window,
             self.last_operational,
         )
+    }
+
+    /// Like [`StateManager::predict_tr`], but through the
+    /// graceful-degradation chain ([`RobustPredictor`]): always answers,
+    /// tagging the TR with how it was obtained. A manager with no usable
+    /// history answers the conservative prior instead of erroring — this
+    /// is the endpoint a fault-tolerant scheduler should query.
+    #[must_use]
+    pub fn predict_tr_qualified(&self, horizon_secs: u32) -> QualifiedTr {
+        let (day_type, window) = self.query_window(horizon_secs);
+        let robust = RobustPredictor::new(SmpPredictor::new(self.model));
+        match robust.predict(
+            &self.qh_cache,
+            0,
+            &self.store,
+            day_type,
+            window,
+            self.last_operational,
+        ) {
+            Ok(q) => q,
+            // `last_operational` is S1/S2 by construction, so the
+            // failure-initial-state error cannot fire; answer the prior
+            // defensively anyway rather than propagating.
+            Err(_) => QualifiedTr {
+                tr: robust.prior_tr(),
+                quality: PredictionQuality::Prior,
+            },
+        }
+    }
+
+    /// The (day-type, window) coordinates of a prediction anchored at the
+    /// current time-of-day, with the horizon clamped to what a two-day
+    /// window can express.
+    fn query_window(&self, horizon_secs: u32) -> (DayType, TimeWindow) {
+        let start = self
+            .time_of_day_secs()
+            .min(fgcs_core::window::SECS_PER_DAY - 1);
+        let horizon = horizon_secs.min(2 * fgcs_core::window::SECS_PER_DAY - start);
+        let window = TimeWindow::new(start, horizon.max(self.model.monitor_period_secs));
+        (DayType::of_day(self.day_index), window)
     }
 }
 
@@ -415,5 +451,34 @@ mod tests {
     fn predict_without_history_errors() {
         let m = StateManager::new(model(), 0);
         assert!(m.predict_tr(3600).is_err());
+    }
+
+    #[test]
+    fn qualified_prediction_always_answers() {
+        // No history at all: the strict endpoint errors, the qualified one
+        // answers the conservative prior.
+        let m = StateManager::new(model(), 0);
+        let q = m.predict_tr_qualified(3600);
+        assert_eq!(q.quality, PredictionQuality::Prior);
+        assert_eq!(q.tr, fgcs_core::robust::DEFAULT_PRIOR_TR);
+    }
+
+    #[test]
+    fn qualified_prediction_matches_strict_on_healthy_history() {
+        use fgcs_core::log::{DayLog, StateLog};
+        let mdl = model();
+        let mut store = HistoryStore::new();
+        for d in 0..7 {
+            store.push_day(DayLog::new(
+                d,
+                StateLog::new(6, vec![State::S1; mdl.samples_per_day()]),
+            ));
+        }
+        let mut m = StateManager::new(mdl, 0);
+        m.preload_history(store);
+        let strict = m.predict_tr(3600).unwrap();
+        let q = m.predict_tr_qualified(3600);
+        assert_eq!(q.quality, PredictionQuality::Exact);
+        assert_eq!(q.tr.to_bits(), strict.to_bits());
     }
 }

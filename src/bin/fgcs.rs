@@ -33,6 +33,7 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(rest),
         "evaluate" => cmd_evaluate(rest),
         "metrics" => cmd_metrics(rest),
+        "chaos" => cmd_chaos(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -83,6 +84,7 @@ USAGE:
   fgcs sweep    TRACE.json --start HOURS --hours H [--points N] [--init S1|S2] [--weekend]
   fgcs evaluate TRACE.json [--train A --test B] [--start HOURS] [--hours H]
   fgcs metrics  [--seed N] [--days D]
+  fgcs chaos    [--seed N] [--steps T] [--machines M] [--warmup-days D] [--no-faults|--zero-faults]
 
 Any command also accepts --metrics-out PATH: enables the metrics registry
 for the run and dumps its JSON snapshot to PATH on exit.
@@ -252,6 +254,40 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
     }
     let snapshot = fgcs::runtime::metrics::registry().snapshot();
     println!("{}", snapshot.to_json());
+    Ok(())
+}
+
+/// Runs a seeded chaos campaign (trace corruption + live fault injection +
+/// scheduling under blackouts) and prints the report as JSON. Exits with
+/// an error when a robustness invariant is violated, so CI can gate on it.
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    let seed: u64 = parse(args, "--seed", 2006)?;
+    let steps: usize = parse(args, "--steps", 10_000)?;
+    let machines: usize = parse(args, "--machines", 4)?;
+    let warmup_days: usize = parse(args, "--warmup-days", 2)?;
+    if machines == 0 {
+        return Err("--machines must be positive".into());
+    }
+    let mut config = fgcs::sim::ChaosConfig::new(seed);
+    config.steps = steps;
+    config.machines = machines;
+    config.warmup_days = warmup_days;
+    if flag(args, "--no-faults") {
+        config = config.without_faults();
+    }
+    if flag(args, "--zero-faults") {
+        // All-zero-rate plan: must be bit-identical to --no-faults (the
+        // CI chaos smoke stage diffs the two outputs).
+        config = config.with_plan(fgcs::runtime::fault::FaultPlan::none(seed));
+    }
+    let report = fgcs::sim::run_campaign(&config);
+    println!("{}", fgcs::runtime::json::to_string(&report));
+    if !report.invariants_hold() {
+        return Err(format!(
+            "chaos invariants violated: {} out-of-range TRs (tr_min {}, tr_max {})",
+            report.out_of_range, report.tr_min, report.tr_max
+        ));
+    }
     Ok(())
 }
 

@@ -54,24 +54,26 @@ pub use fgcs_trace as trace;
 pub mod prelude {
     pub use fgcs_core::{
         classify::StateClassifier,
-        log::{DayLog, HistoryStore, StateLog},
+        log::{DayLog, HistoryStore, IngestReport, StateLog},
         model::AvailabilityModel,
         predictor::{empirical_tr, SmpPredictor, TrPrediction},
+        robust::{PredictionQuality, QualifiedTr, RobustPredictor},
         smp::{CompactSolver, MarkovChain, SmpParams, SparseSolver},
         state::State,
         window::{DayType, TimeWindow},
     };
+    pub use fgcs_runtime::fault::{FaultInjector, FaultPlan};
     pub use fgcs_runtime::rng::{Rng, Xoshiro256};
     pub use fgcs_sim::{
-        CheckpointConfig, CheckpointPolicy, Cluster, CpuContentionModel, GuestJob, GuestOutcome,
-        GuestPriority, HostNode, JobRecord, JobScheduler, JobSpec, MemoryModel, MigrationPolicy,
-        SchedulingPolicy,
+        run_campaign, ChaosConfig, ChaosReport, CheckpointConfig, CheckpointPolicy, Cluster,
+        CpuContentionModel, GuestJob, GuestOutcome, GuestPriority, HostNode, JobRecord,
+        JobScheduler, JobSpec, MemoryModel, MigrationPolicy, QueryError, SchedulingPolicy,
     };
     pub use fgcs_timeseries::{
         paper_lineup, ArModel, ArmaModel, BmModel, LastModel, MaModel, TimeSeriesModel,
     };
     pub use fgcs_trace::{
-        generate_cluster, LoadSample, MachineTrace, NoiseInjector, TraceConfig, TraceGenerator,
-        TraceStats,
+        corrupt_trace, generate_cluster, LoadSample, MachineTrace, NoiseInjector, TraceConfig,
+        TraceGenerator, TraceStats,
     };
 }

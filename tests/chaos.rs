@@ -1,0 +1,198 @@
+//! Chaos-campaign integration suite: the robustness acceptance criteria.
+//!
+//! * a 10k-step seeded campaign exercising *every* fault type completes
+//!   with no panics and only in-range, quality-tagged TRs,
+//! * the same seed reproduces byte-identical metrics,
+//! * a zero-fault plan is bit-identical to the unfaulted pipeline,
+//! * a corrupted trace survives the corrupt → lossy-ingest → predict
+//!   chain end to end.
+
+use std::sync::Mutex;
+
+use fgcs::core::robust::{PredictionQuality, RobustPredictor};
+use fgcs::core::{HistoryStore, QhCache};
+use fgcs::prelude::*;
+use fgcs::runtime::fault::FaultPlan;
+use fgcs::runtime::metrics;
+use fgcs::sim::{run_campaign, ChaosConfig};
+use fgcs::trace::corrupt_trace;
+
+/// Serializes the tests in this binary: campaigns and the metrics
+/// byte-identity check both touch the process-wide registry.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// An aggressive plan touching every fault category at rates high enough
+/// that a 10k-step campaign statistically cannot miss any of them.
+fn everything_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        nan_rate: 0.02,
+        inf_rate: 0.01,
+        out_of_range_rate: 0.02,
+        drop_rate: 0.02,
+        duplicate_rate: 0.02,
+        stuck_rate: 0.005,
+        outage_rate: 0.002,
+        blackout_rate: 0.001,
+        truncate_day_rate: 1.0,
+        ..FaultPlan::chaos(seed)
+    }
+}
+
+#[test]
+fn ten_thousand_step_campaign_upholds_all_invariants() {
+    let _guard = lock();
+    let config = ChaosConfig {
+        steps: 10_000,
+        ..ChaosConfig::new(20_060_625)
+    }
+    .with_plan(everything_plan(20_060_625));
+    let report = run_campaign(&config);
+    // No panics (we got here), every TR in range.
+    assert_eq!(report.steps, 10_000);
+    assert_eq!(report.out_of_range, 0, "{report:?}");
+    assert!(report.invariants_hold(), "{report:?}");
+    assert!((0.0..=1.0).contains(&report.tr_min), "{report:?}");
+    assert!((0.0..=1.0).contains(&report.tr_max), "{report:?}");
+    // The campaign actually predicted and scheduled.
+    assert!(report.predictions > 0);
+    assert_eq!(
+        report.predictions,
+        report.exact + report.stale + report.widened + report.prior,
+        "every prediction carries exactly one quality tag: {report:?}"
+    );
+    assert_eq!(report.decisions + report.no_candidate_rounds, 200);
+    assert_eq!(report.submitted + report.submit_rejected, report.decisions);
+}
+
+#[test]
+fn same_seed_reproduces_byte_identical_metrics() {
+    let _guard = lock();
+    let config = ChaosConfig {
+        steps: 2_000,
+        machines: 3,
+        ..ChaosConfig::new(7)
+    };
+    let registry = metrics::registry();
+    let run = || {
+        registry.reset();
+        metrics::set_enabled(true);
+        let report = run_campaign(&config);
+        metrics::set_enabled(false);
+        let snapshot = registry.snapshot();
+        let json = snapshot.deterministic_json().to_string();
+        (report, snapshot, json)
+    };
+    let (report_a, snapshot_a, metrics_a) = run();
+    let (report_b, _, metrics_b) = run();
+    assert_eq!(report_a, report_b, "reports diverged between reruns");
+    assert_eq!(report_a.digest, report_b.digest);
+    assert_eq!(metrics_a, metrics_b, "metrics diverged between reruns");
+    // The campaign left fault-injection fingerprints in the registry.
+    let injected: u64 = snapshot_a
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("runtime.fault."))
+        .map(|(_, total)| total)
+        .sum();
+    assert!(injected > 0, "no fault metrics recorded: {metrics_a}");
+}
+
+#[test]
+fn zero_fault_plan_is_bit_identical_to_unfaulted_pipeline() {
+    let _guard = lock();
+    let base = ChaosConfig {
+        steps: 2_000,
+        machines: 3,
+        ..ChaosConfig::new(11)
+    };
+    let registry = metrics::registry();
+    let run = |config: &ChaosConfig| {
+        registry.reset();
+        metrics::set_enabled(true);
+        let report = run_campaign(config);
+        metrics::set_enabled(false);
+        let snapshot = registry.snapshot();
+        let json = snapshot.deterministic_json().to_string();
+        (report, snapshot, json)
+    };
+    let (zero_report, zero_snapshot, zero_metrics) =
+        run(&base.clone().with_plan(FaultPlan::none(11)));
+    let (plain_report, _, plain_metrics) = run(&base.clone().without_faults());
+    assert_eq!(
+        zero_report, plain_report,
+        "zero-fault campaign diverged from the unfaulted pipeline"
+    );
+    assert_eq!(zero_report.digest, plain_report.digest);
+    assert_eq!(
+        zero_metrics, plain_metrics,
+        "zero-fault plan left metric fingerprints"
+    );
+    // reset() keeps names registered by earlier tests at zero, so assert
+    // on values: a zero-rate plan must never draw or count anything.
+    for (name, total) in &zero_snapshot.counters {
+        if name.starts_with("runtime.fault.") {
+            assert_eq!(*total, 0, "zero-rate plan counted {name}");
+        }
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_campaigns() {
+    let _guard = lock();
+    let a = run_campaign(&ChaosConfig {
+        steps: 1_000,
+        ..ChaosConfig::new(1)
+    });
+    let b = run_campaign(&ChaosConfig {
+        steps: 1_000,
+        ..ChaosConfig::new(2)
+    });
+    assert_ne!(a.digest, b.digest, "campaigns collapsed across seeds");
+}
+
+#[test]
+fn corrupted_trace_survives_ingest_and_predict_chain() {
+    let _guard = lock();
+    let model = AvailabilityModel::default();
+    let mut trace = TraceGenerator::new(TraceConfig::lab_machine(99)).generate_days(10);
+    let report = corrupt_trace(&mut trace, &everything_plan(99));
+    assert!(!report.is_clean(), "plan should have corrupted the trace");
+    // Strict ingestion rejects the damaged stream; lossy absorbs it.
+    assert!(trace.to_history(&model).is_err());
+    let (history, ingest) =
+        HistoryStore::from_samples_lossy(&model, &trace.samples, trace.first_day_index);
+    assert!(ingest.repaired_samples > 0);
+    assert!(!history.is_empty());
+    // And the robust predictor answers from whatever survived, in range
+    // and quality-tagged.
+    let cache = QhCache::new(8);
+    let robust = RobustPredictor::new(SmpPredictor::new(model));
+    for day_type in [DayType::Weekday, DayType::Weekend] {
+        let q = robust
+            .predict(
+                &cache,
+                1,
+                &history,
+                day_type,
+                TimeWindow::from_hours(9.0, 2.0),
+                State::S1,
+            )
+            .expect("operational init never errors");
+        assert!((0.0..=1.0).contains(&q.tr), "tr {}", q.tr);
+        assert!(
+            matches!(
+                q.quality,
+                PredictionQuality::Exact
+                    | PredictionQuality::Stale
+                    | PredictionQuality::Widened
+                    | PredictionQuality::Prior
+            ),
+            "{:?}",
+            q.quality
+        );
+    }
+}
