@@ -49,7 +49,7 @@ fi
 echo "== cargo doc --offline --workspace --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --workspace --no-deps
 
-echo "== bench smoke -> BENCH_baseline.json (checked against the previous baseline)"
+echo "== bench smoke -> BENCH_baseline.json (hard fast-path gates + check against the previous baseline)"
 prev_baseline=$(mktemp)
 cp BENCH_baseline.json "$prev_baseline"
 bench_ok=0

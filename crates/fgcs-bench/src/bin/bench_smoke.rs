@@ -17,21 +17,29 @@
 //! `metrics_overhead_pct`, which `--check` asserts stays below 5 %.
 //!
 //! The multi-horizon pair — `smp_solver/per_horizon_sweep_2h` (16
-//! independent paper-order Eq.-3 solves) vs `smp_solver/batched_sweep_2h`
-//! (one [`BatchSolver`] pass answering all 16) — feeds the exported
-//! `batch_sweep_speedup_x` ratio, which `--check` asserts stays ≥ 5×.
-//! Before timing, the batched answers are asserted bit-identical to the
-//! standalone solves, so the speedup never comes from changed arithmetic.
+//! independent paper-order Eq.-3 solves) vs
+//! `smp_solver/batched_oracle_sweep_2h` (one [`BatchSolver`] pass answering
+//! all 16) — feeds the exported `batch_sweep_speedup_x` ratio, which
+//! `--check` asserts stays ≥ 5×. Before timing, the batched answers are
+//! asserted bit-identical to the standalone solves, and the fast-path
+//! solver ([`FastSolver`]) is asserted within its 1e-12 unit-scale error
+//! budget of the paper oracle at every sweep horizon.
+//!
+//! `--check` also enforces two *absolute* latency gates on the fast path —
+//! `smp_solver/compact_2h` under 100 µs and `smp_solver/batched_sweep_2h`
+//! under 1 ms — normalized by the baseline's `machine_factor` (the run's
+//! measured speed on a fixed arithmetic workload relative to the reference
+//! machine), so the gates track solver quality rather than host speed.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use fgcs_bench::{smp_error, Testbed};
-use fgcs_core::batch::BatchSolver;
+use fgcs_core::batch::{predict_cluster, BatchSolver, ClusterQuery};
 use fgcs_core::cache::QhCache;
 use fgcs_core::classify::StateClassifier;
 use fgcs_core::predictor::SmpPredictor;
-use fgcs_core::smp::{CompactSolver, SmpParams, SparseSolver};
+use fgcs_core::smp::{CompactSolver, FastSolver, SmpParams, SolveScratch, SparseSolver};
 use fgcs_core::state::State;
 use fgcs_core::window::{DayType, TimeWindow};
 use fgcs_runtime::bench::measure;
@@ -44,13 +52,16 @@ const SAMPLES: usize = 7;
 /// in CI-smoke territory, large enough to average out timer noise.
 const TARGET_SAMPLE: Duration = Duration::from_millis(5);
 
-/// Bench keys `--check` requires (the ISSUE-2 acceptance set plus the
-/// ISSUE-3 multi-horizon batching set).
-const REQUIRED_KEYS: [&str; 8] = [
+/// Bench keys `--check` requires (the ISSUE-2 acceptance set, the ISSUE-3
+/// multi-horizon batching set, and the ISSUE-6 fast-path set).
+const REQUIRED_KEYS: [&str; 11] = [
     "smp_solver/paper_eq3_2h",
     "smp_solver/compact_2h",
+    "smp_solver/fast_2h",
     "smp_solver/per_horizon_sweep_2h",
     "smp_solver/batched_sweep_2h",
+    "smp_solver/batched_oracle_sweep_2h",
+    "cluster_sweep_1k_hosts",
     "qh_estimation/2h",
     "predictor/cached_qh",
     "classify/whole_day_offline",
@@ -71,6 +82,33 @@ const MIN_BATCH_SPEEDUP_X: f64 = 5.0;
 /// A bench present in both baselines may grow at most this much before
 /// `--against` reports a regression.
 const REGRESSION_FACTOR: f64 = 1.25;
+
+/// Absolute latency gate on the production single-horizon solve
+/// (`smp_solver/compact_2h`), at `machine_factor` 1.0.
+const FAST_SOLVE_GATE_NS: f64 = 100_000.0;
+
+/// Absolute latency gate on the fast multi-horizon sweep
+/// (`smp_solver/batched_sweep_2h`), at `machine_factor` 1.0.
+const BATCH_SWEEP_GATE_NS: f64 = 1_000_000.0;
+
+/// Median ns of [`calibration_workload`] on the reference machine the gate
+/// constants were tuned against (a ~3 GHz desktop core; the workload is
+/// ~4M dependent multiply–adds). `machine_factor` is the run's median
+/// divided by this, so a uniformly slower host (shared CI runners,
+/// throttled containers) relaxes the absolute gates proportionally
+/// instead of tripping them.
+const CALIBRATION_REF_NS: f64 = 800_000.0;
+
+/// `machine_factor` sanity range: outside this the calibration itself is
+/// broken (a wedged machine or a corrupted baseline), not merely slow.
+const MACHINE_FACTOR_RANGE: std::ops::RangeInclusive<f64> = 0.05..=20.0;
+
+/// Unit-scale relative error budget of the fast path against the
+/// paper-order oracle — must match the contract in `fgcs_core::smp::fast`.
+const FAST_ERROR_BUDGET: f64 = 1e-12;
+
+/// Hosts in the cluster-sweep bench.
+const CLUSTER_HOSTS: u64 = 1000;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -143,6 +181,21 @@ fn run_smoke() -> Json {
             "batched TR at horizon {m} differs from the standalone solve"
         );
     }
+    // The fast path relaxes bit-identity but must stay inside its 1e-12
+    // unit-scale budget against the paper-order oracle at every horizon,
+    // from both initial states — asserted before anything is timed.
+    let fast = FastSolver::new(&params);
+    let oracle = SparseSolver::new(&params);
+    for init in [State::S1, State::S2] {
+        for &m in &horizons {
+            let f = fast.temporal_reliability(init, m).unwrap();
+            let o = oracle.temporal_reliability(init, m).unwrap();
+            assert!(
+                (f - o).abs() <= FAST_ERROR_BUDGET * o.abs().max(1.0),
+                "fast TR at init {init} horizon {m} outside budget: {f} vs {o}"
+            );
+        }
+    }
 
     // Warm query for the cached-Q/H bench: after this, every iteration is
     // a pure cache hit (the history never changes during the measurement).
@@ -173,6 +226,14 @@ fn run_smoke() -> Json {
                 .unwrap(),
         );
     });
+    let mut scratch = SolveScratch::new();
+    run("smp_solver/fast_2h", &mut || {
+        black_box(
+            FastSolver::new(&params)
+                .temporal_reliability_with(&mut scratch, State::S1, steps)
+                .unwrap(),
+        );
+    });
     run("smp_solver/per_horizon_sweep_2h", &mut || {
         for &m in &horizons {
             black_box(
@@ -183,6 +244,14 @@ fn run_smoke() -> Json {
         }
     });
     run("smp_solver/batched_sweep_2h", &mut || {
+        let curve = FastSolver::new(&params)
+            .tr_curve_with(&mut scratch, steps)
+            .unwrap();
+        for &m in &horizons {
+            black_box(curve.tr(State::S1, m).unwrap());
+        }
+    });
+    run("smp_solver/batched_oracle_sweep_2h", &mut || {
         black_box(
             BatchSolver::new(&params)
                 .tr_at_horizons(State::S1, &horizons)
@@ -199,6 +268,38 @@ fn run_smoke() -> Json {
                 .unwrap(),
         );
     });
+    // A thousand-host scheduling sweep: distinct host ids over a warm
+    // kernel cache, fanned across worker threads (each with its own
+    // thread-local solve arena). After the warm sweep below, every timed
+    // query is a cache hit + fast solve.
+    let cluster_queries: Vec<ClusterQuery<'_>> = (0..CLUSTER_HOSTS)
+        .map(|host| ClusterQuery {
+            host,
+            history: &history,
+            init: State::S1,
+        })
+        .collect();
+    let cluster_cache = QhCache::new(CLUSTER_HOSTS as usize + 1);
+    for r in predict_cluster(
+        &predictor,
+        Some(&cluster_cache),
+        &cluster_queries,
+        DayType::Weekday,
+        window,
+    ) {
+        r.unwrap();
+    }
+    run("cluster_sweep_1k_hosts", &mut || {
+        for r in black_box(predict_cluster(
+            &predictor,
+            Some(&cluster_cache),
+            &cluster_queries,
+            DayType::Weekday,
+            window,
+        )) {
+            black_box(r.unwrap());
+        }
+    });
     run("classify/whole_day_offline", &mut || {
         black_box(classifier.classify(&day));
     });
@@ -213,8 +314,15 @@ fn run_smoke() -> Json {
             .and_then(|(_, v)| as_finite_number(v))
             .expect("bench just ran")
     };
-    let speedup = median("smp_solver/per_horizon_sweep_2h") / median("smp_solver/batched_sweep_2h");
+    let speedup =
+        median("smp_solver/per_horizon_sweep_2h") / median("smp_solver/batched_oracle_sweep_2h");
     println!("batch_sweep_speedup_x: {speedup:.2}");
+
+    let calibration = measure(SAMPLES, TARGET_SAMPLE, &mut || {
+        black_box(calibration_workload());
+    });
+    let machine_factor = calibration.median_ns / CALIBRATION_REF_NS;
+    println!("machine_factor: {machine_factor:.3}");
 
     let overhead = metrics_overhead_pct();
     println!("metrics_overhead_pct: {overhead:.2}");
@@ -225,8 +333,33 @@ fn run_smoke() -> Json {
         ("unit".into(), Json::Str("median ns/op".into())),
         ("benches".into(), Json::Obj(benches)),
         ("batch_sweep_speedup_x".into(), Json::F64(speedup)),
+        ("machine_factor".into(), Json::F64(machine_factor)),
         ("metrics_overhead_pct".into(), Json::F64(overhead)),
     ])
+}
+
+/// A fixed pure-arithmetic workload shaped like the solver's inner loop
+/// (multiply–add over slices), used to measure how fast *this* machine is
+/// relative to the reference the gate constants were tuned on. No
+/// allocation inside the timed region; the data dependency through `acc`
+/// keeps the compiler from folding the loop away.
+fn calibration_workload() -> f64 {
+    const N: usize = 1024;
+    const ROUNDS: usize = 64;
+    let q: Vec<f64> = (0..N).map(|i| 1.0 / (i as f64 + 2.0)).collect();
+    let mut p: Vec<f64> = (0..N).map(|i| (i as f64) * 1e-3).collect();
+    let mut acc = 0.0f64;
+    for _ in 0..ROUNDS {
+        for m in 1..N {
+            let mut s = 0.0;
+            for l in (m.saturating_sub(64))..m {
+                s += q[m - l] * p[l];
+            }
+            acc += s;
+            p[m] = (p[m] + s * 1e-9).min(1.0);
+        }
+    }
+    acc
 }
 
 /// One pass of a miniature Fig. 5 sweep: every machine × window length ×
@@ -322,6 +455,31 @@ fn check_baseline(path: &str) -> Result<(), String> {
             "batched sweep speedup {speedup:.2}x is below the {MIN_BATCH_SPEEDUP_X}x floor"
         ));
     }
+    let machine_factor =
+        as_finite_number(field("machine_factor")?).ok_or("`machine_factor` is not finite")?;
+    if !MACHINE_FACTOR_RANGE.contains(&machine_factor) {
+        return Err(format!(
+            "machine_factor {machine_factor:.3} outside the sane range \
+             {MACHINE_FACTOR_RANGE:?} — calibration is broken, not just slow"
+        ));
+    }
+    let gate = |key: &str, budget_ns: f64| -> Result<(), String> {
+        let ns = benches
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| as_finite_number(v))
+            .ok_or_else(|| format!("missing bench `{key}`"))?;
+        let budget = budget_ns * machine_factor;
+        if ns > budget {
+            return Err(format!(
+                "bench `{key}` at {ns:.0} ns/op exceeds its hard gate of \
+                 {budget:.0} ns/op ({budget_ns:.0} ns x machine_factor {machine_factor:.3})"
+            ));
+        }
+        Ok(())
+    };
+    gate("smp_solver/compact_2h", FAST_SOLVE_GATE_NS)?;
+    gate("smp_solver/batched_sweep_2h", BATCH_SWEEP_GATE_NS)?;
     Ok(())
 }
 

@@ -37,7 +37,11 @@ struct QhKey {
 /// queries via interior mutability (all methods take `&self`).
 ///
 /// Values are held behind [`Arc`] so a hit hands back the cached kernel
-/// without cloning the (multi-kilobyte) holding-time vectors.
+/// without cloning the (multi-kilobyte) holding-time vectors. Since
+/// [`SmpParams`] now precomputes its sparse solver view (sorted event
+/// lists and direct-failure prefix sums) at construction, a cache hit
+/// also skips that preprocessing: the fast solver runs straight off the
+/// shared kernel with no per-query setup.
 pub struct QhCache {
     inner: Mutex<LruCache<QhKey, Arc<SmpParams>>>,
 }

@@ -54,10 +54,13 @@ pub use error::CoreError;
 pub use log::{DayLog, HistoryStore, IngestReport, StateLog};
 pub use model::{AvailabilityModel, LoadSample};
 pub use predictor::{
-    empirical_tr, evaluate_window, evaluate_window_markov, SmpPredictor, TrPrediction,
-    WindowEvaluation,
+    empirical_tr, evaluate_window, evaluate_window_markov, SmpPredictor, SolverPolicy,
+    TrPrediction, WindowEvaluation,
 };
 pub use robust::{PredictionQuality, QualifiedTr, RobustPredictor, DEFAULT_PRIOR_TR};
-pub use smp::{CompactSolver, DenseSolver, IntervalProbs, MarkovChain, SmpParams, SparseSolver};
+pub use smp::{
+    CompactSolver, DenseSolver, FastSolver, IntervalProbs, MarkovChain, SmpParams,
+    SojournAccumulator, SolveScratch, SparseSolver,
+};
 pub use state::State;
 pub use window::{DayType, TimeWindow, SECS_PER_DAY};

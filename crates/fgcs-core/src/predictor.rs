@@ -9,9 +9,27 @@ use crate::cache::QhCache;
 use crate::error::CoreError;
 use crate::log::HistoryStore;
 use crate::model::AvailabilityModel;
-use crate::smp::{CompactSolver, SmpParams};
+use crate::smp::{FastSolver, IntervalProbs, SmpParams, SparseSolver};
 use crate::state::State;
 use crate::window::{DayType, TimeWindow};
+
+/// Which Eq.-3 solver backs a predictor's queries.
+///
+/// The two policies answer from the same estimated kernel and differ only
+/// in floating-point association: the fast path is property-tested to stay
+/// within 1e-12 (unit scale) of the oracle at every horizon, and the chaos
+/// harness asserts scheduler *decisions* are identical under either policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverPolicy {
+    /// The production path (default): [`FastSolver`]'s SoA streams and
+    /// scratch arenas — allocation-free when warm, `O(steps · nnz)`.
+    #[default]
+    Fast,
+    /// The verbatim paper-order recursion ([`SparseSolver`] /
+    /// [`BatchSolver`]) — the bitwise oracle, used by verification
+    /// harnesses and ablations.
+    PaperOracle,
+}
 
 /// The SMP-based temporal reliability predictor.
 ///
@@ -26,17 +44,20 @@ pub struct SmpPredictor {
     /// When `false`, history from *both* day types is used (ablation of the
     /// paper's same-day-type selection).
     same_day_type_only: bool,
+    /// Which solver answers the queries.
+    solver_policy: SolverPolicy,
 }
 
 impl SmpPredictor {
     /// Creates a predictor with the paper's behaviour: all available
-    /// same-day-type history.
+    /// same-day-type history, solved on the fast path.
     #[must_use]
     pub fn new(model: AvailabilityModel) -> SmpPredictor {
         SmpPredictor {
             model,
             max_history_days: None,
             same_day_type_only: true,
+            solver_policy: SolverPolicy::default(),
         }
     }
 
@@ -54,10 +75,75 @@ impl SmpPredictor {
         self
     }
 
+    /// Selects the solver backing the queries (fast path vs paper oracle).
+    #[must_use]
+    pub fn with_solver_policy(mut self, policy: SolverPolicy) -> SmpPredictor {
+        self.solver_policy = policy;
+        self
+    }
+
+    /// The solver policy in effect.
+    #[must_use]
+    pub fn solver_policy(&self) -> SolverPolicy {
+        self.solver_policy
+    }
+
     /// The availability model configuration.
     #[must_use]
     pub fn model(&self) -> &AvailabilityModel {
         &self.model
+    }
+
+    /// Solves one scalar TR under the configured policy.
+    pub(crate) fn solve_tr(
+        &self,
+        params: &SmpParams,
+        init: State,
+        steps: usize,
+    ) -> Result<f64, CoreError> {
+        match self.solver_policy {
+            SolverPolicy::Fast => FastSolver::new(params).temporal_reliability(init, steps),
+            SolverPolicy::PaperOracle => {
+                SparseSolver::new(params).temporal_reliability(init, steps)
+            }
+        }
+    }
+
+    /// Solves the six interval probabilities under the configured policy.
+    pub(crate) fn solve_interval_probs(
+        &self,
+        params: &SmpParams,
+        steps: usize,
+    ) -> Result<IntervalProbs, CoreError> {
+        match self.solver_policy {
+            SolverPolicy::Fast => FastSolver::new(params).interval_probabilities(steps),
+            SolverPolicy::PaperOracle => SparseSolver::new(params).interval_probabilities(steps),
+        }
+    }
+
+    /// Solves the batched TR curve under the configured policy.
+    pub(crate) fn solve_tr_curve(
+        &self,
+        params: &SmpParams,
+        steps: usize,
+    ) -> Result<TrCurve, CoreError> {
+        match self.solver_policy {
+            SolverPolicy::Fast => FastSolver::new(params).tr_curve(steps),
+            SolverPolicy::PaperOracle => BatchSolver::new(params).tr_curve(steps),
+        }
+    }
+
+    /// Solves the reliability curve under the configured policy.
+    pub(crate) fn solve_reliability_curve(
+        &self,
+        params: &SmpParams,
+        init: State,
+        steps: usize,
+    ) -> Result<Vec<f64>, CoreError> {
+        match self.solver_policy {
+            SolverPolicy::Fast => FastSolver::new(params).reliability_curve(init, steps),
+            SolverPolicy::PaperOracle => SparseSolver::new(params).reliability_curve(init, steps),
+        }
     }
 
     /// The history-selection knobs `(max_history_days,
@@ -128,9 +214,10 @@ impl SmpPredictor {
         fgcs_runtime::counter_add!("core.tr_queries", 1);
         let params = self.estimate_params(history, day_type, window)?;
         let steps = window.steps(self.model.monitor_period_secs);
-        // The compact solver is property-tested equal to the paper's Eq.-3
-        // recursion and asymptotically faster on estimated kernels.
-        CompactSolver::from_params(&params).temporal_reliability(init, steps)
+        // The fast path is property-tested within 1e-12 (unit scale) of the
+        // paper's Eq.-3 recursion and asymptotically faster on estimated
+        // kernels; `SolverPolicy::PaperOracle` swaps in the verbatim one.
+        self.solve_tr(&params, init, steps)
     }
 
     /// Like [`SmpPredictor::predict`], but memoizes the estimated kernel in
@@ -153,7 +240,7 @@ impl SmpPredictor {
         fgcs_runtime::counter_add!("core.tr_queries", 1);
         let params = cache.get_or_estimate(self, host, history, day_type, window)?;
         let steps = window.steps(self.model.monitor_period_secs);
-        CompactSolver::from_params(&params).temporal_reliability(init, steps)
+        self.solve_tr(&params, init, steps)
     }
 
     /// Predicts the full temporal-reliability curve `TR(m)` over the window
@@ -169,7 +256,7 @@ impl SmpPredictor {
     ) -> Result<TrCurve, CoreError> {
         let params = self.estimate_params(history, day_type, window)?;
         let steps = window.steps(self.model.monitor_period_secs);
-        BatchSolver::new(&params).tr_curve(steps)
+        self.solve_tr_curve(&params, steps)
     }
 
     /// Predicts the temporal reliability together with a bootstrap
@@ -204,7 +291,7 @@ impl SmpPredictor {
         }
         let refs: Vec<&[State]> = slices.iter().map(Vec::as_slice).collect();
         let params = SmpParams::estimate(&refs, step, steps);
-        let tr = CompactSolver::from_params(&params).temporal_reliability(init, steps)?;
+        let tr = self.solve_tr(&params, init, steps)?;
 
         let mut boots = Vec::with_capacity(n_boot);
         for _ in 0..n_boot {
@@ -212,7 +299,7 @@ impl SmpPredictor {
                 .map(|_| refs[rng.range_usize(0, refs.len())])
                 .collect();
             let p = SmpParams::estimate(&resample, step, steps);
-            boots.push(CompactSolver::from_params(&p).temporal_reliability(init, steps)?);
+            boots.push(self.solve_tr(&p, init, steps)?);
         }
         let confidence = confidence.clamp(0.0, 1.0);
         let lo_q = (1.0 - confidence) / 2.0;
@@ -239,7 +326,7 @@ impl SmpPredictor {
         }
         let params = self.estimate_params(history, day_type, window)?;
         let steps = window.steps(self.model.monitor_period_secs);
-        CompactSolver::from_params(&params).reliability_curve(init, steps)
+        self.solve_reliability_curve(&params, init, steps)
     }
 }
 
@@ -401,11 +488,10 @@ pub fn evaluate_window(
 ) -> Result<WindowEvaluation, CoreError> {
     let params = predictor.estimate_params(train, day_type, window)?;
     let steps = window.steps(predictor.model().monitor_period_secs);
-    let solver = CompactSolver::from_params(&params);
     // Both possible predictions from ONE recursion run: the six interval
     // probabilities contain the S1 and S2 rows, so running the solver per
     // initial state would do the same work twice for identical values.
-    let probs = solver.interval_probabilities(steps)?;
+    let probs = predictor.solve_interval_probs(&params, steps)?;
     let tr_s1 = (1.0 - probs.failure_probability(State::S1)).clamp(0.0, 1.0);
     let tr_s2 = (1.0 - probs.failure_probability(State::S2)).clamp(0.0, 1.0);
 

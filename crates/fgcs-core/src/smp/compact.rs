@@ -6,81 +6,55 @@
 //! however, are extremely sparse in the holding-time dimension: only the
 //! durations at which a transition was actually observed carry mass, and a
 //! few weeks of windows produce hundreds of distinct durations, not
-//! thousands. This solver stores the kernel as `(holding, mass)` event
-//! lists and runs the same recursion in `O((T/d) · nnz)`.
+//! thousands. Exploiting that, the recursion runs in `O((T/d) · nnz)` over
+//! `(holding, mass)` event lists.
 //!
-//! It produces *bit-identical sums up to floating-point association* with
-//! the paper solver (property-tested equality to 1e-9) and exists as an
-//! engineering extension: the experiment harness sweeps tens of thousands
-//! of windows, which the quadratic solver would make needlessly slow. The
-//! `ablation` bench quantifies the gap.
+//! Historically this type owned its event lists (rebuilt per solver from
+//! the kernel arrays) and six per-stream `Vec<f64>` curves per run. Both
+//! now live elsewhere: the event lists and direct-failure prefix sums are
+//! precomputed once in [`SmpParams`] (so `from_params` is free and cached
+//! `Arc<SmpParams>` clones share them), and the curves live in the
+//! contiguous [`SolveScratch`](super::fast::SolveScratch) arena of
+//! [`super::fast::FastSolver`], to which every method here delegates.
+//! `CompactSolver` remains as the stable event-list-solver API; it produces
+//! the same values as the fast path by construction (they are the same
+//! kernel), property-tested against the paper solver to 1e-9.
 
 use crate::error::CoreError;
 use crate::state::State;
 
+use super::fast::FastSolver;
 use super::params::SmpParams;
 use super::solver::IntervalProbs;
 
-/// Event list of one (source, target) pair: `(holding, mass)` entries.
-type EventList = Vec<(usize, f64)>;
-
-/// Event-list form of the sparse kernel.
-#[derive(Debug, Clone)]
-pub struct CompactSolver {
-    /// `events[i][k]` = list of `(holding, q value)` with nonzero mass;
-    /// `i ∈ {S1, S2}`, `k ∈ {other, S3, S4, S5}`.
-    events: [[EventList; 4]; 2],
-    horizon: usize,
-    step_secs: u32,
+/// Event-list view of the sparse kernel: a borrowing façade over the
+/// precomputed [`SmpParams`] solver view and the fast recursion.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactSolver<'a> {
+    params: &'a SmpParams,
 }
 
-impl CompactSolver {
-    /// Builds the event lists from estimated parameters.
+impl<'a> CompactSolver<'a> {
+    /// Wraps the estimated parameters. Free: the event lists were already
+    /// built when the parameters were estimated (or deserialized).
     #[must_use]
-    pub fn from_params(params: &SmpParams) -> CompactSolver {
-        let horizon = params.horizon();
-        let mut events: [[EventList; 4]; 2] = Default::default();
-        for (i, row) in events.iter_mut().enumerate() {
-            let kernel_row = params.row(i);
-            for (k, list) in row.iter_mut().enumerate() {
-                for (l, &v) in kernel_row[k].iter().enumerate() {
-                    if v != 0.0 {
-                        list.push((l, v));
-                    }
-                }
-            }
-        }
-        CompactSolver {
-            events,
-            horizon,
-            step_secs: params.step_secs(),
-        }
+    pub fn from_params(params: &'a SmpParams) -> CompactSolver<'a> {
+        CompactSolver { params }
     }
 
     /// Total number of nonzero kernel entries (the `nnz` in the cost).
     #[must_use]
     pub fn nnz(&self) -> usize {
-        self.events
-            .iter()
-            .flat_map(|row| row.iter())
-            .map(Vec::len)
-            .sum()
+        self.params.solver_kernel().nnz()
     }
 
     /// The horizon the kernel resolves.
     #[must_use]
     pub fn horizon(&self) -> usize {
-        self.horizon
+        self.params.horizon()
     }
 
-    /// Runs the recursion; returns the six per-step probability curves.
-    fn run(&self, steps: usize) -> Result<super::solver::SixCurves, CoreError> {
-        if steps > self.horizon {
-            return Err(CoreError::HorizonTooLong {
-                requested: steps,
-                available: self.horizon,
-            });
-        }
+    fn record_run(&self, steps: usize) {
         fgcs_runtime::counter_add!("core.solver.compact_runs", 1);
         fgcs_runtime::counter_add!("core.solver.compact_steps", steps as u64);
         // Each step m scans at most every event list once: the
@@ -89,69 +63,17 @@ impl CompactSolver {
             "core.solver.compact_iterations",
             (steps as u64) * self.nnz() as u64
         );
-        let mut p1: [Vec<f64>; 3] = [
-            vec![0.0; steps + 1],
-            vec![0.0; steps + 1],
-            vec![0.0; steps + 1],
-        ];
-        let mut p2: [Vec<f64>; 3] = [
-            vec![0.0; steps + 1],
-            vec![0.0; steps + 1],
-            vec![0.0; steps + 1],
-        ];
-        // Cumulative direct-failure mass Σ_{l<=m} q_{i,j}(l), maintained
-        // incrementally with event cursors.
-        let mut direct1 = [0.0_f64; 3];
-        let mut direct2 = [0.0_f64; 3];
-        let mut cur1 = [0usize; 3];
-        let mut cur2 = [0usize; 3];
-
-        for m in 1..=steps {
-            for j in 0..3 {
-                // Advance the direct-mass cursors to holding times <= m.
-                let list = &self.events[0][j + 1];
-                while cur1[j] < list.len() && list[cur1[j]].0 <= m {
-                    direct1[j] += list[cur1[j]].1;
-                    cur1[j] += 1;
-                }
-                let list = &self.events[1][j + 1];
-                while cur2[j] < list.len() && list[cur2[j]].0 <= m {
-                    direct2[j] += list[cur2[j]].1;
-                    cur2[j] += 1;
-                }
-                // Convolution with the other-operational transition events.
-                let mut acc1 = direct1[j];
-                for &(l, q) in &self.events[0][0] {
-                    if l > m {
-                        break;
-                    }
-                    acc1 += q * p2[j][m - l];
-                }
-                let mut acc2 = direct2[j];
-                for &(l, q) in &self.events[1][0] {
-                    if l > m {
-                        break;
-                    }
-                    acc2 += q * p1[j][m - l];
-                }
-                p1[j][m] = acc1.clamp(0.0, 1.0);
-                p2[j][m] = acc2.clamp(0.0, 1.0);
-            }
-        }
-        Ok((p1, p2))
     }
 
     /// The six interval transition probabilities at horizon `steps`.
     pub fn interval_probabilities(&self, steps: usize) -> Result<IntervalProbs, CoreError> {
-        let (p1, p2) = self.run(steps)?;
-        Ok(IntervalProbs {
-            p1: [p1[0][steps], p1[1][steps], p1[2][steps]],
-            p2: [p2[0][steps], p2[1][steps], p2[2][steps]],
-        })
+        self.record_run(steps);
+        FastSolver::new(self.params).interval_probabilities(steps)
     }
 
-    /// Temporal reliability, identical in value to
-    /// [`super::solver::SparseSolver::temporal_reliability`].
+    /// Temporal reliability, equal in value to
+    /// [`super::solver::SparseSolver::temporal_reliability`] within the
+    /// fast path's 1e-12 unit-scale error budget.
     pub fn temporal_reliability(&self, init: State, steps: usize) -> Result<f64, CoreError> {
         if init.is_failure() {
             return Err(CoreError::FailureInitialState(init));
@@ -171,32 +93,16 @@ impl CompactSolver {
     }
 
     /// The materialized [`TrCurve`](crate::batch::TrCurve) for both
-    /// operational initial states from a single recursion run — the
-    /// event-list-speed counterpart of
-    /// [`crate::batch::BatchSolver::tr_curve`] for production query paths
-    /// that do not need bit-identicality with the paper-order solver.
+    /// operational initial states from a single recursion run.
     pub fn tr_curve(&self, steps: usize) -> Result<crate::batch::TrCurve, CoreError> {
-        let (p1, p2) = self.run(steps)?;
-        Ok(crate::batch::TrCurve::from_raw_curves(
-            self.step_secs,
-            &p1,
-            &p2,
-        ))
+        self.record_run(steps);
+        FastSolver::new(self.params).tr_curve(steps)
     }
 
     /// The whole reliability curve `TR(m)` for `m = 0..=steps`.
     pub fn reliability_curve(&self, init: State, steps: usize) -> Result<Vec<f64>, CoreError> {
-        if init.is_failure() {
-            return Err(CoreError::FailureInitialState(init));
-        }
-        let (p1, p2) = self.run(steps)?;
-        let row = match init {
-            State::S1 => &p1,
-            _ => &p2,
-        };
-        Ok((0..=steps)
-            .map(|m| (1.0 - (row[0][m] + row[1][m] + row[2][m])).clamp(0.0, 1.0))
-            .collect())
+        self.record_run(steps);
+        FastSolver::new(self.params).reliability_curve(init, steps)
     }
 }
 

@@ -8,16 +8,22 @@
 //!   six interval transition probabilities `P_{1,j}`, `P_{2,j}`
 //!   (`j ∈ {3,4,5}`) needed for temporal reliability,
 //! * [`dense`] — a general 5-state interval-transition solver used to
-//!   cross-validate the sparse one and as the ablation baseline.
+//!   cross-validate the sparse one and as the ablation baseline,
+//! * [`fast`] — the production solver: SoA interval streams in a reusable
+//!   [`fast::SolveScratch`] arena, O(1) prefix-sum holding-time terms, and
+//!   an error-bounded (≤ 1e-12 unit-scale) contract against the
+//!   paper-order oracle.
 
 pub mod compact;
 pub mod dense;
+pub mod fast;
 pub mod markov;
 pub mod params;
 pub mod solver;
 
 pub use compact::CompactSolver;
 pub use dense::DenseSolver;
+pub use fast::{with_thread_scratch, FastSolver, SolveScratch};
 pub use markov::MarkovChain;
-pub use params::SmpParams;
+pub use params::{HoldingPmf, SmpParams, SojournAccumulator};
 pub use solver::{IntervalProbs, SparseSolver};

@@ -22,8 +22,15 @@
 //! start; this conditions the statistics on the state occupied at the
 //! window's start time-of-day, which matches how the predictor is invoked
 //! (the initial state is the state observed at submission time).
+//!
+//! Besides the raw kernel, [`SmpParams`] carries a derived `SolverKernel`:
+//! sorted `(holding, mass)` event lists, prefix sums of the direct-failure
+//! mass, and per-row `Q` totals. These are built once at estimation (or
+//! deserialization) time, so every solve and every `Qh` lookup afterwards is
+//! allocation-free and O(1) per term — and a cached `Arc<SmpParams>` shares
+//! them across all consumers.
 
-use fgcs_runtime::impl_json_struct;
+use fgcs_runtime::json::{FromJson, Json, JsonError, ToJson};
 
 use crate::state::State;
 
@@ -44,9 +51,101 @@ fn target_index(source_idx: usize, target: State) -> Option<usize> {
     targets_of(source_idx).iter().position(|&t| t == target)
 }
 
+/// Precomputed solver-facing view of the kernel, derived from the raw
+/// `q_{i,k}(l)` arrays once per estimate and shared by every solve:
+///
+/// * `trans[i]` — ascending `(holding, mass)` events of the operational
+///   transition (`S1→S2` / `S2→S1`), the only lists the Eq.-3 convolution
+///   has to scan;
+/// * `failures[i][j]` — ascending events towards failure state `S(3+j)`
+///   (diagnostics and `nnz` accounting);
+/// * `direct_prefix[i]` — triple-interleaved prefix sums
+///   `dp[3·m + j] = Σ_{l ≤ m} q_{i,S(3+j)}(l)`, making every direct-failure
+///   term of the recursion a single O(1) load;
+/// * `q_total[i][k]` — the embedded transition probabilities
+///   `Q_i(k) = Σ_l q_{i,k}(l)`, making [`SmpParams::q`] and the
+///   holding-time pmf normalisers O(1).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SolverKernel {
+    trans: [Vec<(usize, f64)>; 2],
+    failures: [[Vec<(usize, f64)>; 3]; 2],
+    direct_prefix: [Vec<f64>; 2],
+    q_total: [[f64; 4]; 2],
+}
+
+impl SolverKernel {
+    /// Builds the derived structures from the raw kernel arrays.
+    fn build(kernel: &[[Vec<f64>; 4]; 2], horizon: usize) -> SolverKernel {
+        let mut trans: [Vec<(usize, f64)>; 2] = Default::default();
+        let mut failures: [[Vec<(usize, f64)>; 3]; 2] = Default::default();
+        let mut direct_prefix: [Vec<f64>; 2] = Default::default();
+        let mut q_total = [[0.0_f64; 4]; 2];
+        for i in 0..2 {
+            for (l, &v) in kernel[i][0].iter().enumerate() {
+                if v != 0.0 {
+                    trans[i].push((l, v));
+                }
+            }
+            for j in 0..3 {
+                for (l, &v) in kernel[i][j + 1].iter().enumerate() {
+                    if v != 0.0 {
+                        failures[i][j].push((l, v));
+                    }
+                }
+            }
+            // Prefix sums accumulate every l in ascending order — the same
+            // nonzero additions (zeros are exact no-ops) the event-cursor
+            // formulation performs, so downstream sums are bit-equal.
+            let mut dp = vec![0.0_f64; 3 * (horizon + 1)];
+            for m in 1..=horizon {
+                for j in 0..3 {
+                    dp[3 * m + j] = dp[3 * (m - 1) + j] + kernel[i][j + 1][m];
+                }
+            }
+            direct_prefix[i] = dp;
+            for k in 0..4 {
+                // Same reduction order as `kernel[i][k][1..].iter().sum()`.
+                q_total[i][k] = kernel[i][k][1..].iter().sum();
+            }
+        }
+        SolverKernel {
+            trans,
+            failures,
+            direct_prefix,
+            q_total,
+        }
+    }
+
+    /// Ascending `(holding, mass)` events of the operational transition out
+    /// of source `i`.
+    #[must_use]
+    pub(crate) fn trans_events(&self, source_idx: usize) -> &[(usize, f64)] {
+        &self.trans[source_idx]
+    }
+
+    /// Triple-interleaved direct-failure prefix sums for source `i`:
+    /// `dp[3·m + j] = Σ_{l ≤ m} q_{i,S(3+j)}(l)`.
+    #[must_use]
+    pub(crate) fn direct_prefix(&self, source_idx: usize) -> &[f64] {
+        &self.direct_prefix[source_idx]
+    }
+
+    /// Total number of nonzero kernel entries.
+    #[must_use]
+    pub(crate) fn nnz(&self) -> usize {
+        self.trans.iter().map(Vec::len).sum::<usize>()
+            + self
+                .failures
+                .iter()
+                .flat_map(|row| row.iter())
+                .map(Vec::len)
+                .sum::<usize>()
+    }
+}
+
 /// The estimated SMP parameters: the sparse semi-Markov kernel
 /// `q_{i,k}(l)` for `i ∈ {S1, S2}`, `k ∈ {other, S3, S4, S5}` and
-/// `l ∈ 1..=horizon` steps.
+/// `l ∈ 1..=horizon` steps, plus the precomputed `SolverKernel` view.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SmpParams {
     step_secs: u32,
@@ -56,24 +155,220 @@ pub struct SmpParams {
     kernel: [[Vec<f64>; 4]; 2],
     /// Number of sojourns observed per source state (diagnostics).
     sojourns: [usize; 2],
+    /// Derived, not serialized: rebuilt from `kernel` on deserialization.
+    solver: SolverKernel,
 }
 
-impl_json_struct!(SmpParams {
-    step_secs,
-    horizon,
-    kernel,
-    sojourns,
-});
+// `solver` is derived state, so the JSON form carries only the four
+// original fields (same wire layout `impl_json_struct!` produced before the
+// derived view existed) and rebuilds the view on parse.
+impl ToJson for SmpParams {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("step_secs".to_string(), self.step_secs.to_json()),
+            ("horizon".to_string(), self.horizon.to_json()),
+            ("kernel".to_string(), self.kernel.to_json()),
+            ("sojourns".to_string(), self.sojourns.to_json()),
+        ])
+    }
+}
 
-/// One observed sojourn: how long the process was seen in a state and how
-/// (or whether) it left.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Sojourn {
-    /// Transitioned to `target` exactly `duration` steps after entry.
-    Completed { duration: usize, target: State },
-    /// Still in the state when the window closed; no transition observed
-    /// through `at_risk` steps after entry.
-    Censored { at_risk: usize },
+impl FromJson for SmpParams {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let step_secs: u32 = v.get("step_secs")?;
+        let horizon: usize = v.get("horizon")?;
+        let kernel: [[Vec<f64>; 4]; 2] = v.get("kernel")?;
+        let sojourns: [usize; 2] = v.get("sojourns")?;
+        for row in &kernel {
+            for col in row {
+                if col.len() != horizon + 1 {
+                    return Err(JsonError(format!(
+                        "kernel row length {} does not match horizon {horizon}",
+                        col.len()
+                    )));
+                }
+            }
+        }
+        Ok(SmpParams::from_parts(step_secs, horizon, kernel, sojourns))
+    }
+}
+
+/// A borrowed view of the holding-time mass function
+/// `H_{i,k}(l) = q_{i,k}(l) / Q_i(k)`: values are produced on demand from
+/// the kernel row and its precomputed total, so taking the pmf allocates
+/// nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct HoldingPmf<'a> {
+    masses: &'a [f64],
+    total: f64,
+}
+
+impl HoldingPmf<'_> {
+    /// Number of entries (`horizon + 1`; index 0 is the unused `l = 0`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.masses.len()
+    }
+
+    /// Whether the view has no entries (never true for a valid kernel).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.masses.is_empty()
+    }
+
+    /// `H(l)` — the probability the holding time is exactly `l` steps,
+    /// conditioned on the transition happening.
+    ///
+    /// # Panics
+    /// Panics when `l >= self.len()`.
+    #[must_use]
+    pub fn value(&self, l: usize) -> f64 {
+        self.masses[l] / self.total
+    }
+
+    /// Iterates `H(l)` for `l = 0..len`.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.masses.iter().map(|v| v / self.total)
+    }
+}
+
+/// Streaming single-pass estimator for [`SmpParams`]: feed window slices
+/// one at a time, then [`finish`](SojournAccumulator::finish).
+///
+/// Unlike a batch formulation that first materializes per-window sojourn
+/// lists, the accumulator decomposes each window in place and updates the
+/// event and at-risk tallies directly — `push_window` performs no heap
+/// allocation, and `finish` converts the tallies into the kernel inside the
+/// buffers they were counted in. This is the shape an O(1)-per-sample
+/// online update (ROADMAP item 1) extends.
+#[derive(Debug, Clone)]
+pub struct SojournAccumulator {
+    step_secs: u32,
+    horizon: usize,
+    /// `events[i][k][l]` — transition counts (exact in f64 for any
+    /// realistic tally); reused as kernel storage by `finish`.
+    events: [[Vec<f64>; 4]; 2],
+    /// Difference array for the at-risk counts.
+    risk_diff: [Vec<i64>; 2],
+    sojourns: [usize; 2],
+}
+
+impl SojournAccumulator {
+    /// Creates an empty accumulator.
+    ///
+    /// # Panics
+    /// Panics when `step_secs` is zero.
+    #[must_use]
+    pub fn new(step_secs: u32, horizon: usize) -> SojournAccumulator {
+        assert!(step_secs > 0, "step must be positive");
+        let col = || vec![0.0_f64; horizon + 1];
+        SojournAccumulator {
+            step_secs,
+            horizon,
+            events: [[col(), col(), col(), col()], [col(), col(), col(), col()]],
+            risk_diff: [vec![0i64; horizon + 2], vec![0i64; horizon + 2]],
+            sojourns: [0usize; 2],
+        }
+    }
+
+    /// Folds one window slice (the `steps + 1` fence-post samples of one
+    /// historical day's window) into the tallies. Slices shorter than 2
+    /// samples contribute nothing. Allocation-free.
+    pub fn push_window(&mut self, window: &[State]) {
+        let len = window.len();
+        let mut start = 0;
+        while start < len {
+            let state = window[start];
+            let mut end = start;
+            while end + 1 < len && window[end + 1] == state {
+                end += 1;
+            }
+            if let Some(source_idx) = SOURCES.iter().position(|&s| s == state) {
+                if end + 1 < len {
+                    // Completed sojourn: left the state at `end + 1`.
+                    let duration = end + 1 - start;
+                    self.sojourns[source_idx] += 1;
+                    let capped = duration.min(self.horizon);
+                    if capped >= 1 {
+                        self.risk_diff[source_idx][1] += 1;
+                        self.risk_diff[source_idx][capped + 1] -= 1;
+                    }
+                    if duration <= self.horizon {
+                        if let Some(k) = target_index(source_idx, window[end + 1]) {
+                            self.events[source_idx][k][duration] += 1.0;
+                        }
+                    }
+                } else {
+                    // Censored: still in the state at the window edge. The
+                    // final sample gives no transition information, so the
+                    // run is only informative with at least one at-risk step.
+                    let at_risk = end - start;
+                    if at_risk >= 1 {
+                        self.sojourns[source_idx] += 1;
+                        let capped = at_risk.min(self.horizon);
+                        self.risk_diff[source_idx][1] += 1;
+                        self.risk_diff[source_idx][capped + 1] -= 1;
+                    }
+                }
+            }
+            start = end + 1;
+        }
+    }
+
+    /// Number of sojourns accumulated so far per source state.
+    #[must_use]
+    pub fn sojourn_counts(&self) -> [usize; 2] {
+        self.sojourns
+    }
+
+    /// Converts the tallies into estimated parameters. The event-count
+    /// buffers are transformed into the kernel in place — no intermediate
+    /// arrays are allocated.
+    #[must_use]
+    pub fn finish(self) -> SmpParams {
+        let SojournAccumulator {
+            step_secs,
+            horizon,
+            mut events,
+            risk_diff,
+            sojourns,
+        } = self;
+        // Product-limit: q_{i,k}(l) = S_i(l-1) * h_{i,k}(l),
+        // S_i(l) = S_i(l-1) * (1 - Σ_k h_{i,k}(l)).
+        for i in 0..2 {
+            let mut at_risk: i64 = 0;
+            let mut survival = 1.0_f64;
+            for l in 1..=horizon {
+                at_risk += risk_diff[i][l];
+                if at_risk <= 0 {
+                    // No information at longer durations; clear any residual
+                    // counts so they cannot read as kernel mass.
+                    for col in &mut events[i] {
+                        for v in &mut col[l..] {
+                            *v = 0.0;
+                        }
+                    }
+                    break;
+                }
+                let n = at_risk as f64;
+                let mut total_hazard = 0.0;
+                for col in &mut events[i] {
+                    let h = col[l] / n;
+                    col[l] = survival * h;
+                    total_hazard += h;
+                }
+                survival *= (1.0 - total_hazard).max(0.0);
+            }
+        }
+        let solver = SolverKernel::build(&events, horizon);
+        SmpParams {
+            step_secs,
+            horizon,
+            kernel: events,
+            sojourns,
+            solver,
+        }
+    }
 }
 
 impl SmpParams {
@@ -85,94 +380,11 @@ impl SmpParams {
     /// different lengths (e.g. when mixing day logs of different coverage).
     #[must_use]
     pub fn estimate(windows: &[&[State]], step_secs: u32, horizon: usize) -> SmpParams {
-        assert!(step_secs > 0, "step must be positive");
-        // events[i][k][l] — transitions to target k at duration l;
-        // risk_diff[i][l] — difference array for the at-risk counts.
-        let mut events = [
-            [
-                vec![0u64; horizon + 1],
-                vec![0u64; horizon + 1],
-                vec![0u64; horizon + 1],
-                vec![0u64; horizon + 1],
-            ],
-            [
-                vec![0u64; horizon + 1],
-                vec![0u64; horizon + 1],
-                vec![0u64; horizon + 1],
-                vec![0u64; horizon + 1],
-            ],
-        ];
-        let mut risk_diff = [vec![0i64; horizon + 2], vec![0i64; horizon + 2]];
-        let mut sojourns = [0usize; 2];
-
+        let mut acc = SojournAccumulator::new(step_secs, horizon);
         for window in windows {
-            for (source_idx, sojourn) in decompose(window) {
-                sojourns[source_idx] += 1;
-                match sojourn {
-                    Sojourn::Completed { duration, target } => {
-                        let capped = duration.min(horizon);
-                        if capped >= 1 {
-                            risk_diff[source_idx][1] += 1;
-                            risk_diff[source_idx][capped + 1] -= 1;
-                        }
-                        if duration <= horizon {
-                            if let Some(k) = target_index(source_idx, target) {
-                                events[source_idx][k][duration] += 1;
-                            }
-                        }
-                    }
-                    Sojourn::Censored { at_risk } => {
-                        let capped = at_risk.min(horizon);
-                        if capped >= 1 {
-                            risk_diff[source_idx][1] += 1;
-                            risk_diff[source_idx][capped + 1] -= 1;
-                        }
-                    }
-                }
-            }
+            acc.push_window(window);
         }
-
-        // Product-limit: q_{i,k}(l) = S_i(l-1) * h_{i,k}(l),
-        // S_i(l) = S_i(l-1) * (1 - Σ_k h_{i,k}(l)).
-        let mut kernel: [[Vec<f64>; 4]; 2] = [
-            [
-                vec![0.0; horizon + 1],
-                vec![0.0; horizon + 1],
-                vec![0.0; horizon + 1],
-                vec![0.0; horizon + 1],
-            ],
-            [
-                vec![0.0; horizon + 1],
-                vec![0.0; horizon + 1],
-                vec![0.0; horizon + 1],
-                vec![0.0; horizon + 1],
-            ],
-        ];
-        for i in 0..2 {
-            let mut at_risk: i64 = 0;
-            let mut survival = 1.0_f64;
-            for l in 1..=horizon {
-                at_risk += risk_diff[i][l];
-                if at_risk <= 0 {
-                    break; // no information at longer durations
-                }
-                let n = at_risk as f64;
-                let mut total_hazard = 0.0;
-                for k in 0..4 {
-                    let h = events[i][k][l] as f64 / n;
-                    kernel[i][k][l] = survival * h;
-                    total_hazard += h;
-                }
-                survival *= (1.0 - total_hazard).max(0.0);
-            }
-        }
-
-        SmpParams {
-            step_secs,
-            horizon,
-            kernel,
-            sojourns,
-        }
+        acc.finish()
     }
 
     /// The discretisation step `d` in seconds.
@@ -210,13 +422,21 @@ impl SmpParams {
     }
 
     /// Raw kernel row for a source state index (0 → S1, 1 → S2), in target
-    /// order `[other, S3, S4, S5]`. Used by the solvers.
+    /// order `[other, S3, S4, S5]`. Used by the paper-order solvers.
     #[must_use]
     pub(crate) fn row(&self, source_idx: usize) -> &[Vec<f64>; 4] {
         &self.kernel[source_idx]
     }
 
-    /// The embedded transition probability `Q_i(k) = Σ_l q_{i,k}(l)`.
+    /// The precomputed solver-facing view (event lists, prefix sums,
+    /// row totals).
+    #[must_use]
+    pub(crate) fn solver_kernel(&self) -> &SolverKernel {
+        &self.solver
+    }
+
+    /// The embedded transition probability `Q_i(k) = Σ_l q_{i,k}(l)`,
+    /// served from the precomputed row totals in O(1).
     ///
     /// Rows may sum to less than 1: the deficit is the estimated probability
     /// of remaining in the state beyond the horizon (right-censoring mass).
@@ -228,21 +448,25 @@ impl SmpParams {
         let Some(k) = target_index(i, to) else {
             return 0.0;
         };
-        self.kernel[i][k][1..].iter().sum()
+        self.solver.q_total[i][k]
     }
 
     /// The holding-time mass function `H_{i,k}(l) = q_{i,k}(l) / Q_i(k)` for
-    /// `l ∈ 0..=horizon`, or `None` when the transition has zero estimated
-    /// probability (H is then undefined).
+    /// `l ∈ 0..=horizon` as a borrowed, allocation-free [`HoldingPmf`] view,
+    /// or `None` when the transition has zero estimated probability (H is
+    /// then undefined).
     #[must_use]
-    pub fn holding_pmf(&self, from: State, to: State) -> Option<Vec<f64>> {
-        let total = self.q(from, to);
+    pub fn holding_pmf(&self, from: State, to: State) -> Option<HoldingPmf<'_>> {
+        let i = SOURCES.iter().position(|&s| s == from)?;
+        let k = target_index(i, to)?;
+        let total = self.solver.q_total[i][k];
         if total <= 0.0 {
             return None;
         }
-        let i = SOURCES.iter().position(|&s| s == from)?;
-        let k = target_index(i, to)?;
-        Some(self.kernel[i][k].iter().map(|v| v / total).collect())
+        Some(HoldingPmf {
+            masses: &self.kernel[i][k],
+            total,
+        })
     }
 
     /// Builds parameters directly from a kernel (used by tests and the
@@ -258,47 +482,25 @@ impl SmpParams {
                 assert_eq!(col.len(), horizon + 1, "inconsistent kernel row lengths");
             }
         }
+        SmpParams::from_parts(step_secs, horizon, kernel, [0, 0])
+    }
+
+    /// Internal constructor that (re)builds the derived solver view.
+    fn from_parts(
+        step_secs: u32,
+        horizon: usize,
+        kernel: [[Vec<f64>; 4]; 2],
+        sojourns: [usize; 2],
+    ) -> SmpParams {
+        let solver = SolverKernel::build(&kernel, horizon);
         SmpParams {
             step_secs,
             horizon,
             kernel,
-            sojourns: [0, 0],
+            sojourns,
+            solver,
         }
     }
-}
-
-/// Decomposes a window slice into sojourns of the two operational states.
-/// Failure-state runs are skipped (nothing transitions out of them in the
-/// model); the run following a failure is treated as freshly entered.
-fn decompose(window: &[State]) -> Vec<(usize, Sojourn)> {
-    let mut out = Vec::new();
-    let len = window.len();
-    let mut start = 0;
-    while start < len {
-        let state = window[start];
-        let mut end = start;
-        while end + 1 < len && window[end + 1] == state {
-            end += 1;
-        }
-        if let Some(source_idx) = SOURCES.iter().position(|&s| s == state) {
-            if end + 1 < len {
-                out.push((
-                    source_idx,
-                    Sojourn::Completed {
-                        duration: end + 1 - start,
-                        target: window[end + 1],
-                    },
-                ));
-            } else {
-                let at_risk = end - start; // last sample gives no transition info
-                if at_risk >= 1 {
-                    out.push((source_idx, Sojourn::Censored { at_risk }));
-                }
-            }
-        }
-        start = end + 1;
-    }
-    out
 }
 
 #[cfg(test)]
@@ -307,55 +509,56 @@ mod tests {
     use State::*;
 
     #[test]
-    fn decompose_identifies_completed_and_censored() {
+    fn accumulator_identifies_completed_and_censored() {
         let w = [S1, S1, S2, S2, S2, S1];
-        let s = decompose(&w);
-        assert_eq!(
-            s,
-            vec![
-                (
-                    0,
-                    Sojourn::Completed {
-                        duration: 2,
-                        target: S2
-                    }
-                ),
-                (
-                    1,
-                    Sojourn::Completed {
-                        duration: 3,
-                        target: S1
-                    }
-                ),
-                // trailing single-sample S1 run: no at-risk time, dropped
-            ]
-        );
+        let mut acc = SojournAccumulator::new(6, 10);
+        acc.push_window(&w);
+        // S1 completes after 2 steps to S2; S2 completes after 3 steps to
+        // S1; the trailing single-sample S1 run has no at-risk time.
+        assert_eq!(acc.sojourn_counts(), [1, 1]);
+        assert_eq!(acc.events[0][0][2], 1.0);
+        assert_eq!(acc.events[1][0][3], 1.0);
     }
 
     #[test]
-    fn decompose_censors_trailing_run() {
+    fn accumulator_censors_trailing_run() {
         let w = [S1, S1, S1, S1];
-        let s = decompose(&w);
-        assert_eq!(s, vec![(0, Sojourn::Censored { at_risk: 3 })]);
+        let mut acc = SojournAccumulator::new(6, 10);
+        acc.push_window(&w);
+        assert_eq!(acc.sojourn_counts(), [1, 0]);
+        // Censored: at-risk for 3 steps, no event recorded anywhere.
+        assert!(acc.events.iter().flatten().flatten().all(|&v| v == 0.0));
+        assert_eq!(acc.risk_diff[0][1], 1);
+        assert_eq!(acc.risk_diff[0][4], -1);
     }
 
     #[test]
-    fn decompose_skips_failure_runs() {
+    fn accumulator_skips_failure_runs() {
         let w = [S1, S3, S3, S2, S2];
-        let s = decompose(&w);
-        assert_eq!(
-            s,
-            vec![
-                (
-                    0,
-                    Sojourn::Completed {
-                        duration: 1,
-                        target: S3
-                    }
-                ),
-                (1, Sojourn::Censored { at_risk: 1 }),
-            ]
-        );
+        let mut acc = SojournAccumulator::new(6, 10);
+        acc.push_window(&w);
+        // S1 completes to S3 after 1 step; the S3 run is skipped; the S2
+        // run is censored with 1 at-risk step.
+        assert_eq!(acc.sojourn_counts(), [1, 1]);
+        assert_eq!(acc.events[0][1][1], 1.0);
+    }
+
+    #[test]
+    fn streaming_equals_batch_estimate() {
+        let day_a: Vec<State> = (0..50)
+            .map(|i| match i % 11 {
+                0..=5 => S1,
+                6..=8 => S2,
+                _ => S3,
+            })
+            .collect();
+        let day_b: Vec<State> = (0..50).map(|i| if i % 7 < 5 { S1 } else { S2 }).collect();
+        let batch = SmpParams::estimate(&[&day_a, &day_b], 6, 49);
+        let mut acc = SojournAccumulator::new(6, 49);
+        acc.push_window(&day_a);
+        acc.push_window(&day_b);
+        let streamed = acc.finish();
+        assert_eq!(batch, streamed);
     }
 
     #[test]
@@ -376,7 +579,7 @@ mod tests {
         let p = SmpParams::estimate(&windows, 6, 10);
         assert!((p.q(S1, S3) - 1.0).abs() < 1e-12);
         let pmf = p.holding_pmf(S1, S3).unwrap();
-        assert!((pmf[5] - 1.0).abs() < 1e-12);
+        assert!((pmf.value(5) - 1.0).abs() < 1e-12);
         assert_eq!(p.kernel_at(S1, S3, 5), 1.0);
         assert_eq!(p.kernel_at(S1, S3, 4), 0.0);
     }
@@ -424,6 +627,8 @@ mod tests {
         if let Some(pmf) = p.holding_pmf(S1, S2) {
             let total: f64 = pmf.iter().sum();
             assert!((total - 1.0).abs() < 1e-9, "pmf sums to {total}");
+            assert_eq!(pmf.len(), 31);
+            assert!(!pmf.is_empty());
         } else {
             panic!("expected S1->S2 transitions to be observed");
         }
@@ -435,6 +640,63 @@ mod tests {
         let windows: Vec<&[State]> = vec![&day];
         let p = SmpParams::estimate(&windows, 6, 10);
         assert!(p.holding_pmf(S1, S5).is_none());
+    }
+
+    #[test]
+    fn q_totals_match_row_sums() {
+        let day: Vec<State> = (0..60)
+            .map(|i| match i % 13 {
+                0..=6 => S1,
+                7..=9 => S2,
+                10 => S4,
+                _ => S1,
+            })
+            .collect();
+        let p = SmpParams::estimate(&[&day], 6, 59);
+        for from in [S1, S2] {
+            for to in [S1, S2, S3, S4, S5] {
+                if from == to {
+                    continue;
+                }
+                let direct: f64 = (1..=p.horizon()).map(|l| p.kernel_at(from, to, l)).sum();
+                assert_eq!(p.q(from, to).to_bits(), direct.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn solver_kernel_prefixes_match_cumulative_mass() {
+        let day: Vec<State> = (0..80)
+            .map(|i| match i % 17 {
+                0..=9 => S1,
+                10..=12 => S2,
+                13 => S3,
+                14 => S5,
+                _ => S1,
+            })
+            .collect();
+        let p = SmpParams::estimate(&[&day], 6, 79);
+        let view = p.solver_kernel();
+        for (i, from) in [S1, S2].into_iter().enumerate() {
+            let dp = view.direct_prefix(i);
+            for m in 0..=p.horizon() {
+                for (j, to) in [S3, S4, S5].into_iter().enumerate() {
+                    let cum: f64 = (1..=m).map(|l| p.kernel_at(from, to, l)).sum();
+                    assert!(
+                        (dp[3 * m + j] - cum).abs() < 1e-15,
+                        "prefix mismatch at i={i} m={m} j={j}"
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            view.nnz(),
+            view.trans_events(0).len()
+                + view.trans_events(1).len()
+                + (0..2)
+                    .flat_map(|i| (0..3).map(move |j| view.failures[i][j].len()))
+                    .sum::<usize>()
+        );
     }
 
     #[test]
@@ -477,5 +739,24 @@ mod tests {
         assert_eq!(p.horizon(), 5);
         assert_eq!(p.kernel_at(S1, S3, 3), 0.25);
         assert_eq!(p.q(S1, S3), 0.25);
+    }
+
+    #[test]
+    fn json_round_trip_rebuilds_solver_view() {
+        let day: Vec<State> = (0..40).map(|i| if i % 9 < 6 { S1 } else { S2 }).collect();
+        let p = SmpParams::estimate(&[&day], 6, 39);
+        let text = fgcs_runtime::json::to_string(&p);
+        let back: SmpParams = fgcs_runtime::json::from_str(&text).unwrap();
+        assert_eq!(p, back);
+        assert_eq!(p.solver_kernel(), back.solver_kernel());
+    }
+
+    #[test]
+    fn json_rejects_inconsistent_kernel_rows() {
+        let day: Vec<State> = (0..20).map(|i| if i % 3 == 0 { S2 } else { S1 }).collect();
+        let p = SmpParams::estimate(&[&day], 6, 19);
+        let text = fgcs_runtime::json::to_string(&p);
+        let bad = text.replace("\"horizon\":19", "\"horizon\":7");
+        assert!(fgcs_runtime::json::from_str::<SmpParams>(&bad).is_err());
     }
 }

@@ -46,6 +46,12 @@ pub struct ChaosConfig {
     pub job_every_steps: usize,
     /// Work per submitted job, in CPU-seconds.
     pub job_work_secs: f64,
+    /// Run every prediction through the verbatim paper-order solver
+    /// instead of the default error-bounded fast path. Scheduling
+    /// decisions must be identical either way (`decision_digest` agrees);
+    /// TR bits may differ within the 1e-12 fast-path budget, so `digest`
+    /// may not.
+    pub paper_oracle: bool,
 }
 
 impl ChaosConfig {
@@ -61,6 +67,7 @@ impl ChaosConfig {
             predict_every_steps: 25,
             job_every_steps: 50,
             job_work_secs: 1_800.0,
+            paper_oracle: false,
         }
     }
 
@@ -76,6 +83,13 @@ impl ChaosConfig {
     #[must_use]
     pub fn with_plan(mut self, plan: FaultPlan) -> ChaosConfig {
         self.plan = Some(plan);
+        self
+    }
+
+    /// Forces every prediction through the verbatim paper-order solver.
+    #[must_use]
+    pub fn with_paper_oracle(mut self) -> ChaosConfig {
+        self.paper_oracle = true;
         self
     }
 }
@@ -120,6 +134,12 @@ pub struct ChaosReport {
     pub killed: u64,
     /// Order-sensitive FNV-1a digest over predictions and decisions.
     pub digest: u64,
+    /// Order-sensitive FNV-1a digest over scheduling outcomes only (the
+    /// chosen node index, no-candidate rounds, blackout rejections) —
+    /// *not* the TR bits. This is the quantity the fast-vs-oracle solver
+    /// equivalence check compares: solvers may differ in the last few TR
+    /// ulps, but the decisions they drive must be identical.
+    pub decision_digest: u64,
 }
 
 impl_json_struct!(ChaosReport {
@@ -140,6 +160,7 @@ impl_json_struct!(ChaosReport {
     completed,
     killed,
     digest,
+    decision_digest,
 });
 
 impl ChaosReport {
@@ -187,7 +208,11 @@ pub fn run_campaign(config: &ChaosConfig) -> ChaosReport {
             if let Some(plan) = &config.plan {
                 corrupt_trace(&mut trace, plan);
             }
-            let node = HostNode::new(trace, model);
+            let node = HostNode::new(trace, model).with_solver_policy(if config.paper_oracle {
+                fgcs_core::predictor::SolverPolicy::PaperOracle
+            } else {
+                fgcs_core::predictor::SolverPolicy::Fast
+            });
             match &config.plan {
                 Some(plan) => node.with_fault_injector(plan.clone()),
                 None => node,
@@ -219,6 +244,7 @@ pub fn run_campaign(config: &ChaosConfig) -> ChaosReport {
         completed: 0,
         killed: 0,
         digest: FNV_OFFSET,
+        decision_digest: FNV_OFFSET,
     };
     let mut next_job_id = 1u64;
 
@@ -245,6 +271,7 @@ pub fn run_campaign(config: &ChaosConfig) -> ChaosReport {
                     Err(_) => {
                         report.blackout_rejections += 1;
                         report.digest = fnv(report.digest, 0xB1AC_0007);
+                        report.decision_digest = fnv(report.decision_digest, 0xB1AC_0007);
                     }
                 }
             }
@@ -256,6 +283,7 @@ pub fn run_campaign(config: &ChaosConfig) -> ChaosReport {
                 Some(idx) => {
                     report.decisions += 1;
                     report.digest = fnv(report.digest, idx as u64);
+                    report.decision_digest = fnv(report.decision_digest, idx as u64);
                     let job = scheduler.configure_job(&nodes[idx], job);
                     match nodes[idx].submit(job) {
                         Ok(()) => report.submitted += 1,
@@ -265,6 +293,7 @@ pub fn run_campaign(config: &ChaosConfig) -> ChaosReport {
                 None => {
                     report.no_candidate_rounds += 1;
                     report.digest = fnv(report.digest, u64::MAX);
+                    report.decision_digest = fnv(report.decision_digest, u64::MAX);
                 }
             }
         }
@@ -328,5 +357,16 @@ mod tests {
         let zero = run_campaign(&small(5).with_plan(FaultPlan::none(5)));
         let pristine = run_campaign(&small(5).without_faults());
         assert_eq!(zero, pristine);
+    }
+
+    #[test]
+    fn paper_oracle_campaign_makes_identical_decisions() {
+        let fast = run_campaign(&small(13));
+        let oracle = run_campaign(&small(13).with_paper_oracle());
+        assert_eq!(fast.decision_digest, oracle.decision_digest);
+        assert_eq!(fast.decisions, oracle.decisions);
+        assert_eq!(fast.submitted, oracle.submitted);
+        assert_eq!(fast.completed, oracle.completed);
+        assert_eq!(fast.killed, oracle.killed);
     }
 }

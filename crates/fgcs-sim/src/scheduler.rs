@@ -27,6 +27,9 @@ const PARALLEL_QUERY_THRESHOLD: usize = 4;
 /// [`HostNode::predict_tr`]. The result is element-for-element identical
 /// to the sequential loop (`fgcs_runtime::parallel` guarantees index
 /// ordering), so simulations stay deterministic regardless of core count.
+/// Each worker thread solves out of its own thread-local
+/// [`fgcs_core::SolveScratch`] arena, so the sweep stays allocation-free
+/// per query after the first solve on each worker.
 pub fn predict_cluster(
     nodes: &[HostNode],
     horizon_secs: u32,

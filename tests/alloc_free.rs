@@ -1,0 +1,144 @@
+//! The zero-allocation steady-state contract of the fast solver path.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after one
+//! warm solve has sized the [`SolveScratch`] arena (and lazily registered
+//! any metrics instruments), repeated `temporal_reliability_with` queries
+//! must not touch the allocator at all. This is the property that makes
+//! the scheduler's steady-state polling loop heap-quiet, and it is the
+//! acceptance criterion the scratch-arena refactor was built around.
+//!
+//! Counting is per thread, gated by a thread-local flag, so the harness
+//! can run these tests in parallel without one test's setup allocations
+//! bleeding into another's measured window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use fgcs::core::smp::{FastSolver, SmpParams, SolveScratch};
+use fgcs::core::State;
+
+std::thread_local! {
+    static TRACKING: Cell<bool> = const { Cell::new(false) };
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// System allocator wrapper that counts every allocating entry point made
+/// from a thread whose `TRACKING` flag is set.
+struct CountingAlloc;
+
+fn note_alloc() {
+    // try_with: allocations during thread teardown must not panic.
+    let _ = TRACKING.try_with(|t| {
+        if t.get() {
+            let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        }
+    });
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note_alloc();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note_alloc();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        note_alloc();
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with this thread's allocation tracking enabled and returns
+/// `(f(), allocations made by this thread inside f)`.
+fn count_allocations<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    THREAD_ALLOCS.with(|c| c.set(0));
+    TRACKING.with(|t| t.set(true));
+    let out = f();
+    TRACKING.with(|t| t.set(false));
+    let n = THREAD_ALLOCS.with(|c| c.get());
+    (out, n)
+}
+
+/// A nontrivial estimated kernel: S1/S2 churn with failure leaks at
+/// several holding times, so every solve exercises real event lists.
+fn busy_params(horizon: usize) -> SmpParams {
+    let day: Vec<State> = (0..=horizon + 400)
+        .map(|i| match i % 71 {
+            0..=29 => State::S1,
+            30..=49 => State::S2,
+            50..=54 => State::S3,
+            55..=62 => State::S1,
+            63..=66 => State::S4,
+            _ => State::S5,
+        })
+        .collect();
+    let windows: Vec<&[State]> = vec![&day];
+    SmpParams::estimate(&windows, 6, horizon)
+}
+
+#[test]
+fn warm_fast_solves_do_not_allocate() {
+    let steps = 600;
+    let params = busy_params(steps);
+    let solver = FastSolver::new(&params);
+    let mut scratch = SolveScratch::new();
+
+    // Warm-up: sizes the arena and performs any one-time lazy work
+    // (metrics instrument registration) outside the measured region.
+    let warm = solver
+        .temporal_reliability_with(&mut scratch, State::S1, steps)
+        .unwrap();
+    assert!((0.0..=1.0).contains(&warm));
+
+    let (acc, allocs) = count_allocations(|| {
+        let mut acc = 0.0;
+        for i in 0..100usize {
+            let init = if i % 2 == 0 { State::S1 } else { State::S2 };
+            // Vary the horizon downwards so reuse across horizons is
+            // covered; never above the warmed horizon, which would
+            // legitimately grow the arena.
+            let m = steps - (i % 7);
+            acc += solver
+                .temporal_reliability_with(&mut scratch, init, m)
+                .unwrap();
+        }
+        acc
+    });
+    assert!(acc.is_finite());
+    assert_eq!(allocs, 0, "warm steady-state fast solves must not allocate");
+}
+
+#[test]
+fn interval_probabilities_with_is_also_allocation_free() {
+    let steps = 300;
+    let params = busy_params(steps);
+    let solver = FastSolver::new(&params);
+    let mut scratch = SolveScratch::new();
+    solver
+        .interval_probabilities_with(&mut scratch, steps)
+        .unwrap();
+
+    let ((), allocs) = count_allocations(|| {
+        for _ in 0..50 {
+            let probs = solver
+                .interval_probabilities_with(&mut scratch, steps)
+                .unwrap();
+            assert!(probs.p1.iter().chain(&probs.p2).all(|p| p.is_finite()));
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "warm interval-probability solves must not allocate"
+    );
+}

@@ -4,7 +4,7 @@
 //! derived deterministically from the property name and case index, so a
 //! failure report reproduces by re-running the same test binary.
 
-use fgcs::core::smp::{DenseSolver, SmpParams, SparseSolver};
+use fgcs::core::smp::{DenseSolver, FastSolver, SmpParams, SparseSolver};
 use fgcs::core::{AvailabilityModel, LoadSample, State, StateClassifier};
 use fgcs::runtime::check::{check, ensure, Gen};
 
@@ -192,12 +192,47 @@ fn holding_pmfs_normalise() {
                 if let Some(pmf) = params.holding_pmf(from, to) {
                     let total: f64 = pmf.iter().sum();
                     ensure((total - 1.0).abs() < 1e-9, format!("pmf sums to {total}"))?;
-                    ensure(pmf.iter().all(|&p| p >= 0.0), "negative pmf entry")?;
+                    ensure(pmf.iter().all(|p| p >= 0.0), "negative pmf entry")?;
                 }
             }
         }
         Ok(())
     });
+}
+
+#[test]
+fn fast_solver_stays_within_error_budget_of_paper_oracle() {
+    // The production fast path relaxes bit-identity with the paper-order
+    // recursion; its contract is a 1e-12 unit-scale relative error at
+    // *every* horizon, from both operational initial states, over both
+    // synthetic kernels and kernels estimated from state sequences.
+    check("fast_solver_error_budget_random_kernel", CASES, |g| {
+        let horizon = g.usize_in(1, 64);
+        let params = random_kernel(g, horizon);
+        fast_matches_oracle_everywhere(&params)
+    });
+    check("fast_solver_error_budget_estimated_kernel", CASES, |g| {
+        let seq = random_states(g, 5, 20, 200);
+        let windows: Vec<&[State]> = vec![&seq];
+        let params = SmpParams::estimate(&windows, 6, seq.len() - 1);
+        fast_matches_oracle_everywhere(&params)
+    });
+}
+
+fn fast_matches_oracle_everywhere(params: &SmpParams) -> Result<(), String> {
+    let fast = FastSolver::new(params);
+    let oracle = SparseSolver::new(params);
+    for init in [State::S1, State::S2] {
+        let fast_curve = fast.reliability_curve(init, params.horizon()).unwrap();
+        let oracle_curve = oracle.reliability_curve(init, params.horizon()).unwrap();
+        for (m, (f, o)) in fast_curve.iter().zip(&oracle_curve).enumerate() {
+            ensure(
+                (f - o).abs() <= 1e-12 * o.abs().max(1.0),
+                format!("init {init} horizon {m}: fast {f} vs oracle {o}"),
+            )?;
+        }
+    }
+    Ok(())
 }
 
 #[test]
