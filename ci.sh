@@ -46,6 +46,60 @@ if [ "$zero_out" != "$plain_out" ]; then
   exit 1
 fi
 
+echo "== serve smoke: oneshot batch sweep must match offline fgcs sweep --json byte-for-byte"
+fgcs_bin=target/release/fgcs
+serve_tmp=$(mktemp -d)
+"$fgcs_bin" generate --seed 7 --days 10 --out "$serve_tmp" > /dev/null
+"$fgcs_bin" encode "$serve_tmp/machine-0.json" --host 1 > "$serve_tmp/reqs.jsonl"
+{
+  cat "$serve_tmp/reqs.jsonl"
+  echo '{"op":"sweep","host":1,"start":9.0,"hours":2.0,"points":12}'
+  echo '{"op":"shutdown"}'
+} | "$fgcs_bin" serve --oneshot > "$serve_tmp/oneshot.jsonl"
+grep '^{"window"' "$serve_tmp/oneshot.jsonl" > "$serve_tmp/sweep_serve.json"
+"$fgcs_bin" sweep "$serve_tmp/machine-0.json" --start 9.0 --hours 2.0 --json \
+  > "$serve_tmp/sweep_cli.json"
+if ! cmp -s "$serve_tmp/sweep_serve.json" "$serve_tmp/sweep_cli.json"; then
+  echo "oneshot serve sweep diverged from offline fgcs sweep --json:"
+  diff "$serve_tmp/sweep_serve.json" "$serve_tmp/sweep_cli.json" || true
+  exit 1
+fi
+
+echo "== serve smoke: TCP server round trip (streamed ingest -> sweep == offline; clean shutdown)"
+timeout 120 "$fgcs_bin" serve --port 0 --metrics-out metrics_export.json \
+  > "$serve_tmp/server.log" &
+server_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^listening on //p' "$serve_tmp/server.log" 2>/dev/null || true)
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "server never announced its address:"; cat "$serve_tmp/server.log"; exit 1
+fi
+{
+  cat "$serve_tmp/reqs.jsonl"
+  echo '{"op":"sweep","host":1,"start":9.0,"hours":2.0,"points":12}'
+  echo '{"op":"stats"}'
+} | "$fgcs_bin" query "$addr" > "$serve_tmp/tcp_out.jsonl"
+echo '{"op":"shutdown"}' | "$fgcs_bin" query "$addr" > /dev/null
+if ! wait "$server_pid"; then
+  echo "server did not shut down cleanly (timeout or error):"
+  cat "$serve_tmp/server.log"
+  exit 1
+fi
+if ! grep '^{"window"' "$serve_tmp/tcp_out.jsonl" | cmp -s - "$serve_tmp/sweep_cli.json"; then
+  echo "TCP serve sweep diverged from offline fgcs sweep --json"
+  exit 1
+fi
+grep -q '"log_records":10' "$serve_tmp/tcp_out.jsonl" || {
+  echo "server stats did not account for the 10 streamed ingests:"
+  tail -1 "$serve_tmp/tcp_out.jsonl"
+  exit 1
+}
+rm -rf "$serve_tmp"
+
 echo "== cargo doc --offline --workspace --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --workspace --no-deps
 
@@ -69,5 +123,10 @@ if [ "$bench_ok" != 1 ]; then
   echo "bench regression persisted across 3 runs"
   exit 1
 fi
+
+echo "== scale bench: cluster_serve at 100k hosts, p50/p99 merged into BENCH_baseline.json"
+cargo run -q --release --offline -p fgcs-bench --bin cluster_serve -- \
+  --hosts 100000 --merge BENCH_baseline.json
+cargo run -q --release --offline -p fgcs-bench --bin bench_smoke -- --check BENCH_baseline.json
 
 echo "CI OK"

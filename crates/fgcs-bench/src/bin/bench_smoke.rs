@@ -25,15 +25,18 @@
 //! solver ([`FastSolver`]) is asserted within its 1e-12 unit-scale error
 //! budget of the paper oracle at every sweep horizon.
 //!
-//! `--check` also enforces two *absolute* latency gates on the fast path —
-//! `smp_solver/compact_2h` under 100 µs and `smp_solver/batched_sweep_2h`
-//! under 1 ms — normalized by the baseline's `machine_factor` (the run's
-//! measured speed on a fixed arithmetic workload relative to the reference
-//! machine), so the gates track solver quality rather than host speed.
+//! `--check` also enforces *absolute* latency gates — on the fast path
+//! (`smp_solver/compact_2h` under 100 µs, `smp_solver/batched_sweep_2h`
+//! under 1 ms) and on the 10k-host serving smoke's ingest/query p99s
+//! (`cluster_serve_10k/…`, see `fgcs_bench::cluster`) — all normalized by
+//! the baseline's `machine_factor` (the run's measured speed on a fixed
+//! arithmetic workload relative to the reference machine), so the gates
+//! track code quality rather than host speed.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
+use fgcs_bench::cluster::{run_cluster_serve, ClusterServeConfig};
 use fgcs_bench::{smp_error, Testbed};
 use fgcs_core::batch::{predict_cluster, BatchSolver, ClusterQuery};
 use fgcs_core::cache::QhCache;
@@ -53,8 +56,9 @@ const SAMPLES: usize = 7;
 const TARGET_SAMPLE: Duration = Duration::from_millis(5);
 
 /// Bench keys `--check` requires (the ISSUE-2 acceptance set, the ISSUE-3
-/// multi-horizon batching set, and the ISSUE-6 fast-path set).
-const REQUIRED_KEYS: [&str; 11] = [
+/// multi-horizon batching set, the ISSUE-6 fast-path set, and the ISSUE-7
+/// serving-scale set).
+const REQUIRED_KEYS: [&str; 15] = [
     "smp_solver/paper_eq3_2h",
     "smp_solver/compact_2h",
     "smp_solver/fast_2h",
@@ -66,6 +70,10 @@ const REQUIRED_KEYS: [&str; 11] = [
     "predictor/cached_qh",
     "classify/whole_day_offline",
     "trace_gen/machine_day_lab",
+    "cluster_serve_10k/ingest_day_p50_ns",
+    "cluster_serve_10k/ingest_day_p99_ns",
+    "cluster_serve_10k/query_p50_ns",
+    "cluster_serve_10k/query_p99_ns",
 ];
 
 /// Enabled-vs-disabled overhead budget for the instrumented Fig. 5 sweep.
@@ -109,6 +117,16 @@ const FAST_ERROR_BUDGET: f64 = 1e-12;
 
 /// Hosts in the cluster-sweep bench.
 const CLUSTER_HOSTS: u64 = 1000;
+
+/// Absolute p99 gate on registry ingest in the 10k-host serving smoke
+/// (`cluster_serve_10k/ingest_day_p99_ns`), at `machine_factor` 1.0.
+/// Ingest is an append + O(live estimators) incremental sync.
+const SERVE_INGEST_P99_GATE_NS: f64 = 150_000.0;
+
+/// Absolute p99 gate on TR queries in the 10k-host serving smoke
+/// (`cluster_serve_10k/query_p99_ns`), at `machine_factor` 1.0. A p99
+/// query is a cold coordinate: estimator replay + kernel build + solve.
+const SERVE_QUERY_P99_GATE_NS: f64 = 1_000_000.0;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -307,6 +325,21 @@ fn run_smoke() -> Json {
         black_box(generator.generate_days(1));
     });
 
+    // The ISSUE-7 serving-scale smoke: 10k hosts through the sharded
+    // streaming registry, mixed ingest + query, per-op percentiles. One
+    // run, not `measure`-sampled — the percentiles already aggregate 10k
+    // individually timed operations each.
+    let serve_report = run_cluster_serve(ClusterServeConfig::smoke());
+    println!(
+        "cluster_serve_10k: ingest p50/p99 {}/{} ns, query p50/p99 {}/{} ns ({} ms)",
+        serve_report.ingest_p50_ns,
+        serve_report.ingest_p99_ns,
+        serve_report.query_p50_ns,
+        serve_report.query_p99_ns,
+        serve_report.elapsed_ms
+    );
+    benches.extend(serve_report.baseline_entries());
+
     let median = |name: &str| {
         benches
             .iter()
@@ -480,6 +513,11 @@ fn check_baseline(path: &str) -> Result<(), String> {
     };
     gate("smp_solver/compact_2h", FAST_SOLVE_GATE_NS)?;
     gate("smp_solver/batched_sweep_2h", BATCH_SWEEP_GATE_NS)?;
+    gate(
+        "cluster_serve_10k/ingest_day_p99_ns",
+        SERVE_INGEST_P99_GATE_NS,
+    )?;
+    gate("cluster_serve_10k/query_p99_ns", SERVE_QUERY_P99_GATE_NS)?;
     Ok(())
 }
 
@@ -491,6 +529,10 @@ fn check_baseline(path: &str) -> Result<(), String> {
 /// normalization, while a genuine regression moves one key relative to
 /// the rest and still trips the check. Keys unique to either file are
 /// ignored, so adding or retiring a bench never trips the comparison.
+/// Per-operation percentile keys (`…_p50_ns`/`…_p99_ns`) are also skipped:
+/// tail latencies swing several-fold run to run on shared machines, so
+/// they are held to the absolute machine-factor gates instead of the
+/// ±1.25× trend check.
 fn compare_baselines(new_path: &str, old_path: &str) -> Result<(), String> {
     let load = |path: &str| -> Result<Vec<(String, f64)>, String> {
         let text =
@@ -521,6 +563,7 @@ fn compare_baselines(new_path: &str, old_path: &str) -> Result<(), String> {
                 .map(|(_, old_ns)| (key.as_str(), *new_ns, *old_ns))
         })
         .filter(|(_, new_ns, old_ns)| *new_ns > 0.0 && *old_ns > 0.0)
+        .filter(|(key, _, _)| !key.ends_with("_p50_ns") && !key.ends_with("_p99_ns"))
         .collect();
     if shared.is_empty() {
         return Ok(());

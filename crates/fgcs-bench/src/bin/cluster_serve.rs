@@ -1,0 +1,91 @@
+//! `cluster_serve` — the registry scale bench at fleet sizes the CI smoke
+//! doesn't reach (100k–1M hosts).
+//!
+//! ```text
+//! cluster_serve [--hosts N] [--queries Q] [--shards S] [--seed SEED]
+//!               [--merge BENCH_baseline.json]
+//! ```
+//!
+//! Prints the run report as JSON. With `--merge PATH`, also folds the
+//! run's `cluster_serve_<N>k/…` p50/p99 keys into the `benches` object of
+//! an existing baseline file (replacing same-prefix keys from earlier
+//! runs), so scale numbers ride in `BENCH_baseline.json` next to the
+//! micro-bench medians.
+
+use std::process::ExitCode;
+
+use fgcs_bench::cluster::{run_cluster_serve, ClusterServeConfig};
+use fgcs_runtime::json::Json;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opt = |key: &str| {
+        args.iter()
+            .position(|a| a == key)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let parse = |key: &str, default: u64| -> Result<u64, String> {
+        match opt(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for {key}: {v}")),
+        }
+    };
+    let run = || -> Result<(), String> {
+        let hosts = parse("--hosts", 100_000)?;
+        if hosts == 0 {
+            return Err("--hosts must be positive".into());
+        }
+        let mut config = ClusterServeConfig::at_scale(hosts);
+        config.queries = parse("--queries", config.queries as u64)? as usize;
+        config.shards = parse("--shards", config.shards as u64)? as usize;
+        config.seed = parse("--seed", config.seed)?;
+        if config.shards == 0 {
+            return Err("--shards must be positive".into());
+        }
+        eprintln!(
+            "cluster_serve: {} hosts, {} queries, {} shards…",
+            config.hosts, config.queries, config.shards
+        );
+        let report = run_cluster_serve(config);
+        println!("{}", report.to_json());
+        if let Some(path) = opt("--merge") {
+            merge_into_baseline(&path, report.baseline_entries())?;
+            eprintln!("merged {} keys into {path}", 4);
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Replaces/appends the run's keys in the baseline's `benches` object,
+/// preserving every other key and the insertion order of the file.
+fn merge_into_baseline(path: &str, entries: Vec<(String, Json)>) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let Json::Obj(mut top) = Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))? else {
+        return Err(format!("{path}: top level is not an object"));
+    };
+    let benches = top
+        .iter_mut()
+        .find_map(|(k, v)| match (k.as_str(), v) {
+            ("benches", Json::Obj(b)) => Some(b),
+            _ => None,
+        })
+        .ok_or_else(|| format!("{path}: missing `benches` object"))?;
+    for (key, value) in entries {
+        match benches.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, slot)) => *slot = value,
+            None => benches.push((key, value)),
+        }
+    }
+    std::fs::write(path, Json::Obj(top).to_string() + "\n")
+        .map_err(|e| format!("writing {path}: {e}"))
+}

@@ -1,0 +1,332 @@
+//! The `cluster_serve` scale workload: mixed ingest + query latency of the
+//! sharded streaming registry over a synthetic host fleet.
+//!
+//! This is the serving analogue of the figure benches: instead of
+//! re-deriving a paper plot, it answers "what does one ingest and one TR
+//! query cost at fleet scale?" — per-operation wall-clock percentiles over
+//! 10⁴–10⁶ synthetic hosts, each with its own per-host history inside a
+//! [`ShardedRegistry`].
+//!
+//! To keep fleet construction cheap (and the measured cost about the
+//! *registry*, not trace generation), hosts draw their days from a small
+//! seeded pool of pre-generated state sequences at a 5-minute monitoring
+//! period (288 samples/day): host `h`'s day `d` is
+//! `pool[(hash(h) + d) % POOL_DAYS]`, so the fleet is diverse but O(1)
+//! memory is spent on day synthesis.
+//!
+//! The run has two phases:
+//!
+//! 1. **warm** — `warm_days` days ingested per host, untimed, so timed
+//!    operations see steady-state shard maps and allocator state;
+//! 2. **timed mixed** — per host one further ingest, interleaved with
+//!    `queries` TR queries over a 4-window grid, each operation timed
+//!    individually. The p50/p99 of both populations are the artifact
+//!    (`BENCH_baseline.json` keys `cluster_serve_<N>k/…`, gated by
+//!    `bench_smoke --check`).
+
+use std::time::Instant;
+
+use fgcs_core::model::AvailabilityModel;
+use fgcs_core::registry::{RegistryConfig, ShardedRegistry};
+use fgcs_core::state::State;
+use fgcs_core::window::{DayType, TimeWindow};
+use fgcs_runtime::bench::percentile;
+use fgcs_runtime::json::Json;
+use fgcs_runtime::rng::{Rng, Xoshiro256};
+use fgcs_runtime::shard::hash_key;
+
+/// Distinct synthetic days in the shared pool.
+const POOL_DAYS: usize = 64;
+
+/// Monitoring period of the synthetic fleet: 5 minutes, i.e. 288
+/// samples/day — coarse enough that a million-host fleet fits in memory,
+/// fine enough that a 2-hour window still spans 24 steps.
+const STEP_SECS: u32 = 300;
+
+/// The query window grid (start hour, length hours). Four coordinates —
+/// exactly the registry's default per-host estimator budget, so steady
+/// state exercises the incremental path.
+const WINDOWS: [(f64, f64); 4] = [(8.0, 1.0), (9.0, 2.0), (14.0, 1.0), (20.0, 2.0)];
+
+/// Configuration of one `cluster_serve` run.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterServeConfig {
+    /// Fleet size.
+    pub hosts: u64,
+    /// Untimed ingested days per host before measurement.
+    pub warm_days: usize,
+    /// Timed TR queries in the mixed phase.
+    pub queries: usize,
+    /// Registry shard count.
+    pub shards: usize,
+    /// Seed for the day pool and query schedule.
+    pub seed: u64,
+}
+
+impl ClusterServeConfig {
+    /// The CI smoke shape: 10k hosts, one timed ingest each, 10k queries.
+    #[must_use]
+    pub fn smoke() -> ClusterServeConfig {
+        ClusterServeConfig {
+            hosts: 10_000,
+            warm_days: 2,
+            queries: 10_000,
+            shards: 8,
+            seed: 2006,
+        }
+    }
+
+    /// A scale run over `hosts` hosts (100k–1M): same per-host shape as the
+    /// smoke, queries capped so the phase stays minutes, not hours.
+    #[must_use]
+    pub fn at_scale(hosts: u64) -> ClusterServeConfig {
+        ClusterServeConfig {
+            hosts,
+            warm_days: 2,
+            queries: usize::try_from(hosts).unwrap_or(usize::MAX).min(100_000),
+            shards: 16,
+            seed: 2006,
+        }
+    }
+
+    /// The baseline key prefix for this fleet size, e.g.
+    /// `cluster_serve_10k` or `cluster_serve_100k`.
+    #[must_use]
+    pub fn key_prefix(&self) -> String {
+        format!("cluster_serve_{}k", self.hosts / 1000)
+    }
+}
+
+/// Per-operation latency percentiles of one run.
+#[derive(Debug, Clone)]
+pub struct ClusterServeReport {
+    /// The configuration measured.
+    pub config: ClusterServeConfig,
+    /// Timed ingest operations (one per host).
+    pub ingests: usize,
+    /// Timed query operations.
+    pub queries: usize,
+    /// Ingest latency percentiles (ns/op).
+    pub ingest_p50_ns: u64,
+    /// 99th-percentile ingest latency (ns/op).
+    pub ingest_p99_ns: u64,
+    /// Query latency percentiles (ns/op).
+    pub query_p50_ns: u64,
+    /// 99th-percentile query latency (ns/op).
+    pub query_p99_ns: u64,
+    /// Wall-clock of the whole run (both phases), milliseconds.
+    pub elapsed_ms: u64,
+}
+
+impl ClusterServeReport {
+    /// The `(key, ns)` pairs this run contributes to
+    /// `BENCH_baseline.json`'s `benches` object.
+    #[must_use]
+    pub fn baseline_entries(&self) -> Vec<(String, Json)> {
+        let p = self.config.key_prefix();
+        vec![
+            (
+                format!("{p}/ingest_day_p50_ns"),
+                Json::U64(self.ingest_p50_ns),
+            ),
+            (
+                format!("{p}/ingest_day_p99_ns"),
+                Json::U64(self.ingest_p99_ns),
+            ),
+            (format!("{p}/query_p50_ns"), Json::U64(self.query_p50_ns)),
+            (format!("{p}/query_p99_ns"), Json::U64(self.query_p99_ns)),
+        ]
+    }
+
+    /// The standalone report document `cluster_serve` prints.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str("fgcs-cluster-serve/v1".into())),
+            ("hosts".into(), Json::U64(self.config.hosts)),
+            ("shards".into(), Json::U64(self.config.shards as u64)),
+            ("warm_days".into(), Json::U64(self.config.warm_days as u64)),
+            ("ingests".into(), Json::U64(self.ingests as u64)),
+            ("queries".into(), Json::U64(self.queries as u64)),
+            ("ingest_day_p50_ns".into(), Json::U64(self.ingest_p50_ns)),
+            ("ingest_day_p99_ns".into(), Json::U64(self.ingest_p99_ns)),
+            ("query_p50_ns".into(), Json::U64(self.query_p50_ns)),
+            ("query_p99_ns".into(), Json::U64(self.query_p99_ns)),
+            ("elapsed_ms".into(), Json::U64(self.elapsed_ms)),
+        ])
+    }
+}
+
+/// The synthetic fleet model: default thresholds at a 5-minute period.
+#[must_use]
+pub fn fleet_model() -> AvailabilityModel {
+    AvailabilityModel {
+        monitor_period_secs: STEP_SECS,
+        ..AvailabilityModel::default()
+    }
+}
+
+/// Generates the shared day pool: `POOL_DAYS` run-length-structured days
+/// of 288 samples, mostly operational with failure bursts.
+fn day_pool(seed: u64, samples_per_day: usize) -> Vec<Vec<State>> {
+    const STATES: [State; 9] = [
+        State::S1,
+        State::S1,
+        State::S1,
+        State::S1,
+        State::S2,
+        State::S2,
+        State::S3,
+        State::S4,
+        State::S5,
+    ];
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..POOL_DAYS)
+        .map(|_| {
+            let mut day = Vec::with_capacity(samples_per_day);
+            while day.len() < samples_per_day {
+                let state = STATES[rng.range_usize(0, STATES.len())];
+                let run = rng.range_usize(1, 24).min(samples_per_day - day.len());
+                day.extend(std::iter::repeat_n(state, run));
+            }
+            day
+        })
+        .collect()
+}
+
+/// Runs the workload and reports per-operation percentiles.
+///
+/// # Panics
+/// Panics when an ingest or query fails — the synthetic fleet is
+/// constructed so every operation is valid, so a failure is a bug.
+#[must_use]
+pub fn run_cluster_serve(config: ClusterServeConfig) -> ClusterServeReport {
+    let model = fleet_model();
+    let samples_per_day = model.samples_per_day();
+    let pool = day_pool(config.seed, samples_per_day);
+    let registry = ShardedRegistry::new(RegistryConfig {
+        shards: config.shards,
+        model,
+        ..RegistryConfig::default()
+    });
+    let day_of = |host: u64, day: usize| -> Vec<State> {
+        pool[(hash_key(host) as usize).wrapping_add(day) % POOL_DAYS].clone()
+    };
+
+    let started = Instant::now();
+    // Phase 1: warm ingest, untimed. Day indices 0..warm_days are weekdays
+    // (day 0 is a Monday), so the weekday query grid always has history.
+    for host in 0..config.hosts {
+        for day in 0..config.warm_days {
+            registry
+                .ingest_day(host, Some(day), day_of(host, day))
+                .expect("warm ingest");
+        }
+    }
+
+    // Phase 2: timed mixed ingest + query. Interleaved at a fixed ratio so
+    // ingest latencies are measured *under* concurrent-epoch cache and
+    // estimator churn, not on a quiet registry.
+    let windows: Vec<TimeWindow> = WINDOWS
+        .iter()
+        .map(|&(start, hours)| TimeWindow::from_hours(start, hours))
+        .collect();
+    let mut ingest_ns: Vec<u64> = Vec::with_capacity(config.hosts as usize);
+    let mut query_ns: Vec<u64> = Vec::with_capacity(config.queries);
+    let queries_per_ingest = config.queries / (config.hosts as usize).max(1);
+    let mut issued_queries = 0usize;
+    let mut query_host_rng = Xoshiro256::seed_from_u64(config.seed ^ 0x5eed);
+    let mut time_query = |registry: &ShardedRegistry, q: usize, out: &mut Vec<u64>| {
+        let host = query_host_rng.bounded_u64(config.hosts);
+        let window = windows[q % windows.len()];
+        let t = Instant::now();
+        let tr = registry
+            .predict(host, DayType::Weekday, window, State::S1)
+            .expect("query");
+        assert!((0.0..=1.0).contains(&tr));
+        out.push(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    };
+    for host in 0..config.hosts {
+        let day = config.warm_days;
+        let states = day_of(host, day);
+        let t = Instant::now();
+        registry
+            .ingest_day(host, Some(day), states)
+            .expect("timed ingest");
+        ingest_ns.push(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        for _ in 0..queries_per_ingest {
+            time_query(&registry, issued_queries, &mut query_ns);
+            issued_queries += 1;
+        }
+    }
+    while issued_queries < config.queries {
+        time_query(&registry, issued_queries, &mut query_ns);
+        issued_queries += 1;
+    }
+
+    let stats = registry.stats();
+    assert_eq!(stats.hosts as u64, config.hosts);
+    assert_eq!(stats.days, (config.warm_days + 1) * config.hosts as usize);
+
+    ingest_ns.sort_unstable();
+    query_ns.sort_unstable();
+    ClusterServeReport {
+        config,
+        ingests: ingest_ns.len(),
+        queries: query_ns.len(),
+        ingest_p50_ns: percentile(&ingest_ns, 0.50),
+        ingest_p99_ns: percentile(&ingest_ns, 0.99),
+        query_p50_ns: percentile(&query_ns, 0.50),
+        query_p99_ns: percentile(&query_ns, 0.99),
+        elapsed_ms: u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_fleet_runs_and_reports() {
+        let report = run_cluster_serve(ClusterServeConfig {
+            hosts: 50,
+            warm_days: 2,
+            queries: 100,
+            shards: 4,
+            seed: 7,
+        });
+        assert_eq!(report.ingests, 50);
+        assert_eq!(report.queries, 100);
+        assert!(report.ingest_p50_ns > 0 && report.ingest_p50_ns <= report.ingest_p99_ns);
+        assert!(report.query_p50_ns > 0 && report.query_p50_ns <= report.query_p99_ns);
+        let entries = report.baseline_entries();
+        assert_eq!(entries.len(), 4);
+        assert!(entries[0].0.starts_with("cluster_serve_0k/"));
+    }
+
+    #[test]
+    fn key_prefix_scales_with_fleet() {
+        assert_eq!(
+            ClusterServeConfig::smoke().key_prefix(),
+            "cluster_serve_10k"
+        );
+        assert_eq!(
+            ClusterServeConfig::at_scale(100_000).key_prefix(),
+            "cluster_serve_100k"
+        );
+        assert_eq!(
+            ClusterServeConfig::at_scale(1_000_000).key_prefix(),
+            "cluster_serve_1000k"
+        );
+    }
+
+    #[test]
+    fn day_pool_is_deterministic_and_full_length() {
+        let a = day_pool(1, 288);
+        let b = day_pool(1, 288);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), POOL_DAYS);
+        assert!(a.iter().all(|d| d.len() == 288));
+        assert_ne!(a, day_pool(2, 288));
+    }
+}

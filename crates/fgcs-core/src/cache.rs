@@ -69,6 +69,38 @@ impl QhCache {
         day_type: DayType,
         window: TimeWindow,
     ) -> Result<Arc<SmpParams>, CoreError> {
+        self.get_or_compute(
+            predictor,
+            host,
+            history.days().len(),
+            day_type,
+            window,
+            || {
+                predictor
+                    .estimate_params(history, day_type, window)
+                    .map(Arc::new)
+            },
+        )
+    }
+
+    /// Like [`QhCache::get_or_estimate`], but with the kernel source
+    /// abstracted: on a miss, `compute` supplies the parameters instead of
+    /// the full-scan estimator. This is how the sharded serving registry
+    /// populates the cache from its per-host [incremental
+    /// estimators](crate::smp::IncrementalEstimator) — the key shape
+    /// (including `history_days` for implicit append invalidation) is
+    /// identical, so incremental and full-scan fills are interchangeable
+    /// for the same coordinates (and bitwise so, per the estimator's
+    /// contract).
+    pub fn get_or_compute(
+        &self,
+        predictor: &SmpPredictor,
+        host: u64,
+        history_days: usize,
+        day_type: DayType,
+        window: TimeWindow,
+        compute: impl FnOnce() -> Result<Arc<SmpParams>, CoreError>,
+    ) -> Result<Arc<SmpParams>, CoreError> {
         let (max_history_days, same_day_type_only) = predictor.history_selection();
         let key = QhKey {
             host,
@@ -76,17 +108,17 @@ impl QhCache {
             window,
             max_history_days,
             same_day_type_only,
-            history_days: history.days().len(),
+            history_days,
         };
         if let Some(params) = self.lock().get(&key) {
             fgcs_runtime::counter_add!("core.qh_cache.hits", 1);
             return Ok(Arc::clone(params));
         }
         fgcs_runtime::counter_add!("core.qh_cache.misses", 1);
-        // Estimate outside the lock: concurrent misses may estimate the
-        // same kernel twice, but the estimator is deterministic so either
+        // Compute outside the lock: concurrent misses may estimate the
+        // same kernel twice, but both sources are deterministic so either
         // result is the same value and the cache stays consistent.
-        let params = Arc::new(predictor.estimate_params(history, day_type, window)?);
+        let params = compute()?;
         let mut cache = self.lock();
         if cache.put(key, Arc::clone(&params)).is_some() {
             fgcs_runtime::counter_add!("core.qh_cache.evictions", 1);

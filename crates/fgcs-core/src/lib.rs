@@ -25,7 +25,11 @@
 //!   harness ([`predictor::SmpPredictor`], [`predictor::evaluate_window`]),
 //! * **graceful degradation** for corrupted or missing history: lossy
 //!   ingestion ([`log::HistoryStore::from_samples_lossy`]) and the tagged
-//!   fallback chain ([`robust::RobustPredictor`]).
+//!   fallback chain ([`robust::RobustPredictor`]),
+//! * a **sharded streaming registry** for long-running serving: hash-by-host
+//!   shards, per-shard kernel caches, an append-only ingest log, and O(1)
+//!   incremental Q/H updates ([`registry::ShardedRegistry`],
+//!   [`smp::IncrementalEstimator`]).
 //!
 //! Temporal reliability `TR(W)` is the probability that a machine never
 //! enters a failure state (S3/S4/S5) throughout a future time window `W` —
@@ -39,6 +43,7 @@ pub mod error;
 pub mod log;
 pub mod model;
 pub mod predictor;
+pub mod registry;
 pub mod robust;
 pub mod smp;
 pub mod state;
@@ -57,10 +62,13 @@ pub use predictor::{
     empirical_tr, evaluate_window, evaluate_window_markov, SmpPredictor, SolverPolicy,
     TrPrediction, WindowEvaluation,
 };
+pub use registry::{
+    IngestAck, IngestRecord, RegistryConfig, RegistryError, RegistryStats, ShardedRegistry,
+};
 pub use robust::{PredictionQuality, QualifiedTr, RobustPredictor, DEFAULT_PRIOR_TR};
 pub use smp::{
-    CompactSolver, DenseSolver, FastSolver, IntervalProbs, MarkovChain, SmpParams,
-    SojournAccumulator, SolveScratch, SparseSolver,
+    CompactSolver, DenseSolver, FastSolver, IncrementalEstimator, IntervalProbs, MarkovChain,
+    SmpParams, SojournAccumulator, SolveScratch, SparseSolver,
 };
 pub use state::State;
 pub use window::{DayType, TimeWindow, SECS_PER_DAY};

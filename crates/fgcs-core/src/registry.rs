@@ -1,0 +1,694 @@
+//! The sharded serving registry: per-host histories, incremental Q/H and
+//! kernel caches partitioned across independent shards.
+//!
+//! ROADMAP item 1 targets TR queries over ~10⁶ hosts under sustained
+//! ingest. A single flat `HistoryStore` map behind one lock serializes
+//! every ingest against every query; [`ShardedRegistry`] instead routes
+//! each host to one of N shards by a deterministic hash
+//! ([`fgcs_runtime::shard::shard_of`]), and each shard owns
+//!
+//! * its hosts' [`HistoryStore`]s plus their per-coordinate
+//!   [`IncrementalEstimator`]s,
+//! * a per-shard [`QhCache`] memoizing built kernels, and
+//! * an append-only ingest log ([`IngestRecord`]) for replay and audit,
+//!
+//! so operations on different shards never contend, and operations on the
+//! same shard contend only on that shard's mutex.
+//!
+//! **Determinism.** Shard routing affects only *which lock* serializes an
+//! operation, never the answer: queries read exactly one host's state, and
+//! ingest is append-only per host. A registry with 1 shard and one with N
+//! shards return bit-identical TR values for the same ingests (asserted by
+//! tests here and byte-identical serve responses in the integration suite).
+//!
+//! **Incremental estimation.** Query misses are filled from the host's
+//! [`IncrementalEstimator`] for that `(day_type, window)` coordinate —
+//! O(1) amortized per ingested sample, bitwise-equal to the full-scan
+//! estimate (see [`crate::smp::incremental`]). Each host keeps a small
+//! bounded set of estimator coordinates; queries beyond that budget fall
+//! back to the full-scan oracle, which returns the same bits at rescan
+//! cost.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use fgcs_runtime::shard::shard_of;
+
+use crate::batch::TrCurve;
+use crate::cache::QhCache;
+use crate::error::CoreError;
+use crate::log::{DayLog, HistoryStore, StateLog};
+use crate::model::AvailabilityModel;
+use crate::predictor::{SmpPredictor, SolverPolicy};
+use crate::smp::{IncrementalEstimator, SmpParams};
+use crate::state::State;
+use crate::window::{DayType, TimeWindow};
+
+/// Configuration for a [`ShardedRegistry`].
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Number of shards (threads ingesting/querying disjoint shards never
+    /// contend). Must be at least 1.
+    pub shards: usize,
+    /// The availability model whose monitoring period stamps ingested days.
+    pub model: AvailabilityModel,
+    /// Which Eq.-3 solver answers the queries.
+    pub solver_policy: SolverPolicy,
+    /// Sliding history bound per estimator (`None` = all qualifying days),
+    /// mirroring `SmpPredictor::with_max_history_days`.
+    pub max_history_days: Option<usize>,
+    /// Built-kernel cache capacity *per shard*.
+    pub qh_capacity_per_shard: usize,
+    /// Distinct `(day_type, window)` estimator coordinates maintained
+    /// incrementally per host; further coordinates fall back to full-scan
+    /// estimation (same bits, rescan cost).
+    pub max_estimators_per_host: usize,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> RegistryConfig {
+        RegistryConfig {
+            shards: 8,
+            model: AvailabilityModel::default(),
+            solver_policy: SolverPolicy::default(),
+            max_history_days: None,
+            qh_capacity_per_shard: 4096,
+            max_estimators_per_host: 4,
+        }
+    }
+}
+
+/// An error from a registry operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryError {
+    /// The queried host has never been ingested.
+    UnknownHost(u64),
+    /// An ingested day's index does not advance the host's calendar.
+    NonMonotonicDay {
+        /// The offending host.
+        host: u64,
+        /// The host's most recent stored day index.
+        last: usize,
+        /// The offered day index (must exceed `last`).
+        offered: usize,
+    },
+    /// An ingested day carried no samples.
+    EmptyDay {
+        /// The offending host.
+        host: u64,
+    },
+    /// The underlying estimation or solve failed.
+    Core(CoreError),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownHost(host) => write!(f, "unknown host {host}"),
+            RegistryError::NonMonotonicDay {
+                host,
+                last,
+                offered,
+            } => write!(
+                f,
+                "host {host}: day index {offered} does not advance the calendar (last {last})"
+            ),
+            RegistryError::EmptyDay { host } => {
+                write!(f, "host {host}: ingested day carries no samples")
+            }
+            RegistryError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<CoreError> for RegistryError {
+    fn from(e: CoreError) -> RegistryError {
+        RegistryError::Core(e)
+    }
+}
+
+/// One entry of a shard's append-only ingest log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestRecord {
+    /// The host the day was appended to.
+    pub host: u64,
+    /// The appended day's calendar index.
+    pub day_index: usize,
+    /// Number of samples the day carried.
+    pub samples: usize,
+}
+
+/// Acknowledgement of a successful ingest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestAck {
+    /// The host the day was appended to.
+    pub host: u64,
+    /// The day index the day was stored under (explicit or auto-assigned).
+    pub day_index: usize,
+    /// Days now stored for the host.
+    pub days: usize,
+}
+
+/// Aggregate registry counters (takes every shard lock once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Number of shards.
+    pub shards: usize,
+    /// Hosts with at least one ingested day.
+    pub hosts: usize,
+    /// Total stored days across all hosts.
+    pub days: usize,
+    /// Total append-only log records (equals total successful ingests).
+    pub log_records: usize,
+}
+
+struct HostEntry {
+    history: HistoryStore,
+    estimators: Vec<((DayType, TimeWindow), IncrementalEstimator)>,
+}
+
+struct Shard {
+    hosts: HashMap<u64, HostEntry>,
+    qh: QhCache,
+    log: Vec<IngestRecord>,
+}
+
+/// The hash-partitioned serving registry (see the module docs).
+///
+/// All methods take `&self`: shards synchronize internally, so a single
+/// registry can be shared across ingest and query threads directly (or via
+/// [`Arc`]).
+pub struct ShardedRegistry {
+    shards: Vec<Mutex<Shard>>,
+    predictor: SmpPredictor,
+    model: AvailabilityModel,
+    max_estimators_per_host: usize,
+}
+
+impl ShardedRegistry {
+    /// Creates an empty registry.
+    ///
+    /// # Panics
+    /// Panics when `config.shards` is zero or the cache capacity is zero.
+    #[must_use]
+    pub fn new(config: RegistryConfig) -> ShardedRegistry {
+        assert!(config.shards > 0, "registry needs at least one shard");
+        let mut predictor =
+            SmpPredictor::new(config.model).with_solver_policy(config.solver_policy);
+        if let Some(n) = config.max_history_days {
+            predictor = predictor.with_max_history_days(n);
+        }
+        let shards = (0..config.shards)
+            .map(|_| {
+                Mutex::new(Shard {
+                    hosts: HashMap::new(),
+                    qh: QhCache::new(config.qh_capacity_per_shard),
+                    log: Vec::new(),
+                })
+            })
+            .collect();
+        ShardedRegistry {
+            shards,
+            predictor,
+            model: config.model,
+            max_estimators_per_host: config.max_estimators_per_host,
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The availability model stamping ingested days.
+    #[must_use]
+    pub fn model(&self) -> &AvailabilityModel {
+        &self.model
+    }
+
+    /// Appends one day of classified states to `host`'s history.
+    ///
+    /// `day_index` anchors the weekday/weekend calendar; when `None` the
+    /// day is stored under the host's next consecutive index (0 for a new
+    /// host). Explicit indices must strictly advance the host's calendar —
+    /// gaps are allowed (they model quarantined or lost days) but reuse and
+    /// regression are rejected, which is what keeps every host history
+    /// append-only and the incremental estimators exact.
+    pub fn ingest_day(
+        &self,
+        host: u64,
+        day_index: Option<usize>,
+        states: Vec<State>,
+    ) -> Result<IngestAck, RegistryError> {
+        if states.is_empty() {
+            return Err(RegistryError::EmptyDay { host });
+        }
+        let samples = states.len();
+        let mut guard = self.shard_for(host);
+        let shard = &mut *guard;
+        let entry = shard.hosts.entry(host).or_insert_with(|| HostEntry {
+            history: HistoryStore::new(),
+            estimators: Vec::new(),
+        });
+        let next_index = entry
+            .history
+            .days()
+            .last()
+            .map(|d| d.day_index + 1)
+            .unwrap_or(0);
+        let idx = day_index.unwrap_or(next_index);
+        if let Some(last) = entry.history.days().last() {
+            if idx <= last.day_index {
+                return Err(RegistryError::NonMonotonicDay {
+                    host,
+                    last: last.day_index,
+                    offered: idx,
+                });
+            }
+        }
+        entry.history.push_day(DayLog::new(
+            idx,
+            StateLog::new(self.model.monitor_period_secs, states),
+        ));
+        // Fold the new day into every live estimator now, while the ingest
+        // holds the shard lock anyway — queries then only rebuild kernels,
+        // never re-scan history.
+        for (_, est) in &mut entry.estimators {
+            est.sync(&entry.history);
+        }
+        let days = entry.history.len();
+        shard.log.push(IngestRecord {
+            host,
+            day_index: idx,
+            samples,
+        });
+        fgcs_runtime::counter_add!("core.registry.ingested_days", 1);
+        fgcs_runtime::counter_add!("core.registry.ingested_samples", samples as u64);
+        Ok(IngestAck {
+            host,
+            day_index: idx,
+            days,
+        })
+    }
+
+    /// Predicts the scalar TR for `host` over `window` on a `day_type` day,
+    /// given the machine's state at the window start. Bit-identical to
+    /// [`SmpPredictor::predict`] over the same history.
+    pub fn predict(
+        &self,
+        host: u64,
+        day_type: DayType,
+        window: TimeWindow,
+        init: State,
+    ) -> Result<f64, RegistryError> {
+        if init.is_failure() {
+            return Err(CoreError::FailureInitialState(init).into());
+        }
+        fgcs_runtime::counter_add!("core.registry.queries", 1);
+        let params = self.params_for(host, day_type, window)?;
+        let steps = window.steps(self.model.monitor_period_secs);
+        Ok(self.predictor.solve_tr(&params, init, steps)?)
+    }
+
+    /// Predicts the full TR curve (both operational initial states) for
+    /// `host` over `window`. Bit-identical to
+    /// [`SmpPredictor::predict_tr_curve`] over the same history.
+    pub fn sweep(
+        &self,
+        host: u64,
+        day_type: DayType,
+        window: TimeWindow,
+    ) -> Result<TrCurve, RegistryError> {
+        fgcs_runtime::counter_add!("core.registry.queries", 1);
+        let params = self.params_for(host, day_type, window)?;
+        let steps = window.steps(self.model.monitor_period_secs);
+        Ok(self.predictor.solve_tr_curve(&params, steps)?)
+    }
+
+    /// Days currently stored for `host`, or `None` for unknown hosts.
+    #[must_use]
+    pub fn host_days(&self, host: u64) -> Option<usize> {
+        self.shard_for(host)
+            .hosts
+            .get(&host)
+            .map(|e| e.history.len())
+    }
+
+    /// A copy of one shard's append-only ingest log.
+    ///
+    /// # Panics
+    /// Panics when `shard` is out of range.
+    #[must_use]
+    pub fn shard_log(&self, shard: usize) -> Vec<IngestRecord> {
+        self.lock(shard).log.clone()
+    }
+
+    /// Aggregate counters across all shards.
+    #[must_use]
+    pub fn stats(&self) -> RegistryStats {
+        let mut stats = RegistryStats {
+            shards: self.shards.len(),
+            hosts: 0,
+            days: 0,
+            log_records: 0,
+        };
+        for i in 0..self.shards.len() {
+            let guard = self.lock(i);
+            stats.hosts += guard.hosts.len();
+            stats.days += guard.hosts.values().map(|e| e.history.len()).sum::<usize>();
+            stats.log_records += guard.log.len();
+        }
+        stats
+    }
+
+    /// Builds (or fetches) the kernel for a query: per-shard cache first,
+    /// then the host's incremental estimator, then the full-scan fallback.
+    fn params_for(
+        &self,
+        host: u64,
+        day_type: DayType,
+        window: TimeWindow,
+    ) -> Result<Arc<SmpParams>, RegistryError> {
+        let mut guard = self.shard_for(host);
+        let shard = &mut *guard;
+        let entry = shard
+            .hosts
+            .get_mut(&host)
+            .ok_or(RegistryError::UnknownHost(host))?;
+        let history_days = entry.history.len();
+        let HostEntry {
+            history,
+            estimators,
+        } = entry;
+        let predictor = &self.predictor;
+        let step = self.model.monitor_period_secs;
+        let max_days = predictor.history_selection().0;
+        let max_estimators = self.max_estimators_per_host;
+        let params =
+            shard
+                .qh
+                .get_or_compute(predictor, host, history_days, day_type, window, || {
+                    let slot = match estimators
+                        .iter()
+                        .position(|(coord, _)| *coord == (day_type, window))
+                    {
+                        Some(i) => Some(i),
+                        None if estimators.len() < max_estimators => {
+                            estimators.push((
+                                (day_type, window),
+                                IncrementalEstimator::new(step, day_type, window, max_days),
+                            ));
+                            Some(estimators.len() - 1)
+                        }
+                        None => None,
+                    };
+                    match slot {
+                        Some(i) => {
+                            fgcs_runtime::counter_add!("core.registry.incremental_rebuilds", 1);
+                            estimators[i]
+                                .1
+                                .sync_and_params(history)
+                                .map(Arc::new)
+                                .ok_or(CoreError::EmptyHistory { window })
+                        }
+                        // Estimator budget exhausted for this host: full-scan
+                        // oracle (same bits, rescan cost).
+                        None => {
+                            fgcs_runtime::counter_add!("core.registry.fullscan_fallbacks", 1);
+                            predictor
+                                .estimate_params(history, day_type, window)
+                                .map(Arc::new)
+                        }
+                    }
+                })?;
+        Ok(params)
+    }
+
+    fn shard_for(&self, host: u64) -> MutexGuard<'_, Shard> {
+        self.lock(shard_of(host, self.shards.len()))
+    }
+
+    fn lock(&self, shard: usize) -> MutexGuard<'_, Shard> {
+        self.shards[shard]
+            .lock()
+            .expect("registry shard lock poisoned")
+    }
+}
+
+impl std::fmt::Debug for ShardedRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ShardedRegistry")
+            .field("shards", &stats.shards)
+            .field("hosts", &stats.hosts)
+            .field("days", &stats.days)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgcs_runtime::rng::{Rng, Xoshiro256};
+    use State::*;
+
+    fn config(shards: usize) -> RegistryConfig {
+        RegistryConfig {
+            shards,
+            ..RegistryConfig::default()
+        }
+    }
+
+    fn random_day(rng: &mut Xoshiro256, len: usize) -> Vec<State> {
+        const STATES: [State; 9] = [S1, S1, S1, S1, S2, S2, S3, S4, S5];
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            let state = STATES[rng.range_usize(0, STATES.len())];
+            let run = rng.range_usize(1, 60);
+            for _ in 0..run.min(len - out.len()) {
+                out.push(state);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn predict_matches_unsharded_predictor_bitwise() {
+        let reg = ShardedRegistry::new(config(4));
+        let mut rng = Xoshiro256::seed_from_u64(99);
+        let mut oracle_history = HistoryStore::new();
+        for day in 0..9 {
+            let states = random_day(&mut rng, 14_400);
+            oracle_history.push_day(DayLog::new(day, StateLog::new(6, states.clone())));
+            reg.ingest_day(7, Some(day), states).unwrap();
+        }
+        let window = TimeWindow::from_hours(9.0, 2.0);
+        let oracle = SmpPredictor::new(AvailabilityModel::default());
+        for init in [S1, S2] {
+            let want = oracle.predict(&oracle_history, DayType::Weekday, window, init);
+            let got = reg.predict(7, DayType::Weekday, window, init);
+            match (want, got) {
+                (Ok(w), Ok(g)) => assert_eq!(w.to_bits(), g.to_bits()),
+                (w, g) => panic!("divergence: oracle {w:?} registry {g:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_matches_predict_tr_curve_bitwise() {
+        let reg = ShardedRegistry::new(config(3));
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let mut oracle_history = HistoryStore::new();
+        for day in 0..8 {
+            let states = random_day(&mut rng, 14_400);
+            oracle_history.push_day(DayLog::new(day, StateLog::new(6, states.clone())));
+            reg.ingest_day(3, Some(day), states).unwrap();
+        }
+        let window = TimeWindow::from_hours(23.0, 2.0); // cross-midnight
+        let oracle = SmpPredictor::new(AvailabilityModel::default());
+        let want = oracle
+            .predict_tr_curve(&oracle_history, DayType::Weekday, window)
+            .unwrap();
+        let got = reg.sweep(3, DayType::Weekday, window).unwrap();
+        for init in [S1, S2] {
+            assert_eq!(want.curve(init).unwrap(), got.curve(init).unwrap());
+        }
+    }
+
+    #[test]
+    fn shard_count_does_not_change_answers() {
+        let one = ShardedRegistry::new(config(1));
+        let many = ShardedRegistry::new(config(7));
+        let mut rng = Xoshiro256::seed_from_u64(17);
+        let hosts: Vec<u64> = (0..20).collect();
+        for day in 0..6 {
+            for &h in &hosts {
+                let states = random_day(&mut rng, 14_400);
+                one.ingest_day(h, Some(day), states.clone()).unwrap();
+                many.ingest_day(h, Some(day), states).unwrap();
+            }
+        }
+        let window = TimeWindow::from_hours(8.0, 1.0);
+        for &h in &hosts {
+            let a = one.predict(h, DayType::Weekday, window, S1).unwrap();
+            let b = many.predict(h, DayType::Weekday, window, S1).unwrap();
+            assert_eq!(a.to_bits(), b.to_bits(), "host {h}");
+        }
+        assert_eq!(one.stats().days, many.stats().days);
+        assert_eq!(one.stats().log_records, many.stats().log_records);
+    }
+
+    #[test]
+    fn auto_day_index_advances_per_host() {
+        let reg = ShardedRegistry::new(config(2));
+        let day = vec![S1; 14_400];
+        assert_eq!(reg.ingest_day(1, None, day.clone()).unwrap().day_index, 0);
+        assert_eq!(reg.ingest_day(1, None, day.clone()).unwrap().day_index, 1);
+        // An explicit gap, then auto continues after it.
+        assert_eq!(
+            reg.ingest_day(1, Some(5), day.clone()).unwrap().day_index,
+            5
+        );
+        assert_eq!(reg.ingest_day(1, None, day.clone()).unwrap().day_index, 6);
+        // Other hosts have independent calendars.
+        assert_eq!(reg.ingest_day(2, None, day).unwrap().day_index, 0);
+        assert_eq!(reg.host_days(1), Some(4));
+    }
+
+    #[test]
+    fn non_monotonic_and_empty_ingests_are_rejected() {
+        let reg = ShardedRegistry::new(config(2));
+        let day = vec![S1; 100];
+        reg.ingest_day(1, Some(3), day.clone()).unwrap();
+        assert!(matches!(
+            reg.ingest_day(1, Some(3), day.clone()),
+            Err(RegistryError::NonMonotonicDay {
+                last: 3,
+                offered: 3,
+                ..
+            })
+        ));
+        assert!(matches!(
+            reg.ingest_day(1, Some(2), day),
+            Err(RegistryError::NonMonotonicDay { .. })
+        ));
+        assert!(matches!(
+            reg.ingest_day(1, None, Vec::new()),
+            Err(RegistryError::EmptyDay { host: 1 })
+        ));
+    }
+
+    #[test]
+    fn unknown_host_and_failure_init_error() {
+        let reg = ShardedRegistry::new(config(2));
+        let window = TimeWindow::from_hours(8.0, 1.0);
+        assert!(matches!(
+            reg.predict(42, DayType::Weekday, window, S1),
+            Err(RegistryError::UnknownHost(42))
+        ));
+        reg.ingest_day(42, None, vec![S1; 14_400]).unwrap();
+        assert!(matches!(
+            reg.predict(42, DayType::Weekday, window, S3),
+            Err(RegistryError::Core(CoreError::FailureInitialState(S3)))
+        ));
+    }
+
+    #[test]
+    fn estimator_budget_fallback_stays_bitwise() {
+        // One estimator slot, three query windows: windows beyond the
+        // budget take the full-scan path and must return the same bits.
+        let cfg = RegistryConfig {
+            max_estimators_per_host: 1,
+            ..config(2)
+        };
+        let reg = ShardedRegistry::new(cfg);
+        let mut rng = Xoshiro256::seed_from_u64(23);
+        let mut oracle_history = HistoryStore::new();
+        for day in 0..7 {
+            let states = random_day(&mut rng, 14_400);
+            oracle_history.push_day(DayLog::new(day, StateLog::new(6, states.clone())));
+            reg.ingest_day(9, Some(day), states).unwrap();
+        }
+        let oracle = SmpPredictor::new(AvailabilityModel::default());
+        for start in [6.0, 9.0, 13.0] {
+            let window = TimeWindow::from_hours(start, 1.5);
+            let want = oracle
+                .predict(&oracle_history, DayType::Weekday, window, S1)
+                .unwrap();
+            let got = reg.predict(9, DayType::Weekday, window, S1).unwrap();
+            assert_eq!(want.to_bits(), got.to_bits(), "window start {start}");
+        }
+    }
+
+    #[test]
+    fn queries_without_qualifying_history_error_like_the_oracle() {
+        let reg = ShardedRegistry::new(config(2));
+        // Only weekend days (indices 5, 6): weekday queries must fail.
+        reg.ingest_day(4, Some(5), vec![S1; 14_400]).unwrap();
+        reg.ingest_day(4, Some(6), vec![S1; 14_400]).unwrap();
+        let window = TimeWindow::from_hours(8.0, 1.0);
+        assert!(matches!(
+            reg.predict(4, DayType::Weekday, window, S1),
+            Err(RegistryError::Core(CoreError::EmptyHistory { .. }))
+        ));
+        assert!(reg.predict(4, DayType::Weekend, window, S1).is_ok());
+    }
+
+    #[test]
+    fn stats_and_logs_account_for_every_ingest() {
+        let reg = ShardedRegistry::new(config(3));
+        for h in 0..5u64 {
+            for d in 0..4 {
+                reg.ingest_day(h, Some(d), vec![S1; 50]).unwrap();
+            }
+        }
+        let stats = reg.stats();
+        assert_eq!(stats.shards, 3);
+        assert_eq!(stats.hosts, 5);
+        assert_eq!(stats.days, 20);
+        assert_eq!(stats.log_records, 20);
+        let mut seen = 0;
+        for s in 0..reg.shard_count() {
+            let log = reg.shard_log(s);
+            assert!(log.iter().all(|r| r.samples == 50));
+            seen += log.len();
+        }
+        assert_eq!(seen, 20);
+    }
+
+    #[test]
+    fn concurrent_mixed_ingest_query_is_safe_and_consistent() {
+        let reg = ShardedRegistry::new(config(4));
+        let window = TimeWindow::from_hours(8.0, 1.0);
+        // Warm every host with enough weekday history to answer queries.
+        for h in 0..8u64 {
+            for d in 0..3 {
+                reg.ingest_day(h, Some(d), vec![S1; 14_400]).unwrap();
+            }
+        }
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let reg = &reg;
+                scope.spawn(move || {
+                    let mut rng = Xoshiro256::seed_from_u64(t);
+                    for i in 0..50 {
+                        let host = rng.range_usize(0, 8) as u64;
+                        if i % 5 == 0 {
+                            // Ingest with auto index; concurrent appends to
+                            // the same host may race on the index, so accept
+                            // the (ordered) rejection too.
+                            let _ = reg.ingest_day(host, None, vec![S1; 14_400]);
+                        } else {
+                            let tr = reg.predict(host, DayType::Weekday, window, S1).unwrap();
+                            assert_eq!(tr.to_bits(), 1.0f64.to_bits());
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.stats().hosts, 8);
+    }
+}

@@ -9,6 +9,9 @@
 //!   (`j ∈ {3,4,5}`) needed for temporal reliability,
 //! * [`dense`] — a general 5-state interval-transition solver used to
 //!   cross-validate the sparse one and as the ablation baseline,
+//! * [`incremental`] — the O(1)-per-sample online estimator backing the
+//!   sharded serving registry, bitwise-verified against the full-scan
+//!   [`params`] oracle,
 //! * [`fast`] — the production solver: SoA interval streams in a reusable
 //!   [`fast::SolveScratch`] arena, O(1) prefix-sum holding-time terms, and
 //!   an error-bounded (≤ 1e-12 unit-scale) contract against the
@@ -17,6 +20,7 @@
 pub mod compact;
 pub mod dense;
 pub mod fast;
+pub mod incremental;
 pub mod markov;
 pub mod params;
 pub mod solver;
@@ -24,6 +28,7 @@ pub mod solver;
 pub use compact::CompactSolver;
 pub use dense::DenseSolver;
 pub use fast::{with_thread_scratch, FastSolver, SolveScratch};
+pub use incremental::IncrementalEstimator;
 pub use markov::MarkovChain;
 pub use params::{HoldingPmf, SmpParams, SojournAccumulator};
 pub use solver::{IntervalProbs, SparseSolver};

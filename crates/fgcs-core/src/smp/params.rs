@@ -232,6 +232,66 @@ impl HoldingPmf<'_> {
     }
 }
 
+/// One sojourn run decomposed from a window slice: either a completed
+/// sojourn (the process left its source state within the window) or a
+/// right-censored one (still in the source state at the window edge).
+///
+/// Runs are the unit the incremental estimator logs per day: replaying a
+/// day's runs through [`SojournAccumulator::record`] reproduces exactly the
+/// tally updates [`SojournAccumulator::push_window`] would have made, so
+/// both paths share one decomposition and one tally rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SojournRun {
+    /// Left the source state after `duration` steps towards `target`.
+    Completed {
+        /// Kernel source index (0 → S1, 1 → S2).
+        source_idx: usize,
+        /// Holding time in steps (uncapped; capping is a tally concern).
+        duration: usize,
+        /// The state entered next (possibly a failure state).
+        target: State,
+    },
+    /// Still in the source state at the window edge with `at_risk`
+    /// observable steps (the final fence-post sample carries no transition
+    /// information).
+    Censored {
+        /// Kernel source index (0 → S1, 1 → S2).
+        source_idx: usize,
+        /// Fully-observed steps the sojourn was at risk for.
+        at_risk: usize,
+    },
+}
+
+/// Decomposes one window slice into its operational sojourn runs, emitting
+/// each through `emit` in left-to-right order. Runs starting in failure
+/// states are not emitted (they carry no kernel information).
+pub(crate) fn decompose_window(window: &[State], emit: &mut impl FnMut(SojournRun)) {
+    let len = window.len();
+    let mut start = 0;
+    while start < len {
+        let state = window[start];
+        let mut end = start;
+        while end + 1 < len && window[end + 1] == state {
+            end += 1;
+        }
+        if let Some(source_idx) = SOURCES.iter().position(|&s| s == state) {
+            if end + 1 < len {
+                emit(SojournRun::Completed {
+                    source_idx,
+                    duration: end + 1 - start,
+                    target: window[end + 1],
+                });
+            } else {
+                emit(SojournRun::Censored {
+                    source_idx,
+                    at_risk: end - start,
+                });
+            }
+        }
+        start = end + 1;
+    }
+}
+
 /// Streaming single-pass estimator for [`SmpParams`]: feed window slices
 /// one at a time, then [`finish`](SojournAccumulator::finish).
 ///
@@ -275,43 +335,46 @@ impl SojournAccumulator {
     /// historical day's window) into the tallies. Slices shorter than 2
     /// samples contribute nothing. Allocation-free.
     pub fn push_window(&mut self, window: &[State]) {
-        let len = window.len();
-        let mut start = 0;
-        while start < len {
-            let state = window[start];
-            let mut end = start;
-            while end + 1 < len && window[end + 1] == state {
-                end += 1;
-            }
-            if let Some(source_idx) = SOURCES.iter().position(|&s| s == state) {
-                if end + 1 < len {
-                    // Completed sojourn: left the state at `end + 1`.
-                    let duration = end + 1 - start;
-                    self.sojourns[source_idx] += 1;
-                    let capped = duration.min(self.horizon);
-                    if capped >= 1 {
-                        self.risk_diff[source_idx][1] += 1;
-                        self.risk_diff[source_idx][capped + 1] -= 1;
-                    }
-                    if duration <= self.horizon {
-                        if let Some(k) = target_index(source_idx, window[end + 1]) {
-                            self.events[source_idx][k][duration] += 1.0;
-                        }
-                    }
-                } else {
-                    // Censored: still in the state at the window edge. The
-                    // final sample gives no transition information, so the
-                    // run is only informative with at least one at-risk step.
-                    let at_risk = end - start;
-                    if at_risk >= 1 {
-                        self.sojourns[source_idx] += 1;
-                        let capped = at_risk.min(self.horizon);
-                        self.risk_diff[source_idx][1] += 1;
-                        self.risk_diff[source_idx][capped + 1] -= 1;
+        decompose_window(window, &mut |run| self.record(run));
+    }
+
+    /// Folds one decomposed sojourn run into the tallies — the single tally
+    /// rule shared by [`push_window`](SojournAccumulator::push_window) and
+    /// the incremental estimator's per-day replay. Event counts are integer
+    /// additions in `f64` (exact for any realistic tally), so replaying runs
+    /// in any order yields bitwise-identical tallies.
+    pub(crate) fn record(&mut self, run: SojournRun) {
+        match run {
+            SojournRun::Completed {
+                source_idx,
+                duration,
+                target,
+            } => {
+                self.sojourns[source_idx] += 1;
+                let capped = duration.min(self.horizon);
+                if capped >= 1 {
+                    self.risk_diff[source_idx][1] += 1;
+                    self.risk_diff[source_idx][capped + 1] -= 1;
+                }
+                if duration <= self.horizon {
+                    if let Some(k) = target_index(source_idx, target) {
+                        self.events[source_idx][k][duration] += 1.0;
                     }
                 }
             }
-            start = end + 1;
+            SojournRun::Censored {
+                source_idx,
+                at_risk,
+            } => {
+                // The final sample gives no transition information, so the
+                // run is only informative with at least one at-risk step.
+                if at_risk >= 1 {
+                    self.sojourns[source_idx] += 1;
+                    let capped = at_risk.min(self.horizon);
+                    self.risk_diff[source_idx][1] += 1;
+                    self.risk_diff[source_idx][capped + 1] -= 1;
+                }
+            }
         }
     }
 

@@ -82,6 +82,22 @@ pub fn measure<R>(
     }
 }
 
+/// Returns the `q`-quantile (0.0 ≤ q ≤ 1.0) of an **ascending-sorted**
+/// latency sample using the nearest-rank method.
+///
+/// Nearest-rank keeps the result an actually-observed latency (no
+/// interpolation), which is what the serving p50/p99 gates want: a p99 that
+/// was never measured can't regress. Returns 0 for an empty sample.
+pub fn percentile(sorted_ns: &[u64], q: f64) -> u64 {
+    debug_assert!(sorted_ns.windows(2).all(|w| w[0] <= w[1]));
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * sorted_ns.len() as f64).ceil() as usize).max(1);
+    sorted_ns[rank.min(sorted_ns.len()) - 1]
+}
+
 fn fmt_ns(ns: f64) -> String {
     if ns < 1_000.0 {
         format!("{ns:.1} ns")
@@ -119,6 +135,20 @@ mod tests {
         assert!(m.min_ns.is_finite() && m.min_ns > 0.0);
         assert!(m.min_ns <= m.median_ns);
         assert!(m.iters >= 1);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[], 0.99), 0);
+        assert_eq!(percentile(&[7], 0.0), 7);
+        assert_eq!(percentile(&[7], 1.0), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
+        // Small samples: p99 of 10 points is the max.
+        let v: Vec<u64> = (1..=10).collect();
+        assert_eq!(percentile(&v, 0.99), 10);
     }
 
     #[test]

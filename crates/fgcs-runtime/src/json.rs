@@ -110,6 +110,25 @@ impl Json {
         T::from_json(self.field(name)?).map_err(|e| e.in_field(name))
     }
 
+    /// Looks up `name` and converts it if present; a missing field (or an
+    /// explicit `null`) is `Ok(None)` rather than an error.
+    ///
+    /// This is the wire-protocol helper: request fields with defaults
+    /// (`day_index`, `points`, …) parse through here so clients can omit
+    /// them, while a present-but-malformed value still fails loudly.
+    pub fn get_opt<T: FromJson>(&self, name: &str) -> Result<Option<T>, JsonError> {
+        match self {
+            Json::Obj(pairs) => match pairs.iter().find(|(k, _)| k == name) {
+                None | Some((_, Json::Null)) => Ok(None),
+                Some((_, v)) => T::from_json(v).map(Some).map_err(|e| e.in_field(name)),
+            },
+            other => Err(JsonError::new(format!(
+                "expected object with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
     /// A short noun for error messages.
     #[must_use]
     pub fn kind(&self) -> &'static str {
@@ -696,6 +715,16 @@ pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn get_opt_missing_null_present_malformed() {
+        let v = Json::parse(r#"{"a":7,"b":null,"c":"x"}"#).unwrap();
+        assert_eq!(v.get_opt::<u64>("a").unwrap(), Some(7));
+        assert_eq!(v.get_opt::<u64>("b").unwrap(), None);
+        assert_eq!(v.get_opt::<u64>("missing").unwrap(), None);
+        assert!(v.get_opt::<u64>("c").is_err());
+        assert!(Json::U64(1).get_opt::<u64>("a").is_err());
+    }
 
     #[test]
     fn parse_scalars() {

@@ -21,6 +21,9 @@
 //! - [`fault`] — a seeded, fully deterministic fault-injection plan for
 //!   robustness campaigns (corrupt values, dropped/duplicated/stuck
 //!   samples, monitor outages, truncated days, node blackouts).
+//! - [`shard`] — deterministic hash-by-key shard routing for the
+//!   partitioned serving registry (replaces ad-hoc `DefaultHasher` use,
+//!   which is not stable across runs).
 //! - [`metrics`] — counters, gauges, log2 histograms, span timers and a
 //!   process-wide registry with byte-stable JSON export (replaces
 //!   `metrics` + `prometheus`-style client crates). Compile-time zero-cost
@@ -39,6 +42,7 @@ pub mod json;
 pub mod metrics;
 pub mod parallel;
 pub mod rng;
+pub mod shard;
 
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use rng::{Rng, Xoshiro256};

@@ -4,8 +4,10 @@
 //! fgcs generate --seed 42 --days 30 --machines 2 --profile lab --out traces/
 //! fgcs stats    traces/machine-0.json
 //! fgcs predict  traces/machine-0.json --start 9.0 --hours 2 [--init S2] [--weekend] [--ci]
-//! fgcs sweep    traces/machine-0.json --start 9.0 --hours 2 [--points 12] [--init S2] [--weekend]
+//! fgcs sweep    traces/machine-0.json --start 9.0 --hours 2 [--points 12] [--init S2] [--weekend] [--json]
 //! fgcs evaluate traces/machine-0.json --train 6 --test 4
+//! fgcs serve    [--shards 8] [--port 0]   # or --oneshot for stdin→stdout
+//! fgcs encode   traces/machine-0.json --host 1 | fgcs query 127.0.0.1:PORT
 //! ```
 
 use std::process::ExitCode;
@@ -32,6 +34,9 @@ fn main() -> ExitCode {
         "predict" => cmd_predict(rest),
         "sweep" => cmd_sweep(rest),
         "evaluate" => cmd_evaluate(rest),
+        "serve" => cmd_serve(rest),
+        "query" => cmd_query(rest),
+        "encode" => cmd_encode(rest),
         "metrics" => cmd_metrics(rest),
         "chaos" => cmd_chaos(rest),
         "help" | "--help" | "-h" => {
@@ -81,8 +86,12 @@ USAGE:
   fgcs generate --seed N --days D [--machines M] [--profile lab|enterprise|server] [--out DIR]
   fgcs stats    TRACE.json
   fgcs predict  TRACE.json --start HOURS --hours H [--init S1|S2] [--weekend] [--ci]
-  fgcs sweep    TRACE.json --start HOURS --hours H [--points N] [--init S1|S2] [--weekend]
+  fgcs sweep    TRACE.json --start HOURS --hours H [--points N] [--init S1|S2] [--weekend] [--json]
   fgcs evaluate TRACE.json [--train A --test B] [--start HOURS] [--hours H]
+  fgcs serve    [--shards N] [--max-days D] [--port P]  (TCP; prints `listening on ADDR`)
+  fgcs serve    --oneshot [--shards N] [--max-days D]   (request lines stdin -> stdout)
+  fgcs query    HOST:PORT                               (request lines stdin -> stdout)
+  fgcs encode   TRACE.json [--host H]                   (trace days as serve ingest requests)
   fgcs metrics  [--seed N] [--days D]
   fgcs chaos    [--seed N] [--steps T] [--machines M] [--warmup-days D] [--no-faults|--zero-faults]
 
@@ -221,6 +230,14 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let steps = curve.horizon_steps();
 
+    if flag(args, "--json") {
+        // Shared formatter with the serve `sweep` reply, so the two are
+        // byte-comparable (the CI serve smoke diffs them).
+        let doc = fgcs::serve::sweep_json(&curve, day_type, window, init, points)?;
+        println!("{doc}");
+        return Ok(());
+    }
+
     println!(
         "machine {} — TR vs horizon, {day_type} window {window}, init {init}",
         trace.machine_id
@@ -287,6 +304,89 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
             "chaos invariants violated: {} out-of-range TRs (tr_min {}, tr_max {})",
             report.out_of_range, report.tr_min, report.tr_max
         ));
+    }
+    Ok(())
+}
+
+/// Runs the streaming prediction service — oneshot (stdin → stdout) or as
+/// a TCP listener announcing `listening on ADDR` for scripted clients.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let shards: usize = parse(args, "--shards", 8)?;
+    if shards == 0 {
+        return Err("--shards must be positive".into());
+    }
+    let max_days: usize = parse(args, "--max-days", 0)?;
+    let config = fgcs::serve::ServeConfig {
+        shards,
+        max_history_days: (max_days > 0).then_some(max_days),
+    };
+    let server = fgcs::serve::Server::new(&config);
+    if flag(args, "--oneshot") {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        server
+            .serve_lines(stdin.lock(), stdout.lock())
+            .map_err(|e| format!("serving stdin: {e}"))?;
+        return Ok(());
+    }
+    let port: u16 = parse(args, "--port", 0)?;
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| format!("binding 127.0.0.1:{port}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on {addr}");
+    std::io::Write::flush(&mut std::io::stdout()).map_err(|e| e.to_string())?;
+    server
+        .serve_tcp(&listener)
+        .map_err(|e| format!("serving {addr}: {e}"))
+}
+
+/// Streams request lines from stdin to a running `fgcs serve` instance and
+/// prints one reply line per request.
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    let addr = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("expected a HOST:PORT argument")?;
+    let stream = std::net::TcpStream::connect(addr.as_str())
+        .map_err(|e| format!("connecting {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = stream;
+    let mut reply = String::new();
+    for line in std::io::stdin().lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writeln!(writer, "{line}").map_err(|e| format!("sending to {addr}: {e}"))?;
+        reply.clear();
+        if BufRead::read_line(&mut reader, &mut reply).map_err(|e| e.to_string())? == 0 {
+            return Err(format!("{addr} closed the connection"));
+        }
+        print!("{reply}");
+    }
+    Ok(())
+}
+
+/// Classifies a trace and prints its days as serve `ingest` request lines
+/// (digit-encoded states), ready to pipe into `fgcs serve` or `fgcs query`.
+fn cmd_encode(args: &[String]) -> Result<(), String> {
+    use fgcs::runtime::json::Json;
+    let trace = load_trace(args)?;
+    let host: u64 = parse(args, "--host", trace.machine_id)?;
+    let model = AvailabilityModel::default();
+    let history = trace.to_history(&model).map_err(|e| e.to_string())?;
+    for day in history.days() {
+        let req = Json::Obj(vec![
+            ("op".into(), Json::Str("ingest".into())),
+            ("host".into(), Json::U64(host)),
+            ("day_index".into(), Json::U64(day.day_index as u64)),
+            (
+                "states".into(),
+                Json::Str(fgcs::serve::encode_states(day.log.states())),
+            ),
+        ]);
+        println!("{req}");
     }
     Ok(())
 }

@@ -18,8 +18,12 @@
 //! * [`runtime`] — the std-only substrate (seedable PRNG, JSON, scoped
 //!   parallelism) that keeps the workspace free of external dependencies.
 //!
+//! On top of the re-exports, [`serve`] implements the long-running
+//! prediction service: a JSON-lines protocol (ingest/predict/sweep) over
+//! the sharded streaming registry, served oneshot from stdin or over TCP.
+//!
 //! A command-line front end ships as the `fgcs` binary (`src/bin/fgcs.rs`):
-//! `fgcs generate | stats | predict | evaluate`.
+//! `fgcs generate | stats | predict | sweep | evaluate | serve | query`.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +46,8 @@
 //!     .unwrap();
 //! assert!((0.0..=1.0).contains(&tr));
 //! ```
+
+pub mod serve;
 
 pub use fgcs_core as core;
 pub use fgcs_math as math;

@@ -1,0 +1,587 @@
+//! Long-running prediction service: a JSON-lines protocol over the
+//! [`ShardedRegistry`].
+//!
+//! The wire format is one JSON object per line in both directions, built on
+//! the in-tree [`fgcs_runtime::json`] codec (the workspace stays std-only).
+//! Requests carry an `"op"` field:
+//!
+//! | op        | request fields                                               |
+//! |-----------|--------------------------------------------------------------|
+//! | `ping`    | —                                                            |
+//! | `ingest`  | `host`, `states` (digits `1`–`5`), optional `day_index`      |
+//! | `predict` | `host`, `start`, `hours`, opt. `day_type`, `init`            |
+//! | `sweep`   | `host`, `start`, `hours`, opt. `day_type`, `init`, `points`  |
+//! | `stats`   | —                                                            |
+//! | `shutdown`| —                                                            |
+//!
+//! Successful replies carry `"ok": true` — except `sweep`, whose reply is
+//! exactly the JSON the `fgcs sweep --json` CLI prints for the same
+//! history ([`sweep_json`] is the single shared formatter), so a streamed
+//! serve answer can be byte-compared against the offline CLI answer.
+//! Failures of any op are `{"ok":false,"error":"…"}`; a malformed line
+//! never kills the connection.
+//!
+//! The same [`Server`] drives both transports:
+//!
+//! * [`Server::serve_lines`] — oneshot batch mode (`fgcs serve --oneshot`):
+//!   requests on stdin, replies on stdout, exits at EOF or `shutdown`;
+//! * [`Server::serve_tcp`] — a [`TcpListener`] accept loop
+//!   (`fgcs serve`), thread-per-connection over the shared registry, shut
+//!   down cleanly by the `shutdown` op from any connection.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use fgcs_core::batch::TrCurve;
+use fgcs_core::registry::{RegistryConfig, ShardedRegistry};
+use fgcs_core::state::State;
+use fgcs_core::window::{DayType, TimeWindow, SECS_PER_DAY};
+use fgcs_runtime::json::Json;
+
+/// Configuration for [`Server::new`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Registry shard count (see [`RegistryConfig::shards`]).
+    pub shards: usize,
+    /// Sliding history bound per host and coordinate (`None` = unbounded).
+    pub max_history_days: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            shards: 8,
+            max_history_days: None,
+        }
+    }
+}
+
+/// One handled request: the reply line (no trailing newline) and whether
+/// the request asked the service to stop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// The serialized JSON reply.
+    pub line: String,
+    /// `true` when the request was a `shutdown` op.
+    pub shutdown: bool,
+}
+
+/// The prediction service: a [`ShardedRegistry`] plus the JSON-lines
+/// protocol. Transport-agnostic; see [`Server::serve_lines`] and
+/// [`Server::serve_tcp`].
+pub struct Server {
+    registry: ShardedRegistry,
+}
+
+impl Server {
+    /// Creates a service with an empty registry.
+    #[must_use]
+    pub fn new(config: &ServeConfig) -> Server {
+        Server {
+            registry: ShardedRegistry::new(RegistryConfig {
+                shards: config.shards,
+                max_history_days: config.max_history_days,
+                ..RegistryConfig::default()
+            }),
+        }
+    }
+
+    /// The registry behind the service.
+    #[must_use]
+    pub fn registry(&self) -> &ShardedRegistry {
+        &self.registry
+    }
+
+    /// Handles one request line and renders the reply. Never panics on
+    /// malformed input: protocol errors become `{"ok":false,…}` replies.
+    #[must_use]
+    pub fn handle_line(&self, line: &str) -> Reply {
+        match self.handle_request(line) {
+            Ok((json, shutdown)) => Reply {
+                line: json.to_string(),
+                shutdown,
+            },
+            Err(msg) => Reply {
+                line: Json::Obj(vec![
+                    ("ok".into(), Json::Bool(false)),
+                    ("error".into(), Json::Str(msg)),
+                ])
+                .to_string(),
+                shutdown: false,
+            },
+        }
+    }
+
+    fn handle_request(&self, line: &str) -> Result<(Json, bool), String> {
+        let req = Json::parse(line).map_err(|e| format!("bad request: {e}"))?;
+        let op: String = req.get("op").map_err(|e| e.to_string())?;
+        match op.as_str() {
+            "ping" => Ok((ok_reply("ping", vec![]), false)),
+            "shutdown" => Ok((ok_reply("shutdown", vec![]), true)),
+            "stats" => {
+                let stats = self.registry.stats();
+                Ok((
+                    ok_reply(
+                        "stats",
+                        vec![
+                            ("shards".into(), Json::U64(stats.shards as u64)),
+                            ("hosts".into(), Json::U64(stats.hosts as u64)),
+                            ("days".into(), Json::U64(stats.days as u64)),
+                            ("log_records".into(), Json::U64(stats.log_records as u64)),
+                        ],
+                    ),
+                    false,
+                ))
+            }
+            "ingest" => {
+                let host: u64 = req.get("host").map_err(|e| e.to_string())?;
+                let day_index: Option<u64> = req.get_opt("day_index").map_err(|e| e.to_string())?;
+                let states: String = req.get("states").map_err(|e| e.to_string())?;
+                let states = decode_states(&states)?;
+                let ack = self
+                    .registry
+                    .ingest_day(host, day_index.map(|d| d as usize), states)
+                    .map_err(|e| e.to_string())?;
+                Ok((
+                    ok_reply(
+                        "ingest",
+                        vec![
+                            ("host".into(), Json::U64(ack.host)),
+                            ("day_index".into(), Json::U64(ack.day_index as u64)),
+                            ("days".into(), Json::U64(ack.days as u64)),
+                        ],
+                    ),
+                    false,
+                ))
+            }
+            "predict" => {
+                let host: u64 = req.get("host").map_err(|e| e.to_string())?;
+                let (day_type, window, init) = query_coords(&req)?;
+                let tr = self
+                    .registry
+                    .predict(host, day_type, window, init)
+                    .map_err(|e| e.to_string())?;
+                Ok((
+                    ok_reply(
+                        "predict",
+                        vec![
+                            ("host".into(), Json::U64(host)),
+                            ("window".into(), Json::Str(window.to_string())),
+                            ("day_type".into(), Json::Str(day_type.to_string())),
+                            ("init".into(), Json::Str(init.to_string())),
+                            ("tr".into(), Json::F64(tr)),
+                        ],
+                    ),
+                    false,
+                ))
+            }
+            "sweep" => {
+                let host: u64 = req.get("host").map_err(|e| e.to_string())?;
+                let (day_type, window, init) = query_coords(&req)?;
+                let points: Option<u64> = req.get_opt("points").map_err(|e| e.to_string())?;
+                let points = points.unwrap_or(12) as usize;
+                let curve = self
+                    .registry
+                    .sweep(host, day_type, window)
+                    .map_err(|e| e.to_string())?;
+                // The reply is exactly the `fgcs sweep --json` document so
+                // serve answers can be byte-compared against the CLI.
+                Ok((sweep_json(&curve, day_type, window, init, points)?, false))
+            }
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+
+    /// Oneshot batch mode: handles request lines from `input` until EOF or
+    /// a `shutdown` op, writing one reply line each to `output`. Returns
+    /// whether a `shutdown` op was seen.
+    pub fn serve_lines(
+        &self,
+        input: impl BufRead,
+        mut output: impl Write,
+    ) -> std::io::Result<bool> {
+        for line in input.lines() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let reply = self.handle_line(line);
+            writeln!(output, "{}", reply.line)?;
+            if reply.shutdown {
+                output.flush()?;
+                return Ok(true);
+            }
+        }
+        output.flush()?;
+        Ok(false)
+    }
+
+    /// TCP accept loop: one handler thread per connection, all sharing the
+    /// registry. Blocks until some connection sends the `shutdown` op
+    /// (acknowledged before the listener stops); shutdown then completes
+    /// once every other open connection has drained or disconnected.
+    /// Connection-level I/O errors drop that connection only.
+    pub fn serve_tcp(&self, listener: &TcpListener) -> std::io::Result<()> {
+        let addr = listener.local_addr()?;
+        let shutdown = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for conn in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let shutdown = &shutdown;
+                scope.spawn(move || {
+                    let _ = self.handle_conn(stream, shutdown, addr);
+                });
+            }
+        });
+        Ok(())
+    }
+
+    fn handle_conn(
+        &self,
+        stream: TcpStream,
+        shutdown: &AtomicBool,
+        addr: SocketAddr,
+    ) -> std::io::Result<()> {
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                break;
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let reply = self.handle_line(trimmed);
+            writer.write_all(reply.line.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            if reply.shutdown {
+                shutdown.store(true, Ordering::SeqCst);
+                // Unblock the accept loop; the flag makes it exit before
+                // serving the wake-up connection.
+                let _ = TcpStream::connect(addr);
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("registry", &self.registry)
+            .finish()
+    }
+}
+
+fn ok_reply(op: &str, rest: Vec<(String, Json)>) -> Json {
+    let mut pairs = vec![
+        ("ok".into(), Json::Bool(true)),
+        ("op".into(), Json::Str(op.into())),
+    ];
+    pairs.extend(rest);
+    Json::Obj(pairs)
+}
+
+/// Decodes a digit-per-sample state string (`'1'`–`'5'` for S1–S5), the
+/// wire encoding of one day of classified samples.
+pub fn decode_states(digits: &str) -> Result<Vec<State>, String> {
+    digits
+        .bytes()
+        .map(|b| match b {
+            b'1'..=b'5' => Ok(State::from_index((b - b'1') as usize)),
+            other => Err(format!(
+                "invalid state digit {:?} (expected 1-5)",
+                other as char
+            )),
+        })
+        .collect()
+}
+
+/// Encodes one day of states as the wire digit string (inverse of
+/// [`decode_states`]).
+#[must_use]
+pub fn encode_states(states: &[State]) -> String {
+    states
+        .iter()
+        .map(|s| char::from(b'1' + s.index() as u8))
+        .collect()
+}
+
+/// Shared query-coordinate parsing for `predict`/`sweep` requests:
+/// `start`/`hours` (fractional hours), optional `day_type` (default
+/// weekday) and `init` (default S1).
+fn query_coords(req: &Json) -> Result<(DayType, TimeWindow, State), String> {
+    let start: f64 = req.get("start").map_err(|e| e.to_string())?;
+    let hours: f64 = req.get("hours").map_err(|e| e.to_string())?;
+    let day_type = match req
+        .get_opt::<String>("day_type")
+        .map_err(|e| e.to_string())?
+    {
+        None => DayType::Weekday,
+        Some(s) => parse_day_type(&s)?,
+    };
+    let init = match req.get_opt::<String>("init").map_err(|e| e.to_string())? {
+        None => State::S1,
+        Some(s) => parse_init(&s)?,
+    };
+    Ok((day_type, parse_window(start, hours)?, init))
+}
+
+/// Parses `"weekday"`/`"weekend"` (the [`DayType`] display strings).
+pub fn parse_day_type(s: &str) -> Result<DayType, String> {
+    match s {
+        "weekday" => Ok(DayType::Weekday),
+        "weekend" => Ok(DayType::Weekend),
+        other => Err(format!("day_type must be weekday or weekend, got {other}")),
+    }
+}
+
+/// Parses an operational initial state (`"S1"`/`"S2"`, case-insensitive).
+pub fn parse_init(s: &str) -> Result<State, String> {
+    match s {
+        "S1" | "s1" => Ok(State::S1),
+        "S2" | "s2" => Ok(State::S2),
+        other => Err(format!("init must be S1 or S2, got {other}")),
+    }
+}
+
+/// Validating counterpart of [`TimeWindow::from_hours`]: protocol input
+/// must produce an error line, never a panic.
+pub fn parse_window(start: f64, hours: f64) -> Result<TimeWindow, String> {
+    if !start.is_finite() || !hours.is_finite() || start < 0.0 || hours <= 0.0 {
+        return Err(format!("invalid window: start {start}h + {hours}h"));
+    }
+    let start_secs = (start * 3600.0).round() as u32;
+    let len_secs = (hours * 3600.0).round() as u32;
+    if start_secs >= SECS_PER_DAY {
+        return Err(format!("window must start within the day, got {start}h"));
+    }
+    if len_secs == 0 {
+        return Err(format!("window too short: {hours}h rounds to 0s"));
+    }
+    if start_secs + len_secs > 2 * SECS_PER_DAY {
+        return Err(format!(
+            "window may cross at most one midnight: {start}h + {hours}h"
+        ));
+    }
+    Ok(TimeWindow::new(start_secs, len_secs))
+}
+
+/// Renders a TR-vs-horizon sweep as a single JSON document: the evenly
+/// spaced horizon grid of `fgcs sweep`, machine-readable.
+///
+/// This is the **shared** formatter behind both the `fgcs sweep --json`
+/// CLI and the serve `sweep` reply — one code path, so the two outputs are
+/// byte-identical over the same history (asserted in CI).
+pub fn sweep_json(
+    curve: &TrCurve,
+    day_type: DayType,
+    window: TimeWindow,
+    init: State,
+    points: usize,
+) -> Result<Json, String> {
+    if points == 0 {
+        return Err("points must be positive".into());
+    }
+    let steps = curve.horizon_steps();
+    let mut rows = Vec::with_capacity(points);
+    for i in 1..=points {
+        let m = i * steps / points;
+        let tr = curve.tr(init, m).map_err(|e| e.to_string())?;
+        let horizon_hr = m as f64 * f64::from(curve.step_secs()) / 3600.0;
+        rows.push(Json::Obj(vec![
+            ("steps".into(), Json::U64(m as u64)),
+            ("horizon_hr".into(), Json::F64(horizon_hr)),
+            ("tr".into(), Json::F64(tr)),
+        ]));
+    }
+    Ok(Json::Obj(vec![
+        ("window".into(), Json::Str(window.to_string())),
+        ("day_type".into(), Json::Str(day_type.to_string())),
+        ("init".into(), Json::Str(init.to_string())),
+        ("step_secs".into(), Json::U64(u64::from(curve.step_secs()))),
+        ("horizon_steps".into(), Json::U64(steps as u64)),
+        ("points".into(), Json::Arr(rows)),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgcs_core::log::{DayLog, HistoryStore, StateLog};
+    use fgcs_core::model::AvailabilityModel;
+    use fgcs_core::predictor::SmpPredictor;
+
+    fn server() -> Server {
+        Server::new(&ServeConfig::default())
+    }
+
+    fn warm_server(host: u64, days: usize) -> Server {
+        let s = server();
+        let day = "1".repeat(14_400);
+        for d in 0..days {
+            let req = format!(
+                "{{\"op\":\"ingest\",\"host\":{host},\"day_index\":{d},\"states\":\"{day}\"}}"
+            );
+            let reply = s.handle_line(&req);
+            assert!(reply.line.contains("\"ok\":true"), "{}", reply.line);
+        }
+        s
+    }
+
+    #[test]
+    fn ping_stats_shutdown_roundtrip() {
+        let s = server();
+        assert_eq!(
+            s.handle_line(r#"{"op":"ping"}"#).line,
+            r#"{"ok":true,"op":"ping"}"#
+        );
+        let stats = s.handle_line(r#"{"op":"stats"}"#);
+        assert!(stats.line.contains("\"hosts\":0"), "{}", stats.line);
+        let bye = s.handle_line(r#"{"op":"shutdown"}"#);
+        assert!(bye.shutdown);
+        assert_eq!(bye.line, r#"{"ok":true,"op":"shutdown"}"#);
+    }
+
+    #[test]
+    fn malformed_lines_become_error_replies() {
+        let s = server();
+        for bad in [
+            "not json",
+            r#"{"op":"nope"}"#,
+            r#"{"noop":1}"#,
+            r#"{"op":"ingest","host":1,"states":"129"}"#,
+            r#"{"op":"predict","host":1,"start":30.0,"hours":1.0}"#,
+            r#"{"op":"predict","host":1,"start":9.0,"hours":-1.0}"#,
+            r#"{"op":"predict","host":1,"start":9.0,"hours":1.0,"init":"S3"}"#,
+        ] {
+            let reply = s.handle_line(bad);
+            assert!(
+                reply.line.starts_with(r#"{"ok":false,"error":"#),
+                "{bad} -> {}",
+                reply.line
+            );
+            assert!(!reply.shutdown);
+        }
+    }
+
+    #[test]
+    fn ingest_then_predict_matches_oracle_bitwise() {
+        let s = warm_server(5, 4);
+        let reply = s.handle_line(r#"{"op":"predict","host":5,"start":9.0,"hours":2.0}"#);
+        let json = Json::parse(&reply.line).unwrap();
+        assert!(json.get::<bool>("ok").unwrap());
+        let got: f64 = json.get("tr").unwrap();
+
+        let model = AvailabilityModel::default();
+        let mut history = HistoryStore::new();
+        for d in 0..4 {
+            history.push_day(DayLog::new(d, StateLog::new(6, vec![State::S1; 14_400])));
+        }
+        let want = SmpPredictor::new(model)
+            .predict(
+                &history,
+                DayType::Weekday,
+                TimeWindow::from_hours(9.0, 2.0),
+                State::S1,
+            )
+            .unwrap();
+        assert_eq!(want.to_bits(), got.to_bits());
+    }
+
+    #[test]
+    fn sweep_reply_is_the_shared_formatter_output() {
+        let s = warm_server(2, 5);
+        let reply = s.handle_line(r#"{"op":"sweep","host":2,"start":9.0,"hours":2.0,"points":6}"#);
+        assert!(
+            reply.line.starts_with(r#"{"window":"09:00+2.00h""#),
+            "{}",
+            reply.line
+        );
+        let window = TimeWindow::from_hours(9.0, 2.0);
+        let curve = s.registry().sweep(2, DayType::Weekday, window).unwrap();
+        let want = sweep_json(&curve, DayType::Weekday, window, State::S1, 6)
+            .unwrap()
+            .to_string();
+        assert_eq!(reply.line, want);
+    }
+
+    #[test]
+    fn state_digit_codec_roundtrips() {
+        let all = [State::S1, State::S2, State::S3, State::S4, State::S5];
+        let digits = encode_states(&all);
+        assert_eq!(digits, "12345");
+        assert_eq!(decode_states(&digits).unwrap(), all);
+        assert!(decode_states("120").is_err());
+        assert_eq!(decode_states("").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn window_validation_rejects_panicking_inputs() {
+        assert!(parse_window(9.0, 2.0).is_ok());
+        assert!(parse_window(23.0, 10.0).is_ok()); // one midnight: fine
+        assert!(parse_window(24.0, 1.0).is_err());
+        assert!(parse_window(-1.0, 1.0).is_err());
+        assert!(parse_window(9.0, 0.0).is_err());
+        assert!(parse_window(9.0, f64::NAN).is_err());
+        assert!(parse_window(23.0, 26.0).is_err());
+        assert!(parse_window(0.0, 1e-9).is_err());
+    }
+
+    #[test]
+    fn oneshot_batch_processes_until_shutdown() {
+        let s = server();
+        let day = "1".repeat(14_400);
+        let input = format!(
+            "{{\"op\":\"ingest\",\"host\":1,\"states\":\"{day}\"}}\n\
+             {{\"op\":\"ingest\",\"host\":1,\"states\":\"{day}\"}}\n\
+             \n\
+             {{\"op\":\"predict\",\"host\":1,\"start\":8.0,\"hours\":1.0}}\n\
+             {{\"op\":\"shutdown\"}}\n\
+             {{\"op\":\"ping\"}}\n"
+        );
+        let mut out = Vec::new();
+        let saw_shutdown = s.serve_lines(input.as_bytes(), &mut out).unwrap();
+        assert!(saw_shutdown);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        // Two ingest acks, one predict, one shutdown ack — the trailing
+        // ping is never processed.
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].contains("\"tr\":"));
+        assert_eq!(lines[3], r#"{"ok":true,"op":"shutdown"}"#);
+    }
+
+    #[test]
+    fn tcp_serve_answers_and_shuts_down() {
+        let s = server();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| s.serve_tcp(&listener));
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            let mut line = String::new();
+            for (req, expect) in [
+                (r#"{"op":"ping"}"#, r#"{"ok":true,"op":"ping"}"#),
+                (r#"{"op":"shutdown"}"#, r#"{"ok":true,"op":"shutdown"}"#),
+            ] {
+                writeln!(writer, "{req}").unwrap();
+                line.clear();
+                reader.read_line(&mut line).unwrap();
+                assert_eq!(line.trim_end(), expect);
+            }
+            handle.join().unwrap().unwrap();
+        });
+    }
+}

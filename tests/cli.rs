@@ -110,6 +110,72 @@ fn cli_full_workflow() {
 }
 
 #[test]
+fn cli_oneshot_serve_matches_offline_sweep_bytes() {
+    use std::io::Write;
+
+    let dir = std::env::temp_dir().join(format!("fgcs-cli-serve-{}", std::process::id()));
+    let dir_str = dir.to_str().expect("utf8 temp path");
+    let out = fgcs()
+        .args(["generate", "--seed", "7", "--days", "10", "--out", dir_str])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let trace_path = dir.join("machine-0.json");
+    let trace_str = trace_path.to_str().expect("utf8");
+
+    // encode: one ingest request line per classified day
+    let out = fgcs()
+        .args(["encode", trace_str, "--host", "1"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let requests = String::from_utf8(out.stdout).expect("utf8");
+    assert_eq!(requests.lines().count(), 10);
+    assert!(requests.starts_with(r#"{"op":"ingest","host":1,"day_index":0,"#));
+
+    // stream the requests plus a sweep query through `serve --oneshot`
+    let mut child = fgcs()
+        .args(["serve", "--oneshot"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(
+            format!(
+                "{requests}{}\n{}\n",
+                r#"{"op":"sweep","host":1,"start":9.0,"hours":2.0,"points":12}"#,
+                r#"{"op":"shutdown"}"#
+            )
+            .as_bytes(),
+        )
+        .expect("writes");
+    let out = child.wait_with_output().expect("runs");
+    assert!(out.status.success());
+    let replies = String::from_utf8(out.stdout).expect("utf8");
+    let served_sweep = replies
+        .lines()
+        .find(|l| l.starts_with(r#"{"window""#))
+        .expect("sweep reply present");
+
+    // the offline CLI sweep over the same trace must be byte-identical
+    let out = fgcs()
+        .args([
+            "sweep", trace_str, "--start", "9.0", "--hours", "2.0", "--json",
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let offline = String::from_utf8(out.stdout).expect("utf8");
+    assert_eq!(served_sweep, offline.trim_end());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn cli_rejects_unknown_command_and_bad_input() {
     let out = fgcs().args(["frobnicate"]).output().expect("runs");
     assert!(!out.status.success());

@@ -1,0 +1,207 @@
+//! Integration tests of the streaming prediction service: trace → encoded
+//! ingest stream → serve replies, checked against the offline predictor
+//! and across shard counts.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use fgcs::core::window::{DayType, TimeWindow};
+use fgcs::prelude::*;
+use fgcs::runtime::check::{check, ensure};
+use fgcs::runtime::json::Json;
+use fgcs::serve::{encode_states, ServeConfig, Server};
+
+fn server_with_shards(shards: usize) -> Server {
+    Server::new(&ServeConfig {
+        shards,
+        ..ServeConfig::default()
+    })
+}
+
+/// The ingest request lines for a generated trace, exactly as `fgcs
+/// encode` emits them.
+fn ingest_stream(seed: u64, days: usize, host: u64) -> (HistoryStore, Vec<String>) {
+    let model = AvailabilityModel::default();
+    let trace = TraceGenerator::new(TraceConfig::lab_machine(seed)).generate_days(days);
+    let history = trace.to_history(&model).expect("trace/model step match");
+    let lines = history
+        .days()
+        .iter()
+        .map(|day| {
+            format!(
+                "{{\"op\":\"ingest\",\"host\":{host},\"day_index\":{},\"states\":\"{}\"}}",
+                day.day_index,
+                encode_states(day.log.states())
+            )
+        })
+        .collect();
+    (history, lines)
+}
+
+#[test]
+fn streamed_history_predicts_identically_to_offline() {
+    let (history, lines) = ingest_stream(42, 12, 9);
+    let server = server_with_shards(8);
+    for line in &lines {
+        let reply = server.handle_line(line);
+        assert!(reply.line.contains("\"ok\":true"), "{}", reply.line);
+    }
+    let window = TimeWindow::from_hours(9.0, 2.0);
+    let offline = SmpPredictor::new(AvailabilityModel::default());
+    for (day_type, flag) in [(DayType::Weekday, "weekday"), (DayType::Weekend, "weekend")] {
+        for init in ["S1", "S2"] {
+            let req = format!(
+                "{{\"op\":\"predict\",\"host\":9,\"start\":9.0,\"hours\":2.0,\
+                 \"day_type\":\"{flag}\",\"init\":\"{init}\"}}"
+            );
+            let reply = server.handle_line(&req);
+            let json = Json::parse(&reply.line).expect("reply is JSON");
+            let got: f64 = json.get("tr").expect("tr field");
+            let want = offline
+                .predict(
+                    &history,
+                    day_type,
+                    window,
+                    if init == "S1" { State::S1 } else { State::S2 },
+                )
+                .expect("offline predict");
+            assert_eq!(want.to_bits(), got.to_bits(), "{day_type} {init}");
+        }
+    }
+}
+
+#[test]
+fn shard_count_is_invisible_on_the_wire() {
+    // The same request stream against a 1-shard and a 5-shard server must
+    // produce byte-identical reply streams (shard routing is pure plumbing).
+    let single = server_with_shards(1);
+    let sharded = server_with_shards(5);
+    let mut requests = Vec::new();
+    for host in [3u64, 11, 12, 47] {
+        let (_, lines) = ingest_stream(host, 8, host);
+        requests.extend(lines);
+    }
+    for host in [3u64, 11, 12, 47] {
+        requests.push(format!(
+            "{{\"op\":\"predict\",\"host\":{host},\"start\":8.0,\"hours\":1.0}}"
+        ));
+        requests.push(format!(
+            "{{\"op\":\"sweep\",\"host\":{host},\"start\":9.0,\"hours\":2.0,\"points\":8}}"
+        ));
+    }
+    requests.push(r#"{"op":"stats"}"#.into());
+    for req in &requests {
+        let a = single.handle_line(req);
+        let b = sharded.handle_line(req);
+        if req.contains("\"op\":\"stats\"") {
+            // stats legitimately reports the shard count; everything else
+            // must agree bit for bit.
+            let a = Json::parse(&a.line).expect("stats");
+            let b = Json::parse(&b.line).expect("stats");
+            assert_eq!(a.get::<u64>("shards").expect("shards"), 1);
+            assert_eq!(b.get::<u64>("shards").expect("shards"), 5);
+            for key in ["hosts", "days", "log_records"] {
+                assert_eq!(
+                    a.get::<u64>(key).expect(key),
+                    b.get::<u64>(key).expect(key),
+                    "{key}"
+                );
+            }
+        } else {
+            assert_eq!(a.line, b.line, "request: {req}");
+        }
+    }
+}
+
+#[test]
+fn property_random_streams_are_shard_invariant() {
+    // Arbitrary interleavings of ingests and queries over random hosts:
+    // every reply byte-identical between 1-shard and 7-shard servers.
+    check("serve_shard_invariance", 15, |g| {
+        let single = server_with_shards(1);
+        let sharded = server_with_shards(7);
+        let n_ops = g.usize_in(5, 40);
+        let mut next_day = std::collections::HashMap::new();
+        for _ in 0..n_ops {
+            let host = g.usize_in(0, 6) as u64;
+            let req = if g.bool_with(0.6) {
+                let day = next_day.entry(host).or_insert(0usize);
+                let len = *g.pick(&[100usize, 600, 14_400]);
+                let digit = char::from(b'1' + g.usize_in(0, 5) as u8);
+                let states: String = std::iter::repeat_n(digit, len).collect();
+                let line = format!(
+                    "{{\"op\":\"ingest\",\"host\":{host},\"day_index\":{day},\"states\":\"{states}\"}}"
+                );
+                *day += g.usize_in(1, 3);
+                line
+            } else {
+                let start = *g.pick(&[0.0, 8.0, 9.5, 23.0]);
+                let hours = *g.pick(&[0.5, 1.0, 2.0]);
+                let day_type = *g.pick(&["weekday", "weekend"]);
+                format!(
+                    "{{\"op\":\"predict\",\"host\":{host},\"start\":{start},\
+                     \"hours\":{hours},\"day_type\":\"{day_type}\"}}"
+                )
+            };
+            let a = single.handle_line(&req);
+            let b = sharded.handle_line(&req);
+            ensure(
+                a.line == b.line,
+                format!("diverged on {req}: {} vs {}", a.line, b.line),
+            )?;
+            ensure(!a.shutdown, "non-shutdown op flagged shutdown")?;
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn tcp_concurrent_clients_share_one_registry() {
+    let server = server_with_shards(4);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = listener.local_addr().expect("addr");
+    let (_, lines) = ingest_stream(7, 10, 1);
+    std::thread::scope(|scope| {
+        let serve = scope.spawn(|| server.serve_tcp(&listener));
+        // Client A streams the history, then disconnects (the server only
+        // finishes shutting down once every connection has drained).
+        {
+            let mut a = Client::connect(addr);
+            for line in &lines {
+                let reply = a.roundtrip(line);
+                assert!(reply.contains("\"ok\":true"), "{reply}");
+            }
+        }
+        // Client B (a separate connection) immediately sees it.
+        let mut b = Client::connect(addr);
+        let reply = b.roundtrip(r#"{"op":"predict","host":1,"start":9.0,"hours":1.0}"#);
+        assert!(reply.contains("\"tr\":"), "{reply}");
+        let stats = b.roundtrip(r#"{"op":"stats"}"#);
+        assert!(stats.contains("\"days\":10"), "{stats}");
+        let bye = b.roundtrip(r#"{"op":"shutdown"}"#);
+        assert!(bye.contains("\"op\":\"shutdown\""), "{bye}");
+        serve.join().expect("serve thread").expect("clean shutdown");
+    });
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn roundtrip(&mut self, request: &str) -> String {
+        writeln!(self.writer, "{request}").expect("send");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("recv");
+        reply.trim_end().to_string()
+    }
+}
