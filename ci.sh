@@ -98,6 +98,58 @@ grep -q '"log_records":10' "$serve_tmp/tcp_out.jsonl" || {
   tail -1 "$serve_tmp/tcp_out.jsonl"
   exit 1
 }
+echo "== serve throughput smoke: pipelined batch stream == sequential bytes, ops/sec floor"
+# The same op stream (10 ingests + 2000 predicts) sent two ways against two
+# fresh servers: as individual lines, and as 40-op `batch` requests
+# pipelined over one TCP connection. The reply streams must be
+# byte-identical, and the batched run must clear a conservative
+# throughput floor (catastrophic-regression tripwire, not a benchmark).
+awk 'BEGIN { for (i = 0; i < 2000; i++) {
+  start = 6 + (i % 4) * 3;
+  printf "{\"op\":\"predict\",\"host\":1,\"start\":%d.0,\"hours\":2.0}\n", start;
+} }' > "$serve_tmp/predicts.jsonl"
+cat "$serve_tmp/reqs.jsonl" "$serve_tmp/predicts.jsonl" > "$serve_tmp/seq_in.jsonl"
+awk 'NR % 40 == 1 { if (NR > 1) print out "]}"; out = "{\"op\":\"batch\",\"ops\":[" $0; next }
+     { out = out "," $0 }
+     END { if (out != "") print out "]}" }' \
+  "$serve_tmp/seq_in.jsonl" > "$serve_tmp/batch_in.jsonl"
+start_server() {
+  : > "$serve_tmp/server.log"
+  timeout 120 "$fgcs_bin" serve --port 0 > "$serve_tmp/server.log" &
+  server_pid=$!
+  addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$serve_tmp/server.log" 2>/dev/null || true)
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "server never announced its address:"; cat "$serve_tmp/server.log"; exit 1
+  fi
+}
+start_server
+"$fgcs_bin" query --pipelined "$addr" < "$serve_tmp/seq_in.jsonl" > "$serve_tmp/seq_out.jsonl"
+echo '{"op":"shutdown"}' | "$fgcs_bin" query "$addr" > /dev/null
+wait "$server_pid"
+start_server
+t0=$(date +%s%N)
+"$fgcs_bin" query --pipelined "$addr" < "$serve_tmp/batch_in.jsonl" > "$serve_tmp/batch_out.jsonl"
+t1=$(date +%s%N)
+echo '{"op":"shutdown"}' | "$fgcs_bin" query "$addr" > /dev/null
+wait "$server_pid"
+if ! cmp -s "$serve_tmp/seq_out.jsonl" "$serve_tmp/batch_out.jsonl"; then
+  echo "pipelined batch reply stream diverged from sequential requests:"
+  diff "$serve_tmp/seq_out.jsonl" "$serve_tmp/batch_out.jsonl" | head -20 || true
+  exit 1
+fi
+n_ops=$(wc -l < "$serve_tmp/seq_in.jsonl")
+ops_per_sec=$(awk -v n="$n_ops" -v t0="$t0" -v t1="$t1" \
+  'BEGIN { printf "%d", n * 1e9 / (t1 - t0) }')
+echo "-- $n_ops ops over one pipelined connection: $ops_per_sec ops/sec"
+if [ "$ops_per_sec" -lt 500 ]; then
+  echo "batched serve throughput $ops_per_sec ops/sec is below the 500 ops/sec floor"
+  exit 1
+fi
 rm -rf "$serve_tmp"
 
 echo "== cargo doc --offline --workspace --no-deps (warnings denied)"

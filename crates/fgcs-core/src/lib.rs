@@ -53,7 +53,7 @@ pub use batch::{
     evaluate_cluster, predict_cluster, BatchSolver, ClusterQuery, EvalQuery, IntervalCurves,
     TrCurve,
 };
-pub use cache::QhCache;
+pub use cache::{KernelDedup, QhCache};
 pub use classify::StateClassifier;
 pub use error::CoreError;
 pub use log::{DayLog, HistoryStore, IngestReport, StateLog};
@@ -63,7 +63,8 @@ pub use predictor::{
     TrPrediction, WindowEvaluation,
 };
 pub use registry::{
-    IngestAck, IngestRecord, RegistryConfig, RegistryError, RegistryStats, ShardedRegistry,
+    IngestAck, IngestRecord, RegistryConfig, RegistryError, RegistryStats, ShardSession,
+    ShardedRegistry,
 };
 pub use robust::{PredictionQuality, QualifiedTr, RobustPredictor, DEFAULT_PRIOR_TR};
 pub use smp::{

@@ -151,7 +151,28 @@ impl SmpPredictor {
     pub(crate) fn history_selection(&self) -> (Option<usize>, bool) {
         (self.max_history_days, self.same_day_type_only)
     }
+}
 
+/// Encodes the full input of a scalar solve — everything besides the kernel
+/// itself — into one word for the per-kernel solve memo: the step count in
+/// the high bits, the solver policy at bit 3, the initial state in the low
+/// three bits.
+pub(crate) fn solve_memo_key(init: State, policy: SolverPolicy, steps: usize) -> u64 {
+    let state_bits = match init {
+        State::S1 => 0u64,
+        State::S2 => 1,
+        State::S3 => 2,
+        State::S4 => 3,
+        State::S5 => 4,
+    };
+    let policy_bit = match policy {
+        SolverPolicy::Fast => 0u64,
+        SolverPolicy::PaperOracle => 1,
+    };
+    ((steps as u64) << 4) | (policy_bit << 3) | state_bits
+}
+
+impl SmpPredictor {
     /// Estimates the SMP parameters for a window from the history store.
     pub fn estimate_params(
         &self,
@@ -224,6 +245,14 @@ impl SmpPredictor {
     /// `cache` under `host` and the query coordinates: repeated queries for
     /// the same (host, window, day-class, history) skip the Q/H estimation
     /// entirely and produce the same TR bit for bit.
+    ///
+    /// Scalar solves are additionally memoized per *canonical kernel* in
+    /// the cache's [dedup table](crate::cache::KernelDedup): when many
+    /// hosts share one interned kernel (a fleet with a handful of
+    /// availability classes), the Eq.-3 recursion runs once per
+    /// `(kernel, init, policy, steps)` and every other host reads the
+    /// stored value — the same bits the solve would have produced, since
+    /// both policies are deterministic functions of exactly those inputs.
     pub fn predict_cached(
         &self,
         cache: &QhCache,
@@ -240,7 +269,13 @@ impl SmpPredictor {
         fgcs_runtime::counter_add!("core.tr_queries", 1);
         let params = cache.get_or_estimate(self, host, history, day_type, window)?;
         let steps = window.steps(self.model.monitor_period_secs);
-        self.solve_tr(&params, init, steps)
+        let key = solve_memo_key(init, self.solver_policy, steps);
+        if let Some(tr) = cache.dedup().memo_get(&params, key) {
+            return Ok(tr);
+        }
+        let tr = self.solve_tr(&params, init, steps)?;
+        cache.dedup().memo_put(&params, key, tr);
+        Ok(tr)
     }
 
     /// Predicts the full temporal-reliability curve `TR(m)` over the window
@@ -759,6 +794,53 @@ mod tests {
         assert!(p
             .predict_with_ci(&store, DayType::Weekday, w, S3, 10, 0.9, &mut rng)
             .is_err());
+    }
+
+    #[test]
+    fn predict_cached_memo_is_bit_identical_to_direct_solve() {
+        use crate::cache::QhCache;
+        let mut days: Vec<Vec<State>> = (0..4).map(|_| vec![S1; 1000]).collect();
+        days.push(failing_day(1000, 120));
+        let store = store_of_days(&days);
+        let w = TimeWindow::new(0, 600);
+        let cache = QhCache::new(8);
+        for policy in [SolverPolicy::Fast, SolverPolicy::PaperOracle] {
+            let p = SmpPredictor::new(model()).with_solver_policy(policy);
+            let direct = p.predict(&store, DayType::Weekday, w, S1).unwrap();
+            let first = p
+                .predict_cached(&cache, 1, &store, DayType::Weekday, w, S1)
+                .unwrap();
+            // Second call is served from the solve memo; a second *host*
+            // with the same history shares the canonical kernel and hits
+            // the same memo entry.
+            let memoized = p
+                .predict_cached(&cache, 1, &store, DayType::Weekday, w, S1)
+                .unwrap();
+            let other_host = p
+                .predict_cached(&cache, 2, &store, DayType::Weekday, w, S1)
+                .unwrap();
+            assert_eq!(direct.to_bits(), first.to_bits(), "{policy:?}");
+            assert_eq!(direct.to_bits(), memoized.to_bits(), "{policy:?}");
+            assert_eq!(direct.to_bits(), other_host.to_bits(), "{policy:?}");
+            // Different init / policy / steps use different memo slots.
+            let s2 = p
+                .predict_cached(&cache, 1, &store, DayType::Weekday, w, S2)
+                .unwrap();
+            let s2_direct = p.predict(&store, DayType::Weekday, w, S2).unwrap();
+            assert_eq!(s2.to_bits(), s2_direct.to_bits(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn solve_memo_keys_are_injective_over_inputs() {
+        let mut seen = std::collections::HashSet::new();
+        for steps in [0usize, 1, 7, 1200] {
+            for policy in [SolverPolicy::Fast, SolverPolicy::PaperOracle] {
+                for init in [S1, S2, S3, S4, S5] {
+                    assert!(seen.insert(solve_memo_key(init, policy, steps)));
+                }
+            }
+        }
     }
 
     #[test]

@@ -35,11 +35,11 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use fgcs_runtime::shard::shard_of;
 
 use crate::batch::TrCurve;
-use crate::cache::QhCache;
+use crate::cache::{KernelDedup, QhCache};
 use crate::error::CoreError;
 use crate::log::{DayLog, HistoryStore, StateLog};
 use crate::model::AvailabilityModel;
-use crate::predictor::{SmpPredictor, SolverPolicy};
+use crate::predictor::{solve_memo_key, SmpPredictor, SolverPolicy};
 use crate::smp::{IncrementalEstimator, SmpParams};
 use crate::state::State;
 use crate::window::{DayType, TimeWindow};
@@ -162,6 +162,13 @@ pub struct RegistryStats {
     pub days: usize,
     /// Total append-only log records (equals total successful ingests).
     pub log_records: usize,
+    /// Kernel interns that found an existing canonical kernel (cross-host
+    /// sharing events).
+    pub kernel_dedup_hits: u64,
+    /// Total kernel intern attempts (hit rate = hits / lookups).
+    pub kernel_dedup_lookups: u64,
+    /// Live interned kernels (distinct availability classes in service).
+    pub kernel_dedup_entries: usize,
 }
 
 struct HostEntry {
@@ -185,6 +192,11 @@ pub struct ShardedRegistry {
     predictor: SmpPredictor,
     model: AvailabilityModel,
     max_estimators_per_host: usize,
+    /// One dedup table shared by every shard's kernel cache: hosts with
+    /// identical Q/H windows resolve to one canonical `Arc<SmpParams>`
+    /// regardless of which shard they live on, and scalar solves are
+    /// memoized once per canonical kernel.
+    dedup: Arc<KernelDedup>,
 }
 
 impl ShardedRegistry {
@@ -200,11 +212,12 @@ impl ShardedRegistry {
         if let Some(n) = config.max_history_days {
             predictor = predictor.with_max_history_days(n);
         }
+        let dedup = Arc::new(KernelDedup::new());
         let shards = (0..config.shards)
             .map(|_| {
                 Mutex::new(Shard {
                     hosts: HashMap::new(),
-                    qh: QhCache::new(config.qh_capacity_per_shard),
+                    qh: QhCache::with_dedup(config.qh_capacity_per_shard, Arc::clone(&dedup)),
                     log: Vec::new(),
                 })
             })
@@ -214,7 +227,14 @@ impl ShardedRegistry {
             predictor,
             model: config.model,
             max_estimators_per_host: config.max_estimators_per_host,
+            dedup,
         }
+    }
+
+    /// The cross-shard kernel dedup table (shared by every shard's cache).
+    #[must_use]
+    pub fn kernel_dedup(&self) -> &Arc<KernelDedup> {
+        &self.dedup
     }
 
     /// Number of shards.
@@ -243,12 +263,23 @@ impl ShardedRegistry {
         day_index: Option<usize>,
         states: Vec<State>,
     ) -> Result<IngestAck, RegistryError> {
+        let mut guard = self.shard_for(host);
+        self.ingest_day_locked(&mut guard, host, day_index, states)
+    }
+
+    /// [`ingest_day`](ShardedRegistry::ingest_day) against an already-held
+    /// shard lock — the batch pipeline's entry point.
+    fn ingest_day_locked(
+        &self,
+        shard: &mut Shard,
+        host: u64,
+        day_index: Option<usize>,
+        states: Vec<State>,
+    ) -> Result<IngestAck, RegistryError> {
         if states.is_empty() {
             return Err(RegistryError::EmptyDay { host });
         }
         let samples = states.len();
-        let mut guard = self.shard_for(host);
-        let shard = &mut *guard;
         let entry = shard.hosts.entry(host).or_insert_with(|| HostEntry {
             history: HistoryStore::new(),
             estimators: Vec::new(),
@@ -304,13 +335,34 @@ impl ShardedRegistry {
         window: TimeWindow,
         init: State,
     ) -> Result<f64, RegistryError> {
+        let mut guard = self.shard_for(host);
+        self.predict_locked(&mut guard, host, day_type, window, init)
+    }
+
+    fn predict_locked(
+        &self,
+        shard: &mut Shard,
+        host: u64,
+        day_type: DayType,
+        window: TimeWindow,
+        init: State,
+    ) -> Result<f64, RegistryError> {
         if init.is_failure() {
             return Err(CoreError::FailureInitialState(init).into());
         }
         fgcs_runtime::counter_add!("core.registry.queries", 1);
-        let params = self.params_for(host, day_type, window)?;
+        let params = self.params_for_locked(shard, host, day_type, window)?;
         let steps = window.steps(self.model.monitor_period_secs);
-        Ok(self.predictor.solve_tr(&params, init, steps)?)
+        // Per-kernel solve memo: hosts sharing the canonical kernel pay the
+        // Eq.-3 recursion once per (init, policy, steps) and read the
+        // stored bits afterwards.
+        let key = solve_memo_key(init, self.predictor.solver_policy(), steps);
+        if let Some(tr) = self.dedup.memo_get(&params, key) {
+            return Ok(tr);
+        }
+        let tr = self.predictor.solve_tr(&params, init, steps)?;
+        self.dedup.memo_put(&params, key, tr);
+        Ok(tr)
     }
 
     /// Predicts the full TR curve (both operational initial states) for
@@ -322,10 +374,93 @@ impl ShardedRegistry {
         day_type: DayType,
         window: TimeWindow,
     ) -> Result<TrCurve, RegistryError> {
+        let mut guard = self.shard_for(host);
+        self.sweep_locked(&mut guard, host, day_type, window)
+    }
+
+    fn sweep_locked(
+        &self,
+        shard: &mut Shard,
+        host: u64,
+        day_type: DayType,
+        window: TimeWindow,
+    ) -> Result<TrCurve, RegistryError> {
         fgcs_runtime::counter_add!("core.registry.queries", 1);
-        let params = self.params_for(host, day_type, window)?;
+        let params = self.params_for_locked(shard, host, day_type, window)?;
         let steps = window.steps(self.model.monitor_period_secs);
         Ok(self.predictor.solve_tr_curve(&params, steps)?)
+    }
+
+    /// Answers several predict ops for one `(host, day_type, window)` from
+    /// a single batched recursion: the Eq.-3 curve is prefix-closed (see
+    /// [`crate::batch`]), so one run at the window's full horizon yields
+    /// every requested value bit-identically to independent
+    /// [`predict`](ShardedRegistry::predict) calls — including the error
+    /// cases (a failure init errors in its own slot without poisoning the
+    /// rest). Solved values are fed into the per-kernel memo, so later
+    /// scalar queries hit it too.
+    fn predict_many_locked(
+        &self,
+        shard: &mut Shard,
+        host: u64,
+        day_type: DayType,
+        window: TimeWindow,
+        inits: &[State],
+    ) -> Vec<Result<f64, RegistryError>> {
+        let steps = window.steps(self.model.monitor_period_secs);
+        let policy = self.predictor.solver_policy();
+        fgcs_runtime::counter_add!("core.registry.queries", inits.len() as u64);
+        let params = match self.params_for_locked(shard, host, day_type, window) {
+            Ok(p) => p,
+            Err(e) => {
+                return inits
+                    .iter()
+                    .map(|&init| {
+                        if init.is_failure() {
+                            // predict() checks the init before estimating.
+                            Err(CoreError::FailureInitialState(init).into())
+                        } else {
+                            Err(e.clone())
+                        }
+                    })
+                    .collect();
+            }
+        };
+        let mut out: Vec<Option<Result<f64, RegistryError>>> = inits
+            .iter()
+            .map(|&init| {
+                if init.is_failure() {
+                    return Some(Err(CoreError::FailureInitialState(init).into()));
+                }
+                self.dedup
+                    .memo_get(&params, solve_memo_key(init, policy, steps))
+                    .map(Ok)
+            })
+            .collect();
+        if out.iter().any(Option::is_none) {
+            // At least one value is not memoized: one curve run answers
+            // every remaining init at once.
+            let curve = self.predictor.solve_tr_curve(&params, steps);
+            for (&init, slot) in inits.iter().zip(&mut out) {
+                if slot.is_some() {
+                    continue;
+                }
+                *slot = Some(match &curve {
+                    Ok(c) => match c.tr(init, steps) {
+                        Ok(tr) => {
+                            self.dedup
+                                .memo_put(&params, solve_memo_key(init, policy, steps), tr);
+                            Ok(tr)
+                        }
+                        Err(e) => Err(e.clone().into()),
+                    },
+                    Err(e) => Err(e.clone().into()),
+                });
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every init answered"))
+            .collect()
     }
 
     /// Days currently stored for `host`, or `None` for unknown hosts.
@@ -354,6 +489,9 @@ impl ShardedRegistry {
             hosts: 0,
             days: 0,
             log_records: 0,
+            kernel_dedup_hits: 0,
+            kernel_dedup_lookups: 0,
+            kernel_dedup_entries: 0,
         };
         for i in 0..self.shards.len() {
             let guard = self.lock(i);
@@ -361,19 +499,46 @@ impl ShardedRegistry {
             stats.days += guard.hosts.values().map(|e| e.history.len()).sum::<usize>();
             stats.log_records += guard.log.len();
         }
+        stats.kernel_dedup_hits = self.dedup.hits();
+        stats.kernel_dedup_lookups = self.dedup.lookups();
+        stats.kernel_dedup_entries = self.dedup.entries();
         stats
+    }
+
+    /// The shard index `host` routes to — the grouping key for the batch
+    /// pipeline.
+    #[must_use]
+    pub fn shard_index(&self, host: u64) -> usize {
+        shard_of(host, self.shards.len())
+    }
+
+    /// Opens a session on one shard: the shard lock is taken once and held
+    /// for the session's lifetime, so a run of operations against that
+    /// shard's hosts pays one lock acquisition instead of one per op.
+    /// Every session method is bit-identical to its registry counterpart;
+    /// hosts routed to other shards are the caller's responsibility
+    /// (enforced by debug assertion).
+    ///
+    /// # Panics
+    /// Panics when `shard` is out of range.
+    #[must_use]
+    pub fn session(&self, shard: usize) -> ShardSession<'_> {
+        ShardSession {
+            registry: self,
+            shard,
+            guard: self.lock(shard),
+        }
     }
 
     /// Builds (or fetches) the kernel for a query: per-shard cache first,
     /// then the host's incremental estimator, then the full-scan fallback.
-    fn params_for(
+    fn params_for_locked(
         &self,
+        shard: &mut Shard,
         host: u64,
         day_type: DayType,
         window: TimeWindow,
     ) -> Result<Arc<SmpParams>, RegistryError> {
-        let mut guard = self.shard_for(host);
-        let shard = &mut *guard;
         let entry = shard
             .hosts
             .get_mut(&host)
@@ -445,6 +610,76 @@ impl std::fmt::Debug for ShardedRegistry {
             .field("shards", &stats.shards)
             .field("hosts", &stats.hosts)
             .field("days", &stats.days)
+            .finish()
+    }
+}
+
+/// A held shard lock with the registry operations scoped to it — see
+/// [`ShardedRegistry::session`]. Dropping the session releases the lock.
+pub struct ShardSession<'a> {
+    registry: &'a ShardedRegistry,
+    shard: usize,
+    guard: MutexGuard<'a, Shard>,
+}
+
+impl ShardSession<'_> {
+    /// [`ShardedRegistry::ingest_day`] under the held lock.
+    pub fn ingest_day(
+        &mut self,
+        host: u64,
+        day_index: Option<usize>,
+        states: Vec<State>,
+    ) -> Result<IngestAck, RegistryError> {
+        debug_assert_eq!(self.registry.shard_index(host), self.shard);
+        self.registry
+            .ingest_day_locked(&mut self.guard, host, day_index, states)
+    }
+
+    /// [`ShardedRegistry::predict`] under the held lock.
+    pub fn predict(
+        &mut self,
+        host: u64,
+        day_type: DayType,
+        window: TimeWindow,
+        init: State,
+    ) -> Result<f64, RegistryError> {
+        debug_assert_eq!(self.registry.shard_index(host), self.shard);
+        self.registry
+            .predict_locked(&mut self.guard, host, day_type, window, init)
+    }
+
+    /// Several predicts for one `(host, day_type, window)` answered from a
+    /// single batched recursion run, each slot bit-identical to
+    /// [`predict`](ShardSession::predict).
+    pub fn predict_many(
+        &mut self,
+        host: u64,
+        day_type: DayType,
+        window: TimeWindow,
+        inits: &[State],
+    ) -> Vec<Result<f64, RegistryError>> {
+        debug_assert_eq!(self.registry.shard_index(host), self.shard);
+        self.registry
+            .predict_many_locked(&mut self.guard, host, day_type, window, inits)
+    }
+
+    /// [`ShardedRegistry::sweep`] under the held lock.
+    pub fn sweep(
+        &mut self,
+        host: u64,
+        day_type: DayType,
+        window: TimeWindow,
+    ) -> Result<TrCurve, RegistryError> {
+        debug_assert_eq!(self.registry.shard_index(host), self.shard);
+        self.registry
+            .sweep_locked(&mut self.guard, host, day_type, window)
+    }
+}
+
+impl std::fmt::Debug for ShardSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardSession")
+            .field("shard", &self.shard)
             .finish()
     }
 }
@@ -657,6 +892,88 @@ mod tests {
             seen += log.len();
         }
         assert_eq!(seen, 20);
+    }
+
+    #[test]
+    fn session_ops_are_bit_identical_to_direct_ops() {
+        let direct = ShardedRegistry::new(config(4));
+        let sessioned = ShardedRegistry::new(config(4));
+        let mut rng = Xoshiro256::seed_from_u64(31);
+        let window = TimeWindow::from_hours(9.0, 2.0);
+        for day in 0..6 {
+            for host in 0..10u64 {
+                let states = random_day(&mut rng, 14_400);
+                direct.ingest_day(host, Some(day), states.clone()).unwrap();
+                let mut s = sessioned.session(sessioned.shard_index(host));
+                s.ingest_day(host, Some(day), states).unwrap();
+            }
+        }
+        for host in 0..10u64 {
+            let a = direct.predict(host, DayType::Weekday, window, S1).unwrap();
+            let mut s = sessioned.session(sessioned.shard_index(host));
+            let b = s.predict(host, DayType::Weekday, window, S1).unwrap();
+            assert_eq!(a.to_bits(), b.to_bits(), "host {host}");
+            let want = direct.sweep(host, DayType::Weekday, window).unwrap();
+            let got = s.sweep(host, DayType::Weekday, window).unwrap();
+            assert_eq!(want, got, "host {host}");
+        }
+    }
+
+    #[test]
+    fn predict_many_matches_scalar_predicts_bitwise() {
+        let reg = ShardedRegistry::new(config(3));
+        let mut rng = Xoshiro256::seed_from_u64(71);
+        for day in 0..7 {
+            reg.ingest_day(5, Some(day), random_day(&mut rng, 14_400))
+                .unwrap();
+        }
+        let window = TimeWindow::from_hours(10.0, 1.5);
+        let inits = [S1, S2, S1, S3, S2];
+        let scalars: Vec<_> = inits
+            .iter()
+            .map(|&init| reg.predict(5, DayType::Weekday, window, init))
+            .collect();
+        let mut s = reg.session(reg.shard_index(5));
+        let batched = s.predict_many(5, DayType::Weekday, window, &inits);
+        drop(s);
+        for (i, (want, got)) in scalars.iter().zip(&batched).enumerate() {
+            match (want, got) {
+                (Ok(w), Ok(g)) => assert_eq!(w.to_bits(), g.to_bits(), "slot {i}"),
+                (Err(w), Err(g)) => assert_eq!(w, g, "slot {i}"),
+                (w, g) => panic!("slot {i} diverged: {w:?} vs {g:?}"),
+            }
+        }
+        // Unknown-host groups error per slot like scalar predicts do.
+        let mut s = reg.session(reg.shard_index(404));
+        let missing = s.predict_many(404, DayType::Weekday, window, &[S1, S3]);
+        assert!(matches!(missing[0], Err(RegistryError::UnknownHost(404))));
+        assert!(matches!(
+            missing[1],
+            Err(RegistryError::Core(CoreError::FailureInitialState(S3)))
+        ));
+    }
+
+    #[test]
+    fn identical_hosts_share_kernels_and_solves() {
+        let reg = ShardedRegistry::new(config(4));
+        let mut rng = Xoshiro256::seed_from_u64(13);
+        let days: Vec<Vec<State>> = (0..5).map(|_| random_day(&mut rng, 14_400)).collect();
+        // 6 hosts with identical histories, spread over shards.
+        for host in 0..6u64 {
+            for (d, day) in days.iter().enumerate() {
+                reg.ingest_day(host, Some(d), day.clone()).unwrap();
+            }
+        }
+        let window = TimeWindow::from_hours(9.0, 2.0);
+        let first = reg.predict(0, DayType::Weekday, window, S1).unwrap();
+        for host in 1..6u64 {
+            let tr = reg.predict(host, DayType::Weekday, window, S1).unwrap();
+            assert_eq!(first.to_bits(), tr.to_bits(), "host {host}");
+        }
+        let stats = reg.stats();
+        assert_eq!(stats.kernel_dedup_entries, 1, "one availability class");
+        assert_eq!(stats.kernel_dedup_lookups, 6);
+        assert_eq!(stats.kernel_dedup_hits, 5, "five hosts shared the first");
     }
 
     #[test]

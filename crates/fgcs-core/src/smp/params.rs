@@ -30,6 +30,8 @@
 //! allocation-free and O(1) per term — and a cached `Arc<SmpParams>` shares
 //! them across all consumers.
 
+use std::sync::OnceLock;
+
 use fgcs_runtime::json::{FromJson, Json, JsonError, ToJson};
 
 use crate::state::State;
@@ -146,7 +148,7 @@ impl SolverKernel {
 /// The estimated SMP parameters: the sparse semi-Markov kernel
 /// `q_{i,k}(l)` for `i ∈ {S1, S2}`, `k ∈ {other, S3, S4, S5}` and
 /// `l ∈ 1..=horizon` steps, plus the precomputed `SolverKernel` view.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SmpParams {
     step_secs: u32,
     horizon: usize,
@@ -157,6 +159,22 @@ pub struct SmpParams {
     sojourns: [usize; 2],
     /// Derived, not serialized: rebuilt from `kernel` on deserialization.
     solver: SolverKernel,
+    /// Lazy FNV-1a content hash (the kernel-dedup lookup key). Derived, so
+    /// excluded from equality and serialization.
+    hash: OnceLock<u64>,
+}
+
+// Manual equality over the content fields only. `solver` is a pure function
+// of `(kernel, horizon)` and `hash` is a lazy memo — including either would
+// make content-equal values compare unequal depending on what has been
+// computed so far (`OnceLock` equality compares `get()` results).
+impl PartialEq for SmpParams {
+    fn eq(&self, other: &SmpParams) -> bool {
+        self.step_secs == other.step_secs
+            && self.horizon == other.horizon
+            && self.sojourns == other.sojourns
+            && self.kernel == other.kernel
+    }
 }
 
 // `solver` is derived state, so the JSON form carries only the four
@@ -430,6 +448,7 @@ impl SojournAccumulator {
             kernel: events,
             sojourns,
             solver,
+            hash: OnceLock::new(),
         }
     }
 }
@@ -562,7 +581,46 @@ impl SmpParams {
             kernel,
             sojourns,
             solver,
+            hash: OnceLock::new(),
         }
+    }
+
+    /// FNV-1a hash of the estimate's content — the kernel-dedup lookup key.
+    ///
+    /// Hashes the compact solver view (the nonzero `(holding, mass)` events,
+    /// which together with `horizon` determine the full kernel arrays) plus
+    /// `step_secs` and the sojourn counts, word-wise over the `f64` bit
+    /// patterns. Computed once on first use and memoized; equal content
+    /// always hashes equal, and the dedup table falls back to full
+    /// [`PartialEq`] on hash match, so collisions cost a comparison, never
+    /// correctness.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        *self.hash.get_or_init(|| {
+            const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+            const PRIME: u64 = 0x0000_0100_0000_01b3;
+            let mut h = OFFSET;
+            let mut word = |w: u64| h = (h ^ w).wrapping_mul(PRIME);
+            word(u64::from(self.step_secs));
+            word(self.horizon as u64);
+            word(self.sojourns[0] as u64);
+            word(self.sojourns[1] as u64);
+            for i in 0..2 {
+                word(self.solver.trans[i].len() as u64);
+                for &(l, v) in &self.solver.trans[i] {
+                    word(l as u64);
+                    word(v.to_bits());
+                }
+                for j in 0..3 {
+                    word(self.solver.failures[i][j].len() as u64);
+                    for &(l, v) in &self.solver.failures[i][j] {
+                        word(l as u64);
+                        word(v.to_bits());
+                    }
+                }
+            }
+            h
+        })
     }
 }
 
@@ -812,6 +870,27 @@ mod tests {
         let back: SmpParams = fgcs_runtime::json::from_str(&text).unwrap();
         assert_eq!(p, back);
         assert_eq!(p.solver_kernel(), back.solver_kernel());
+    }
+
+    #[test]
+    fn content_hash_tracks_equality() {
+        let day: Vec<State> = (0..40).map(|i| if i % 9 < 6 { S1 } else { S2 }).collect();
+        let a = SmpParams::estimate(&[&day], 6, 39);
+        let b = SmpParams::estimate(&[&day], 6, 39);
+        assert_eq!(a, b);
+        assert_eq!(a.content_hash(), b.content_hash());
+        // Memoized: repeated calls return the same value.
+        assert_eq!(a.content_hash(), a.content_hash());
+        // Different step size → different content (and, here, hash).
+        let c = SmpParams::estimate(&[&day], 12, 39);
+        assert_ne!(a, c);
+        assert_ne!(a.content_hash(), c.content_hash());
+        // A JSON round trip (fresh OnceLock) preserves both equality and
+        // hash even when one side has already memoized.
+        let text = fgcs_runtime::json::to_string(&a);
+        let back: SmpParams = fgcs_runtime::json::from_str(&text).unwrap();
+        assert_eq!(a, back);
+        assert_eq!(a.content_hash(), back.content_hash());
     }
 
     #[test]

@@ -152,6 +152,36 @@ mod tests {
     }
 
     #[test]
+    fn percentile_tiny_and_tied_sets() {
+        // n=1: every quantile is the sole sample.
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&[42], q), 42, "n=1 q={q}");
+        }
+        // n=2: nearest-rank puts everything at or below p50 on the first
+        // sample and everything above on the second.
+        assert_eq!(percentile(&[10, 20], 0.0), 10);
+        assert_eq!(percentile(&[10, 20], 0.25), 10);
+        assert_eq!(percentile(&[10, 20], 0.50), 10);
+        assert_eq!(percentile(&[10, 20], 0.51), 20);
+        assert_eq!(percentile(&[10, 20], 0.99), 20);
+        assert_eq!(percentile(&[10, 20], 1.0), 20);
+        // Fully tied set: every quantile is the tied value.
+        let tied = [5u64; 9];
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&tied, q), 5, "tied q={q}");
+        }
+        // Mostly tied with one outlier: the outlier only surfaces at the
+        // very top rank (p99 of n=3 rounds up to rank 3).
+        assert_eq!(percentile(&[5, 5, 100], 0.50), 5);
+        assert_eq!(percentile(&[5, 5, 100], 0.66), 5);
+        assert_eq!(percentile(&[5, 5, 100], 0.67), 100);
+        assert_eq!(percentile(&[5, 5, 100], 0.99), 100);
+        // Out-of-range quantiles clamp instead of panicking.
+        assert_eq!(percentile(&[10, 20], -3.0), 10);
+        assert_eq!(percentile(&[10, 20], 7.0), 20);
+    }
+
+    #[test]
     fn fmt_ns_units() {
         assert!(fmt_ns(12.3).contains("ns"));
         assert!(fmt_ns(12_300.0).contains("µs"));

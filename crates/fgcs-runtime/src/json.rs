@@ -702,6 +702,559 @@ macro_rules! impl_json_enum {
     };
 }
 
+/// A borrowed, zero-copy view over one JSON **object** in a `&str` line.
+///
+/// This is the serve hot path's request parser: where [`Json::parse`]
+/// builds a heap tree (a `String` per key and string value, a `Vec` per
+/// container), `JsonSlice::scan` only *validates* the text and hands out
+/// `&str` slices into the original line on demand. Field lookups rescan
+/// the object — requests are a handful of fields, so the rescan is cheaper
+/// than materializing a map — and typed getters reproduce the exact
+/// coercion rules (and error texts) of [`Json::get`].
+///
+/// Scope: `scan` returns `None` whenever the fast path cannot represent
+/// the document *identically* to the tree parser — malformed syntax, a
+/// non-object top level, or any `\` escape inside any string (an escaped
+/// string cannot be borrowed). Callers fall back to [`Json::parse`] in
+/// that case, so the cold path keeps the tree parser's exact semantics
+/// and error messages.
+#[derive(Debug, Clone, Copy)]
+pub struct JsonSlice<'a> {
+    /// The full object text, trimmed: `src[0] == '{'`.
+    src: &'a str,
+}
+
+/// A field-access error from [`JsonSlice`]: carries only borrowed names,
+/// formatting the message (identical to the [`Json::get`] text) on the
+/// error path alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceError<'a> {
+    /// The field is absent: `missing field \`name\``.
+    Missing {
+        /// The field looked up.
+        field: &'a str,
+    },
+    /// The field holds the wrong shape: `name: expected WANT, found KIND`.
+    Type {
+        /// The field looked up.
+        field: &'a str,
+        /// What the getter required (`"number"`, `"unsigned integer"`, …).
+        want: &'static str,
+        /// The [`Json::kind`] noun of what was found.
+        found: &'static str,
+    },
+}
+
+impl fmt::Display for SliceError<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Mirrors `JsonError`'s Display (`json error: …`) so fast-path and
+        // tree-path error replies are byte-identical.
+        match self {
+            SliceError::Missing { field } => write!(f, "json error: missing field `{field}`"),
+            SliceError::Type { field, want, found } => {
+                write!(f, "json error: {field}: expected {want}, found {found}")
+            }
+        }
+    }
+}
+
+/// The kind noun for a raw value slice (first byte is decisive after
+/// validation).
+fn raw_kind(raw: &str) -> &'static str {
+    match raw.as_bytes().first() {
+        Some(b'"') => "string",
+        Some(b'{') => "object",
+        Some(b'[') => "array",
+        Some(b't' | b'f') => "bool",
+        Some(b'n') => "null",
+        _ => "number",
+    }
+}
+
+/// Validating scanner over the raw bytes: checks JSON syntax without
+/// building values, rejecting (`None`) anything outside the borrowed
+/// fast path's scope. Mirrors `Parser`'s grammar, including its lax
+/// number scan backed by an `f64` parse.
+struct Scan<'a> {
+    b: &'a [u8],
+    i: usize,
+    depth: usize,
+}
+
+impl<'a> Scan<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    /// Validates one string, rejecting any escape (the borrowed view
+    /// cannot decode them). Returns the content slice between the quotes.
+    fn string(&mut self) -> Option<&'a str> {
+        if self.peek() != Some(b'"') {
+            return None;
+        }
+        self.i += 1;
+        let start = self.i;
+        loop {
+            match self.peek()? {
+                b'"' => {
+                    let s = &self.b[start..self.i];
+                    self.i += 1;
+                    // Input came from a &str, so the slice is valid UTF-8.
+                    return Some(unsafe { std::str::from_utf8_unchecked(s) });
+                }
+                b'\\' => return None,
+                c if c < 0x20 => return None,
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    /// Validates one value and returns its raw trimmed slice.
+    fn value(&mut self) -> Option<&'a str> {
+        if self.depth >= MAX_DEPTH {
+            return None;
+        }
+        let start = self.i;
+        match self.peek()? {
+            b'n' => self.literal(b"null")?,
+            b't' => self.literal(b"true")?,
+            b'f' => self.literal(b"false")?,
+            b'"' => {
+                self.string()?;
+            }
+            b'[' => {
+                self.i += 1;
+                self.depth += 1;
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.i += 1;
+                } else {
+                    loop {
+                        self.skip_ws();
+                        self.value()?;
+                        self.skip_ws();
+                        match self.peek()? {
+                            b',' => self.i += 1,
+                            b']' => {
+                                self.i += 1;
+                                break;
+                            }
+                            _ => return None,
+                        }
+                    }
+                }
+                self.depth -= 1;
+            }
+            b'{' => {
+                self.i += 1;
+                self.depth += 1;
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.i += 1;
+                } else {
+                    loop {
+                        self.skip_ws();
+                        self.string()?;
+                        self.skip_ws();
+                        if self.peek()? != b':' {
+                            return None;
+                        }
+                        self.i += 1;
+                        self.skip_ws();
+                        self.value()?;
+                        self.skip_ws();
+                        match self.peek()? {
+                            b',' => self.i += 1,
+                            b'}' => {
+                                self.i += 1;
+                                break;
+                            }
+                            _ => return None,
+                        }
+                    }
+                }
+                self.depth -= 1;
+            }
+            c if c == b'-' || c.is_ascii_digit() => {
+                // The tree parser's lax scan: consume number-ish bytes and
+                // let the f64 parse arbitrate validity.
+                self.i += 1;
+                while matches!(
+                    self.peek(),
+                    Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                ) {
+                    self.i += 1;
+                }
+                let text = unsafe { std::str::from_utf8_unchecked(&self.b[start..self.i]) };
+                text.parse::<f64>().ok()?;
+            }
+            _ => return None,
+        }
+        let raw = &self.b[start..self.i];
+        Some(unsafe { std::str::from_utf8_unchecked(raw) })
+    }
+
+    fn literal(&mut self, word: &[u8]) -> Option<()> {
+        if self.b[self.i..].starts_with(word) {
+            self.i += word.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+}
+
+impl<'a> JsonSlice<'a> {
+    /// Validates `text` as a single escape-free JSON object and returns the
+    /// borrowed view, or `None` when the caller must fall back to
+    /// [`Json::parse`].
+    #[must_use]
+    pub fn scan(text: &'a str) -> Option<JsonSlice<'a>> {
+        let mut s = Scan {
+            b: text.as_bytes(),
+            i: 0,
+            depth: 0,
+        };
+        s.skip_ws();
+        let start = s.i;
+        if s.peek() != Some(b'{') {
+            return None;
+        }
+        let raw = s.value()?;
+        s.skip_ws();
+        if s.i != s.b.len() {
+            return None;
+        }
+        let _ = start;
+        Some(JsonSlice { src: raw })
+    }
+
+    /// Wraps a raw object slice already validated by an enclosing
+    /// [`scan`](JsonSlice::scan) (e.g. an element of [`array`]).
+    ///
+    /// [`array`]: JsonSlice::array
+    fn from_validated(raw: &'a str) -> Option<JsonSlice<'a>> {
+        raw.starts_with('{').then_some(JsonSlice { src: raw })
+    }
+
+    /// The first value stored under `name`, as its raw text slice.
+    #[must_use]
+    pub fn get_raw(&self, name: &str) -> Option<&'a str> {
+        let mut s = Scan {
+            b: self.src.as_bytes(),
+            i: 1, // past '{'
+            depth: 0,
+        };
+        s.skip_ws();
+        if s.peek() == Some(b'}') {
+            return None;
+        }
+        loop {
+            s.skip_ws();
+            let key = s.string()?;
+            s.skip_ws();
+            s.i += 1; // ':' (validated by scan)
+            s.skip_ws();
+            let value = s.value()?;
+            if key == name {
+                return Some(value);
+            }
+            s.skip_ws();
+            match s.peek()? {
+                b',' => s.i += 1,
+                _ => return None, // '}' — exhausted
+            }
+        }
+    }
+
+    /// Borrowed string field (exact [`Json::get::<String>`] semantics; the
+    /// scan already guaranteed the content is escape-free).
+    pub fn get_str(&self, name: &'a str) -> Result<&'a str, SliceError<'a>> {
+        let raw = self
+            .get_raw(name)
+            .ok_or(SliceError::Missing { field: name })?;
+        if raw.starts_with('"') {
+            Ok(&raw[1..raw.len() - 1])
+        } else {
+            Err(SliceError::Type {
+                field: name,
+                want: "string",
+                found: raw_kind(raw),
+            })
+        }
+    }
+
+    /// Optional string field: missing or `null` is `Ok(None)`.
+    pub fn get_opt_str(&self, name: &'a str) -> Result<Option<&'a str>, SliceError<'a>> {
+        match self.get_raw(name) {
+            None => Ok(None),
+            Some("null") => Ok(None),
+            Some(raw) if raw.starts_with('"') => Ok(Some(&raw[1..raw.len() - 1])),
+            Some(raw) => Err(SliceError::Type {
+                field: name,
+                want: "string",
+                found: raw_kind(raw),
+            }),
+        }
+    }
+
+    /// Numeric field as `f64` (exact [`Json::get::<f64>`] coercions).
+    pub fn get_f64(&self, name: &'a str) -> Result<f64, SliceError<'a>> {
+        let raw = self
+            .get_raw(name)
+            .ok_or(SliceError::Missing { field: name })?;
+        parse_raw_f64(raw).ok_or(SliceError::Type {
+            field: name,
+            want: "number",
+            found: raw_kind(raw),
+        })
+    }
+
+    /// Numeric field as `u64` (exact [`Json::get::<u64>`] coercions: exact
+    /// non-negative integers only, floats accepted up to 2⁵³).
+    pub fn get_u64(&self, name: &'a str) -> Result<u64, SliceError<'a>> {
+        let raw = self
+            .get_raw(name)
+            .ok_or(SliceError::Missing { field: name })?;
+        parse_raw_u64(raw).ok_or(SliceError::Type {
+            field: name,
+            want: "unsigned integer",
+            found: raw_kind(raw),
+        })
+    }
+
+    /// Optional `u64` field: missing or `null` is `Ok(None)`.
+    pub fn get_opt_u64(&self, name: &'a str) -> Result<Option<u64>, SliceError<'a>> {
+        match self.get_raw(name) {
+            None | Some("null") => Ok(None),
+            Some(raw) => parse_raw_u64(raw).map(Some).ok_or(SliceError::Type {
+                field: name,
+                want: "unsigned integer",
+                found: raw_kind(raw),
+            }),
+        }
+    }
+
+    /// Array field as an iterator of raw element slices.
+    pub fn array(&self, name: &'a str) -> Result<JsonSliceArray<'a>, SliceError<'a>> {
+        let raw = self
+            .get_raw(name)
+            .ok_or(SliceError::Missing { field: name })?;
+        if raw.starts_with('[') {
+            Ok(JsonSliceArray { src: raw, pos: 1 })
+        } else {
+            Err(SliceError::Type {
+                field: name,
+                want: "array",
+                found: raw_kind(raw),
+            })
+        }
+    }
+
+    /// An element of [`array`](JsonSlice::array) as a nested object view,
+    /// or `None` when the element is not an object.
+    #[must_use]
+    pub fn element_object(raw: &'a str) -> Option<JsonSlice<'a>> {
+        JsonSlice::from_validated(raw)
+    }
+}
+
+/// Iterator over the raw element slices of a validated JSON array.
+#[derive(Debug, Clone)]
+pub struct JsonSliceArray<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Iterator for JsonSliceArray<'a> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        let mut s = Scan {
+            b: self.src.as_bytes(),
+            i: self.pos,
+            depth: 0,
+        };
+        s.skip_ws();
+        match s.peek()? {
+            b']' => return None,
+            b',' => {
+                s.i += 1;
+                s.skip_ws();
+            }
+            _ => {}
+        }
+        let raw = s.value()?;
+        self.pos = s.i;
+        Some(raw)
+    }
+}
+
+/// `f64` from a raw number slice, mirroring `as_f64` over parsed numbers.
+fn parse_raw_f64(raw: &str) -> Option<f64> {
+    let first = *raw.as_bytes().first()?;
+    if first != b'-' && !first.is_ascii_digit() {
+        return None;
+    }
+    raw.parse::<f64>().ok()
+}
+
+/// `u64` from a raw number slice, mirroring `as_u64` over parsed numbers:
+/// plain integers parse exactly; float-looking text coerces only when
+/// non-negative, integral and at most 2⁵³ (the tree parser's rule).
+fn parse_raw_u64(raw: &str) -> Option<u64> {
+    let first = *raw.as_bytes().first()?;
+    if first != b'-' && !first.is_ascii_digit() {
+        return None;
+    }
+    if let Ok(v) = raw.parse::<u64>() {
+        return Some(v);
+    }
+    let v = raw.parse::<f64>().ok()?;
+    (v >= 0.0 && v <= 2f64.powi(53) && v.fract() == 0.0).then_some(v as u64)
+}
+
+/// A reusable append buffer that writes compact JSON byte-identically to
+/// [`Json`]'s `Display` — the serve hot path's reply formatter.
+///
+/// One pooled `JsonWriter` per connection replaces the build-a-`Json`-then-
+/// `to_string` reply path: [`clear`](JsonWriter::clear) between requests
+/// keeps the grown capacity, so a warm reply costs zero heap allocations.
+/// The primitive writers reproduce `Json`'s exact byte choices (shortest
+/// round-trip floats, `null` for non-finite, the same escape table), which
+/// unit tests pin against the tree writer.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+}
+
+impl JsonWriter {
+    /// An empty writer; the first replies size it.
+    #[must_use]
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    /// The accumulated text.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether anything has been written since the last clear.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Current heap capacity (the pooled-buffer high-water mark).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Empties the buffer, keeping its capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Appends pre-serialized JSON text verbatim (the caller vouches for
+    /// its validity — punctuation, keys, whole sub-documents).
+    pub fn raw(&mut self, s: &str) {
+        self.buf.push_str(s);
+    }
+
+    /// Appends one character verbatim.
+    pub fn raw_char(&mut self, c: char) {
+        self.buf.push(c);
+    }
+
+    /// Appends `s` as a quoted, escaped JSON string.
+    pub fn string(&mut self, s: &str) {
+        self.buf.push('"');
+        escape_into(&mut self.buf, s);
+        self.buf.push('"');
+    }
+
+    /// Appends `v`'s `Display` text as a quoted, escaped JSON string
+    /// without materializing it first.
+    pub fn display_string(&mut self, v: &dyn fmt::Display) {
+        use fmt::Write;
+        self.buf.push('"');
+        let mut sink = EscapingSink { buf: &mut self.buf };
+        // Infallible: writing into a String cannot fail.
+        let _ = write!(sink, "{v}");
+        self.buf.push('"');
+    }
+
+    /// Appends an unsigned integer (as `Json::U64` renders).
+    pub fn u64(&mut self, v: u64) {
+        use fmt::Write;
+        let _ = write!(self.buf, "{v}");
+    }
+
+    /// Appends a float exactly as `Json::F64` renders: shortest round-trip
+    /// `Display` when finite, `null` otherwise.
+    pub fn f64(&mut self, v: f64) {
+        use fmt::Write;
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v}");
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
+    /// Appends a bool (as `Json::Bool` renders).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+}
+
+/// `fmt::Write` adapter that escapes into the underlying buffer with the
+/// same table as [`Json`]'s string writer.
+struct EscapingSink<'b> {
+    buf: &'b mut String,
+}
+
+impl fmt::Write for EscapingSink<'_> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        escape_into(self.buf, s);
+        Ok(())
+    }
+}
+
+/// The escape table of `write_escaped`, appending into a `String`.
+fn escape_into(buf: &mut String, s: &str) {
+    use fmt::Write;
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            '\u{08}' => buf.push_str("\\b"),
+            '\u{0C}' => buf.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+}
+
 /// Serializes a value to its compact JSON text.
 pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
     value.to_json().to_string()
@@ -877,5 +1430,197 @@ mod tests {
             doc.push('[');
         }
         assert!(Json::parse(&doc).is_err());
+    }
+
+    // ---- JsonSlice: the borrowed fast path must agree with the tree ----
+
+    #[test]
+    fn slice_accepts_plain_objects_and_borrows_fields() {
+        let line = r#"{"op":"predict","host":42,"start":9.5,"init":"S1","flag":null}"#;
+        let s = JsonSlice::scan(line).expect("fast path");
+        assert_eq!(s.get_str("op"), Ok("predict"));
+        assert_eq!(s.get_u64("host"), Ok(42));
+        assert_eq!(s.get_f64("start"), Ok(9.5));
+        assert_eq!(s.get_opt_str("init"), Ok(Some("S1")));
+        assert_eq!(s.get_opt_str("flag"), Ok(None));
+        assert_eq!(s.get_opt_str("absent"), Ok(None));
+        assert_eq!(s.get_opt_u64("absent"), Ok(None));
+    }
+
+    #[test]
+    fn slice_rejects_everything_outside_its_scope() {
+        // Anything the borrowed view can't represent identically to the
+        // tree parser must bounce to the fallback path.
+        for bad in [
+            "[1,2]",               // non-object top level
+            "42",                  // scalar top level
+            r#"{"a":"x\ny"}"#,     // escape in a value
+            r#"{"a\"b":1}"#,       // escape in a key
+            r#"{"a":1"#,           // truncated
+            r#"{"a":1} trailing"#, // trailing garbage
+            r#"{"a":tru}"#,        // bad literal
+            r#"{"a":1e}"#,         // unparseable number
+            r#"{"a" 1}"#,          // missing colon
+        ] {
+            assert!(JsonSlice::scan(bad).is_none(), "accepted: {bad}");
+        }
+        // …and each of those (except trailing garbage variants) must also
+        // fail or differ in the tree parser, so the fallback is never more
+        // permissive in a way the fast path hides. Spot-check the escapes:
+        // the tree parser accepts them, which is exactly why the fast path
+        // must refuse rather than mis-slice.
+        assert!(Json::parse(r#"{"a":"x\ny"}"#).is_ok());
+    }
+
+    #[test]
+    fn slice_u64_coercions_match_tree_parser() {
+        for (raw, want) in [
+            ("7", Some(7u64)),
+            ("7.0", Some(7)),
+            ("9007199254740992", Some(1u64 << 53)),
+            ("-1", None),
+            ("1.5", None),
+            ("1e3", Some(1000)),
+        ] {
+            let line = format!("{{\"v\":{raw}}}");
+            let s = JsonSlice::scan(&line).expect("fast path");
+            let tree = Json::parse(&line).expect("tree");
+            let got = s.get_u64("v").ok();
+            assert_eq!(got, want, "raw {raw}");
+            assert_eq!(got, tree.get::<u64>("v").ok(), "tree agreement on {raw}");
+        }
+    }
+
+    #[test]
+    fn slice_errors_match_tree_error_text() {
+        let line = r#"{"host":"nope","start":"x","day_type":7}"#;
+        let s = JsonSlice::scan(line).expect("fast path");
+        let tree = Json::parse(line).expect("tree");
+        assert_eq!(
+            s.get_u64("host").unwrap_err().to_string(),
+            tree.get::<u64>("host").unwrap_err().to_string()
+        );
+        assert_eq!(
+            s.get_f64("start").unwrap_err().to_string(),
+            tree.get::<f64>("start").unwrap_err().to_string()
+        );
+        assert_eq!(
+            s.get_str("day_type").unwrap_err().to_string(),
+            tree.get::<String>("day_type").unwrap_err().to_string()
+        );
+        assert_eq!(
+            s.get_u64("gone").unwrap_err().to_string(),
+            tree.get::<u64>("gone").unwrap_err().to_string()
+        );
+    }
+
+    #[test]
+    fn slice_array_iterates_raw_elements() {
+        let line = r#"{"ops":[{"op":"ping"},{"op":"predict","host":3},7,[1,2],[]]}"#;
+        let s = JsonSlice::scan(line).expect("fast path");
+        let elems: Vec<&str> = s.array("ops").expect("array").collect();
+        assert_eq!(
+            elems,
+            [
+                r#"{"op":"ping"}"#,
+                r#"{"op":"predict","host":3}"#,
+                "7",
+                "[1,2]",
+                "[]"
+            ]
+        );
+        let nested = JsonSlice::element_object(elems[1]).expect("object elem");
+        assert_eq!(nested.get_u64("host"), Ok(3));
+        assert!(JsonSlice::element_object(elems[2]).is_none());
+        let empty = JsonSlice::scan(r#"{"ops":[]}"#).expect("fast path");
+        assert_eq!(empty.array("ops").expect("array").count(), 0);
+        let not_array = JsonSlice::scan(r#"{"ops":3}"#).expect("fast path");
+        assert_eq!(
+            not_array.array("ops").unwrap_err().to_string(),
+            "json error: ops: expected array, found number"
+        );
+    }
+
+    // ---- JsonWriter: byte-identical to the tree writer ----
+
+    #[test]
+    fn writer_matches_tree_display_for_primitives() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            0.25,
+            -3.5e-9,
+            1e300,
+            f64::NAN,
+            f64::INFINITY,
+        ] {
+            let mut w = JsonWriter::new();
+            w.f64(v);
+            assert_eq!(w.as_str(), Json::F64(v).to_string(), "f64 {v}");
+        }
+        for v in [0u64, 7, u64::MAX] {
+            let mut w = JsonWriter::new();
+            w.u64(v);
+            assert_eq!(w.as_str(), Json::U64(v).to_string(), "u64 {v}");
+        }
+        for s in [
+            "plain",
+            "quo\"te",
+            "back\\slash",
+            "line\nfeed",
+            "tab\there",
+            "\u{1}\u{8}\u{c}",
+        ] {
+            let mut w = JsonWriter::new();
+            w.string(s);
+            assert_eq!(w.as_str(), Json::Str(s.into()).to_string(), "str {s:?}");
+        }
+    }
+
+    #[test]
+    fn writer_builds_objects_identical_to_tree() {
+        let tree = Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("op".into(), Json::Str("predict".into())),
+            ("host".into(), Json::U64(9)),
+            ("tr".into(), Json::F64(0.8125)),
+        ]);
+        let mut w = JsonWriter::new();
+        w.raw("{\"ok\":");
+        w.bool(true);
+        w.raw(",\"op\":");
+        w.string("predict");
+        w.raw(",\"host\":");
+        w.u64(9);
+        w.raw(",\"tr\":");
+        w.f64(0.8125);
+        w.raw_char('}');
+        assert_eq!(w.as_str(), tree.to_string());
+    }
+
+    #[test]
+    fn writer_clear_keeps_capacity() {
+        let mut w = JsonWriter::new();
+        w.string("a fairly long string to size the buffer up front");
+        let cap = w.capacity();
+        assert!(cap > 0);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.capacity(), cap);
+    }
+
+    #[test]
+    fn writer_display_string_escapes_on_the_fly() {
+        struct Tricky;
+        impl fmt::Display for Tricky {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "a\"b\\c\nd")
+            }
+        }
+        let mut w = JsonWriter::new();
+        w.display_string(&Tricky);
+        assert_eq!(w.as_str(), Json::Str("a\"b\\c\nd".into()).to_string());
     }
 }

@@ -3,9 +3,14 @@
 //! Replaces `crossbeam::scope` for the figure-sweep loops. The contract that
 //! matters for reproducibility: `par_map_indexed(n, f)` returns **exactly**
 //! `(0..n).map(f).collect()` — same values, same order — regardless of how
-//! many worker threads ran or how the indices interleaved. Each index is
-//! claimed once from a shared atomic counter, and each result lands in its
-//! own pre-allocated slot.
+//! many worker threads ran or how the indices interleaved. Workers claim
+//! contiguous index chunks from a shared atomic counter (guided
+//! self-scheduling: each claim takes half a worker's fair share of what
+//! remains, shrinking to single indices near the tail), and each result
+//! lands in its own pre-allocated slot. Chunked claiming keeps cheap
+//! per-item sweeps — a 1 000-host cluster pass at a few µs per host — from
+//! paying one contended `fetch_add` plus a cold cache line per item, while
+//! the shrinking chunk size still load-balances skewed items.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -40,12 +45,24 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                // Guided self-scheduling: claim ~half this worker's fair
+                // share of the remaining range in one atomic op. Early
+                // chunks are large (amortizing the counter), late chunks
+                // shrink to 1 (so a straggler can't strand work).
+                let start = next.load(Ordering::Relaxed);
+                if start >= n {
                     break;
                 }
-                let value = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(value);
+                let chunk = ((n - start) / (2 * workers)).max(1);
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                for (offset, slot) in slots[start..end].iter().enumerate() {
+                    let value = f(start + offset);
+                    *slot.lock().expect("result slot poisoned") = Some(value);
+                }
             });
         }
     });
@@ -97,6 +114,19 @@ mod tests {
         // More jobs than any plausible core count: exercises re-claiming.
         let out = par_map_indexed(1000, |i| i as u64 * 3);
         assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
+    }
+
+    #[test]
+    fn skewed_items_still_cover_every_index() {
+        // A pathological cost profile (one huge item first) must not let
+        // chunked claiming strand indices or duplicate them.
+        let out = par_map_indexed(257, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i
+        });
+        assert_eq!(out, (0..257).collect::<Vec<_>>());
     }
 
     #[test]

@@ -90,7 +90,7 @@ USAGE:
   fgcs evaluate TRACE.json [--train A --test B] [--start HOURS] [--hours H]
   fgcs serve    [--shards N] [--max-days D] [--port P]  (TCP; prints `listening on ADDR`)
   fgcs serve    --oneshot [--shards N] [--max-days D]   (request lines stdin -> stdout)
-  fgcs query    HOST:PORT                               (request lines stdin -> stdout)
+  fgcs query    HOST:PORT [--pipelined]                  (request lines stdin -> stdout)
   fgcs encode   TRACE.json [--host H]                   (trace days as serve ingest requests)
   fgcs metrics  [--seed N] [--days D]
   fgcs chaos    [--seed N] [--steps T] [--machines M] [--warmup-days D] [--no-faults|--zero-faults]
@@ -340,17 +340,45 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("serving {addr}: {e}"))
 }
 
-/// Streams request lines from stdin to a running `fgcs serve` instance and
-/// prints one reply line per request.
+/// Streams request lines from stdin to a running `fgcs serve` instance.
+///
+/// The default mode is lockstep: one request line out, one reply line
+/// back. `--pipelined` instead writes every request from a background
+/// thread while replies stream to stdout until the server half-closes —
+/// the socket stays full in both directions, and multi-line `batch`
+/// replies (which break the one-line-per-request assumption) pass through
+/// unframed. Stdin EOF half-closes the write side, which the server
+/// treats as end of session for this connection.
 fn cmd_query(args: &[String]) -> Result<(), String> {
     use std::io::{BufRead, BufReader, Write};
     let addr = args
         .iter()
         .find(|a| !a.starts_with("--"))
-        .ok_or("expected a HOST:PORT argument")?;
+        .ok_or("expected a HOST:PORT argument")?
+        .clone();
     let stream = std::net::TcpStream::connect(addr.as_str())
         .map_err(|e| format!("connecting {addr}: {e}"))?;
     let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    if args.iter().any(|a| a == "--pipelined") {
+        let mut writer = stream;
+        let send_addr = addr.clone();
+        let sender = std::thread::spawn(move || -> Result<(), String> {
+            for line in std::io::stdin().lock().lines() {
+                let line = line.map_err(|e| e.to_string())?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                writeln!(writer, "{line}").map_err(|e| format!("sending to {send_addr}: {e}"))?;
+            }
+            writer
+                .shutdown(std::net::Shutdown::Write)
+                .map_err(|e| e.to_string())
+        });
+        let mut stdout = std::io::stdout().lock();
+        std::io::copy(&mut reader, &mut stdout)
+            .map_err(|e| format!("reading replies from {addr}: {e}"))?;
+        return sender.join().map_err(|_| "sender thread panicked")?;
+    }
     let mut writer = stream;
     let mut reply = String::new();
     for line in std::io::stdin().lock().lines() {

@@ -11,6 +11,7 @@
 //! | `ingest`  | `host`, `states` (digits `1`–`5`), optional `day_index`      |
 //! | `predict` | `host`, `start`, `hours`, opt. `day_type`, `init`            |
 //! | `sweep`   | `host`, `start`, `hours`, opt. `day_type`, `init`, `points`  |
+//! | `batch`   | `ops`: array of `ping`/`ingest`/`predict`/`sweep` requests   |
 //! | `stats`   | —                                                            |
 //! | `shutdown`| —                                                            |
 //!
@@ -21,6 +22,32 @@
 //! Failures of any op are `{"ok":false,"error":"…"}`; a malformed line
 //! never kills the connection.
 //!
+//! # Wire-path memory discipline
+//!
+//! The request path is allocation-free once warm. Incoming lines are
+//! scanned in place by [`JsonSlice`] — a borrowed view that never builds a
+//! tree — and replies are appended to a pooled [`JsonWriter`] whose buffer
+//! is cleared (capacity kept) between requests. Lines the borrowed scanner
+//! cannot represent (escapes, non-object top level, malformed syntax) fall
+//! back to the tree parser, which keeps the exact cold-path semantics and
+//! error bytes. Field errors on the fast path are borrowed
+//! ([`SliceError`]) and render their message only when an error reply is
+//! actually written. Both transports reuse one read buffer and one reply
+//! buffer per connection; `stats` reports the high-water marks of both
+//! pools.
+//!
+//! # Batch requests
+//!
+//! `{"op":"batch","ops":[…]}` answers each nested op with its own reply
+//! line, concatenated in request order — byte-identical to sending the ops
+//! as individual lines. Internally the ops are grouped by registry shard so
+//! each shard's lock is taken once per batch ([`ShardedRegistry::session`]),
+//! and runs of `predict` ops against one `(host, day_type, window)` are
+//! answered from a single Eq.-3 recursion (the curve is prefix-closed, so
+//! the values are bit-identical to independent solves). Per-host op order
+//! is preserved. `stats`, `shutdown`, and nested `batch` ops are rejected
+//! per-op; an empty `ops` array is an error.
+//!
 //! The same [`Server`] drives both transports:
 //!
 //! * [`Server::serve_lines`] — oneshot batch mode (`fgcs serve --oneshot`):
@@ -29,15 +56,16 @@
 //!   (`fgcs serve`), thread-per-connection over the shared registry, shut
 //!   down cleanly by the `shutdown` op from any connection.
 
+use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use fgcs_core::batch::TrCurve;
-use fgcs_core::registry::{RegistryConfig, ShardedRegistry};
+use fgcs_core::registry::{IngestAck, RegistryConfig, ShardedRegistry};
 use fgcs_core::state::State;
 use fgcs_core::window::{DayType, TimeWindow, SECS_PER_DAY};
-use fgcs_runtime::json::Json;
+use fgcs_runtime::json::{Json, JsonSlice, JsonSliceArray, JsonWriter, SliceError};
 
 /// Configuration for [`Server::new`].
 #[derive(Debug, Clone)]
@@ -57,8 +85,9 @@ impl Default for ServeConfig {
     }
 }
 
-/// One handled request: the reply line (no trailing newline) and whether
-/// the request asked the service to stop.
+/// One handled request: the reply line(s) (no trailing newline) and
+/// whether the request asked the service to stop. A `batch` request yields
+/// one reply line per nested op, joined by `'\n'`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Reply {
     /// The serialized JSON reply.
@@ -67,11 +96,199 @@ pub struct Reply {
     pub shutdown: bool,
 }
 
+/// Canned replies for the field-free ops (no allocation, no formatting).
+const PING_LINE: &str = "{\"ok\":true,\"op\":\"ping\"}\n";
+const SHUTDOWN_LINE: &str = "{\"ok\":true,\"op\":\"shutdown\"}\n";
+const EMPTY_BATCH: &str = "batch needs at least one op";
+
 /// The prediction service: a [`ShardedRegistry`] plus the JSON-lines
 /// protocol. Transport-agnostic; see [`Server::serve_lines`] and
 /// [`Server::serve_tcp`].
 pub struct Server {
     registry: ShardedRegistry,
+    /// Largest request line (bytes) handled so far — the steady-state size
+    /// of a pooled read buffer.
+    read_hwm: AtomicU64,
+    /// Most reply bytes written for a single request — the steady-state
+    /// size of a pooled reply buffer.
+    write_hwm: AtomicU64,
+}
+
+/// One request decoded on the borrowed fast path: every field is `Copy` or
+/// borrows from the input line, so decoding allocates nothing.
+enum Request<'a> {
+    Ping,
+    Shutdown,
+    Stats,
+    Ingest {
+        host: u64,
+        day_index: Option<u64>,
+        states: &'a str,
+    },
+    Predict {
+        host: u64,
+        day_type: DayType,
+        window: TimeWindow,
+        init: State,
+    },
+    Sweep {
+        host: u64,
+        day_type: DayType,
+        window: TimeWindow,
+        init: State,
+        points: usize,
+    },
+    Batch(JsonSliceArray<'a>),
+}
+
+/// A fast-path protocol error. Field-shape errors stay borrowed
+/// ([`SliceError`]); only the validators that already build owned messages
+/// ([`parse_window`] & friends) carry a `String` — and every variant
+/// formats its message only when the error reply is written.
+enum WireError<'a> {
+    Slice(SliceError<'a>),
+    UnknownOp(&'a str),
+    Msg(String),
+}
+
+impl fmt::Display for WireError<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Slice(e) => e.fmt(f),
+            WireError::UnknownOp(op) => write!(f, "unknown op `{op}`"),
+            WireError::Msg(m) => f.write_str(m),
+        }
+    }
+}
+
+impl<'a> From<SliceError<'a>> for WireError<'a> {
+    fn from(e: SliceError<'a>) -> WireError<'a> {
+        WireError::Slice(e)
+    }
+}
+
+/// Decodes one request object. Field order and error precedence mirror the
+/// tree path exactly, so both paths reply with identical bytes.
+fn parse_request<'a>(s: &JsonSlice<'a>) -> Result<Request<'a>, WireError<'a>> {
+    let op = s.get_str("op")?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        "stats" => Ok(Request::Stats),
+        "ingest" => Ok(Request::Ingest {
+            host: s.get_u64("host")?,
+            day_index: s.get_opt_u64("day_index")?,
+            states: s.get_str("states")?,
+        }),
+        "predict" => {
+            let host = s.get_u64("host")?;
+            let (day_type, window, init) = slice_coords(s)?;
+            Ok(Request::Predict {
+                host,
+                day_type,
+                window,
+                init,
+            })
+        }
+        "sweep" => {
+            let host = s.get_u64("host")?;
+            let (day_type, window, init) = slice_coords(s)?;
+            let points = s.get_opt_u64("points")?.unwrap_or(12) as usize;
+            Ok(Request::Sweep {
+                host,
+                day_type,
+                window,
+                init,
+                points,
+            })
+        }
+        "batch" => Ok(Request::Batch(s.array("ops")?)),
+        other => Err(WireError::UnknownOp(other)),
+    }
+}
+
+/// Borrowed twin of [`query_coords`]: same fields, same defaults, same
+/// error order.
+fn slice_coords<'a>(s: &JsonSlice<'a>) -> Result<(DayType, TimeWindow, State), WireError<'a>> {
+    let start = s.get_f64("start")?;
+    let hours = s.get_f64("hours")?;
+    let day_type = match s.get_opt_str("day_type")? {
+        None => DayType::Weekday,
+        Some(v) => parse_day_type(v).map_err(WireError::Msg)?,
+    };
+    let init = match s.get_opt_str("init")? {
+        None => State::S1,
+        Some(v) => parse_init(v).map_err(WireError::Msg)?,
+    };
+    Ok((
+        day_type,
+        parse_window(start, hours).map_err(WireError::Msg)?,
+        init,
+    ))
+}
+
+/// `{"ok":false,"error":…}` with the message rendered straight into the
+/// reply buffer (escaped on the fly, no intermediate `String`).
+fn write_error_line(out: &mut JsonWriter, err: &dyn fmt::Display) {
+    out.raw("{\"ok\":false,\"error\":");
+    out.display_string(err);
+    out.raw("}\n");
+}
+
+/// The `ingest` ack, byte-identical to the tree rendering.
+fn write_ingest_line(out: &mut JsonWriter, ack: &IngestAck) {
+    out.raw("{\"ok\":true,\"op\":\"ingest\",\"host\":");
+    out.u64(ack.host);
+    out.raw(",\"day_index\":");
+    out.u64(ack.day_index as u64);
+    out.raw(",\"days\":");
+    out.u64(ack.days as u64);
+    out.raw("}\n");
+}
+
+/// The `predict` reply, byte-identical to the tree rendering.
+fn write_predict_line(
+    out: &mut JsonWriter,
+    host: u64,
+    window: TimeWindow,
+    day_type: DayType,
+    init: State,
+    tr: f64,
+) {
+    out.raw("{\"ok\":true,\"op\":\"predict\",\"host\":");
+    out.u64(host);
+    out.raw(",\"window\":");
+    out.display_string(&window);
+    out.raw(",\"day_type\":");
+    out.display_string(&day_type);
+    out.raw(",\"init\":");
+    out.display_string(&init);
+    out.raw(",\"tr\":");
+    out.f64(tr);
+    out.raw("}\n");
+}
+
+/// A batch op bound for a shard group, keyed by its slot in the reply
+/// vector.
+enum ShardOp<'a> {
+    Ingest {
+        host: u64,
+        day_index: Option<u64>,
+        states: &'a str,
+    },
+    Predict {
+        host: u64,
+        day_type: DayType,
+        window: TimeWindow,
+        init: State,
+    },
+    Sweep {
+        host: u64,
+        day_type: DayType,
+        window: TimeWindow,
+        init: State,
+        points: usize,
+    },
 }
 
 impl Server {
@@ -84,6 +301,8 @@ impl Server {
                 max_history_days: config.max_history_days,
                 ..RegistryConfig::default()
             }),
+            read_hwm: AtomicU64::new(0),
+            write_hwm: AtomicU64::new(0),
         }
     }
 
@@ -95,45 +314,412 @@ impl Server {
 
     /// Handles one request line and renders the reply. Never panics on
     /// malformed input: protocol errors become `{"ok":false,…}` replies.
+    ///
+    /// Convenience wrapper over
+    /// [`handle_line_into`](Server::handle_line_into) that allocates a
+    /// fresh reply `String`; the serving loops use the pooled variant.
     #[must_use]
     pub fn handle_line(&self, line: &str) -> Reply {
-        match self.handle_request(line) {
-            Ok((json, shutdown)) => Reply {
-                line: json.to_string(),
-                shutdown,
-            },
-            Err(msg) => Reply {
-                line: Json::Obj(vec![
-                    ("ok".into(), Json::Bool(false)),
-                    ("error".into(), Json::Str(msg)),
-                ])
-                .to_string(),
-                shutdown: false,
-            },
+        let mut out = JsonWriter::new();
+        let shutdown = self.handle_line_into(line, &mut out);
+        let mut line = out.as_str().to_string();
+        line.pop(); // every reply line is '\n'-terminated
+        Reply { line, shutdown }
+    }
+
+    /// Handles one request line, appending one `'\n'`-terminated reply
+    /// line per answered op (one line for everything except `batch`) to
+    /// `out`. Returns `true` when the request was a `shutdown` op.
+    ///
+    /// This is the zero-allocation hot path: with a warm `out` buffer, a
+    /// `ping` or cache-hit `predict` request allocates nothing — the line
+    /// is scanned in place and the reply is formatted into the pooled
+    /// buffer. The caller owns clearing `out` between requests.
+    pub fn handle_line_into(&self, line: &str, out: &mut JsonWriter) -> bool {
+        self.read_hwm
+            .fetch_max(line.len() as u64, Ordering::Relaxed);
+        let before = out.len();
+        let shutdown = match JsonSlice::scan(line) {
+            Some(slice) => self.dispatch_slice(&slice, out),
+            None => self.dispatch_tree(line, out),
+        };
+        self.write_hwm
+            .fetch_max((out.len() - before) as u64, Ordering::Relaxed);
+        shutdown
+    }
+
+    /// Fast path: the request parsed as a borrowed slice view.
+    fn dispatch_slice(&self, req: &JsonSlice<'_>, out: &mut JsonWriter) -> bool {
+        match parse_request(req) {
+            Err(e) => {
+                write_error_line(out, &e);
+                false
+            }
+            Ok(Request::Ping) => {
+                out.raw(PING_LINE);
+                false
+            }
+            Ok(Request::Shutdown) => {
+                out.raw(SHUTDOWN_LINE);
+                true
+            }
+            Ok(Request::Stats) => {
+                out.raw(&self.stats_json().to_string());
+                out.raw_char('\n');
+                false
+            }
+            Ok(Request::Ingest {
+                host,
+                day_index,
+                states,
+            }) => {
+                match decode_states(states) {
+                    Err(msg) => write_error_line(out, &msg),
+                    Ok(states) => {
+                        match self
+                            .registry
+                            .ingest_day(host, day_index.map(|d| d as usize), states)
+                        {
+                            Ok(ack) => write_ingest_line(out, &ack),
+                            Err(e) => write_error_line(out, &e),
+                        }
+                    }
+                }
+                false
+            }
+            Ok(Request::Predict {
+                host,
+                day_type,
+                window,
+                init,
+            }) => {
+                match self.registry.predict(host, day_type, window, init) {
+                    Ok(tr) => write_predict_line(out, host, window, day_type, init, tr),
+                    Err(e) => write_error_line(out, &e),
+                }
+                false
+            }
+            Ok(Request::Sweep {
+                host,
+                day_type,
+                window,
+                init,
+                points,
+            }) => {
+                match self.registry.sweep(host, day_type, window) {
+                    Err(e) => write_error_line(out, &e),
+                    Ok(curve) => match sweep_json(&curve, day_type, window, init, points) {
+                        Ok(doc) => {
+                            out.raw(&doc.to_string());
+                            out.raw_char('\n');
+                        }
+                        Err(msg) => write_error_line(out, &msg),
+                    },
+                }
+                false
+            }
+            Ok(Request::Batch(ops)) => {
+                self.run_batch(ops, out);
+                false
+            }
         }
     }
 
-    fn handle_request(&self, line: &str) -> Result<(Json, bool), String> {
-        let req = Json::parse(line).map_err(|e| format!("bad request: {e}"))?;
+    /// The shard-batched pipeline behind the `batch` op: classify each
+    /// nested op, group the registry-bound ones by shard, take each shard
+    /// lock once, answer `predict` runs against one `(host, day_type,
+    /// window)` from a single curve solve, then emit the replies in
+    /// request order.
+    fn run_batch(&self, ops: JsonSliceArray<'_>, out: &mut JsonWriter) {
+        let elements: Vec<&str> = ops.collect();
+        if elements.is_empty() {
+            write_error_line(out, &EMPTY_BATCH);
+            return;
+        }
+        let mut replies: Vec<String> = vec![String::new(); elements.len()];
+        let mut sharded: Vec<Vec<(usize, ShardOp<'_>)>> = (0..self.registry.shard_count())
+            .map(|_| Vec::new())
+            .collect();
+        let mut scratch = JsonWriter::new();
+        for (i, raw) in elements.iter().enumerate() {
+            let Some(slice) = JsonSlice::element_object(raw) else {
+                // Non-object element: identical handling (and bytes) to
+                // sending it as its own request line.
+                replies[i] = self.tree_element_line(raw);
+                continue;
+            };
+            scratch.clear();
+            // Op gate first — same precedence as the tree path, which
+            // resolves `op` before any other field.
+            let op = match slice.get_str("op") {
+                Ok(op) => op,
+                Err(e) => {
+                    write_error_line(&mut scratch, &e);
+                    replies[i] = scratch.as_str().to_string();
+                    continue;
+                }
+            };
+            if matches!(op, "stats" | "shutdown" | "batch") {
+                write_error_line(
+                    &mut scratch,
+                    &format_args!("op `{op}` not allowed inside batch"),
+                );
+                replies[i] = scratch.as_str().to_string();
+                continue;
+            }
+            match parse_request(&slice) {
+                Ok(Request::Ping) => scratch.raw(PING_LINE),
+                Ok(Request::Ingest {
+                    host,
+                    day_index,
+                    states,
+                }) => {
+                    sharded[self.registry.shard_index(host)].push((
+                        i,
+                        ShardOp::Ingest {
+                            host,
+                            day_index,
+                            states,
+                        },
+                    ));
+                    continue;
+                }
+                Ok(Request::Predict {
+                    host,
+                    day_type,
+                    window,
+                    init,
+                }) => {
+                    sharded[self.registry.shard_index(host)].push((
+                        i,
+                        ShardOp::Predict {
+                            host,
+                            day_type,
+                            window,
+                            init,
+                        },
+                    ));
+                    continue;
+                }
+                Ok(Request::Sweep {
+                    host,
+                    day_type,
+                    window,
+                    init,
+                    points,
+                }) => {
+                    sharded[self.registry.shard_index(host)].push((
+                        i,
+                        ShardOp::Sweep {
+                            host,
+                            day_type,
+                            window,
+                            init,
+                            points,
+                        },
+                    ));
+                    continue;
+                }
+                // The op gate above already rejected these.
+                Ok(Request::Stats | Request::Shutdown | Request::Batch(_)) => write_error_line(
+                    &mut scratch,
+                    &format_args!("op `{op}` not allowed inside batch"),
+                ),
+                Err(e) => write_error_line(&mut scratch, &e),
+            }
+            replies[i] = scratch.as_str().to_string();
+        }
+        for (shard, ops) in sharded.iter().enumerate() {
+            if ops.is_empty() {
+                continue;
+            }
+            let mut session = self.registry.session(shard);
+            let mut k = 0;
+            while k < ops.len() {
+                match &ops[k] {
+                    (
+                        i,
+                        ShardOp::Ingest {
+                            host,
+                            day_index,
+                            states,
+                        },
+                    ) => {
+                        scratch.clear();
+                        match decode_states(states) {
+                            Err(msg) => write_error_line(&mut scratch, &msg),
+                            Ok(states) => {
+                                match session.ingest_day(
+                                    *host,
+                                    day_index.map(|d| d as usize),
+                                    states,
+                                ) {
+                                    Ok(ack) => write_ingest_line(&mut scratch, &ack),
+                                    Err(e) => write_error_line(&mut scratch, &e),
+                                }
+                            }
+                        }
+                        replies[*i] = scratch.as_str().to_string();
+                        k += 1;
+                    }
+                    (
+                        i,
+                        ShardOp::Sweep {
+                            host,
+                            day_type,
+                            window,
+                            init,
+                            points,
+                        },
+                    ) => {
+                        scratch.clear();
+                        match session.sweep(*host, *day_type, *window) {
+                            Err(e) => write_error_line(&mut scratch, &e),
+                            Ok(curve) => {
+                                match sweep_json(&curve, *day_type, *window, *init, *points) {
+                                    Ok(doc) => {
+                                        scratch.raw(&doc.to_string());
+                                        scratch.raw_char('\n');
+                                    }
+                                    Err(msg) => write_error_line(&mut scratch, &msg),
+                                }
+                            }
+                        }
+                        replies[*i] = scratch.as_str().to_string();
+                        k += 1;
+                    }
+                    (
+                        i,
+                        ShardOp::Predict {
+                            host,
+                            day_type,
+                            window,
+                            init,
+                        },
+                    ) => {
+                        // Maximal run of predicts against one coordinate:
+                        // one curve solve answers them all, bit-identically
+                        // to scalar predicts.
+                        let (h, dt, w) = (*host, *day_type, *window);
+                        let mut group: Vec<(usize, State)> = vec![(*i, *init)];
+                        let mut end = k + 1;
+                        while end < ops.len() {
+                            match &ops[end] {
+                                (
+                                    j,
+                                    ShardOp::Predict {
+                                        host,
+                                        day_type,
+                                        window,
+                                        init,
+                                    },
+                                ) if *host == h && *day_type == dt && *window == w => {
+                                    group.push((*j, *init));
+                                    end += 1;
+                                }
+                                _ => break,
+                            }
+                        }
+                        let inits: Vec<State> = group.iter().map(|&(_, s)| s).collect();
+                        let results = session.predict_many(h, dt, w, &inits);
+                        for (&(j, init), res) in group.iter().zip(results) {
+                            scratch.clear();
+                            match res {
+                                Ok(tr) => write_predict_line(&mut scratch, h, w, dt, init, tr),
+                                Err(e) => write_error_line(&mut scratch, &e),
+                            }
+                            replies[j] = scratch.as_str().to_string();
+                        }
+                        k = end;
+                    }
+                }
+            }
+        }
+        for line in &replies {
+            out.raw(line);
+        }
+    }
+
+    /// Tree fallback: full parse, identical semantics and reply bytes.
+    fn dispatch_tree(&self, line: &str, out: &mut JsonWriter) -> bool {
+        let req = match Json::parse(line) {
+            Ok(req) => req,
+            Err(e) => {
+                write_error_line(out, &format_args!("bad request: {e}"));
+                return false;
+            }
+        };
+        if let Ok(Json::Str(op)) = req.field("op") {
+            if op == "batch" {
+                self.run_batch_tree(&req, out);
+                return false;
+            }
+        }
+        match self.handle_op_json(&req, false) {
+            Ok((json, shutdown)) => {
+                out.raw(&json.to_string());
+                out.raw_char('\n');
+                shutdown
+            }
+            Err(msg) => {
+                write_error_line(out, &msg);
+                false
+            }
+        }
+    }
+
+    /// `batch` on the tree path: sequential per-element handling (the cold
+    /// path skips shard grouping), same reply bytes as
+    /// [`run_batch`](Server::run_batch).
+    fn run_batch_tree(&self, req: &Json, out: &mut JsonWriter) {
+        let ops = match req.field("ops") {
+            Err(e) => {
+                write_error_line(out, &e);
+                return;
+            }
+            Ok(Json::Arr(ops)) => ops,
+            Ok(other) => {
+                write_error_line(
+                    out,
+                    &format_args!("json error: ops: expected array, found {}", other.kind()),
+                );
+                return;
+            }
+        };
+        if ops.is_empty() {
+            write_error_line(out, &EMPTY_BATCH);
+            return;
+        }
+        for el in ops {
+            match self.handle_op_json(el, true) {
+                Ok((json, _)) => {
+                    out.raw(&json.to_string());
+                    out.raw_char('\n');
+                }
+                Err(msg) => write_error_line(out, &msg),
+            }
+        }
+    }
+
+    /// One reply line for a non-object batch element — routed through the
+    /// tree path so the bytes match sending the element standalone.
+    fn tree_element_line(&self, raw: &str) -> String {
+        let mut w = JsonWriter::new();
+        let _ = self.dispatch_tree(raw, &mut w);
+        w.as_str().to_string()
+    }
+
+    /// One parsed (tree) op. `in_batch` rejects the control ops that may
+    /// not nest.
+    fn handle_op_json(&self, req: &Json, in_batch: bool) -> Result<(Json, bool), String> {
         let op: String = req.get("op").map_err(|e| e.to_string())?;
+        if in_batch && matches!(op.as_str(), "stats" | "shutdown" | "batch") {
+            return Err(format!("op `{op}` not allowed inside batch"));
+        }
         match op.as_str() {
             "ping" => Ok((ok_reply("ping", vec![]), false)),
             "shutdown" => Ok((ok_reply("shutdown", vec![]), true)),
-            "stats" => {
-                let stats = self.registry.stats();
-                Ok((
-                    ok_reply(
-                        "stats",
-                        vec![
-                            ("shards".into(), Json::U64(stats.shards as u64)),
-                            ("hosts".into(), Json::U64(stats.hosts as u64)),
-                            ("days".into(), Json::U64(stats.days as u64)),
-                            ("log_records".into(), Json::U64(stats.log_records as u64)),
-                        ],
-                    ),
-                    false,
-                ))
-            }
+            "stats" => Ok((self.stats_json(), false)),
             "ingest" => {
                 let host: u64 = req.get("host").map_err(|e| e.to_string())?;
                 let day_index: Option<u64> = req.get_opt("day_index").map_err(|e| e.to_string())?;
@@ -157,7 +743,7 @@ impl Server {
             }
             "predict" => {
                 let host: u64 = req.get("host").map_err(|e| e.to_string())?;
-                let (day_type, window, init) = query_coords(&req)?;
+                let (day_type, window, init) = query_coords(req)?;
                 let tr = self
                     .registry
                     .predict(host, day_type, window, init)
@@ -178,7 +764,7 @@ impl Server {
             }
             "sweep" => {
                 let host: u64 = req.get("host").map_err(|e| e.to_string())?;
-                let (day_type, window, init) = query_coords(&req)?;
+                let (day_type, window, init) = query_coords(req)?;
                 let points: Option<u64> = req.get_opt("points").map_err(|e| e.to_string())?;
                 let points = points.unwrap_or(12) as usize;
                 let curve = self
@@ -193,23 +779,74 @@ impl Server {
         }
     }
 
+    /// The `stats` reply document: registry counters, kernel-dedup
+    /// effectiveness, and the pooled-buffer high-water marks.
+    fn stats_json(&self) -> Json {
+        let stats = self.registry.stats();
+        let hit_rate = if stats.kernel_dedup_lookups == 0 {
+            0.0
+        } else {
+            stats.kernel_dedup_hits as f64 / stats.kernel_dedup_lookups as f64
+        };
+        ok_reply(
+            "stats",
+            vec![
+                ("shards".into(), Json::U64(stats.shards as u64)),
+                ("hosts".into(), Json::U64(stats.hosts as u64)),
+                ("days".into(), Json::U64(stats.days as u64)),
+                ("log_records".into(), Json::U64(stats.log_records as u64)),
+                (
+                    "kernel_dedup_hits".into(),
+                    Json::U64(stats.kernel_dedup_hits),
+                ),
+                (
+                    "kernel_dedup_lookups".into(),
+                    Json::U64(stats.kernel_dedup_lookups),
+                ),
+                (
+                    "kernel_dedup_entries".into(),
+                    Json::U64(stats.kernel_dedup_entries as u64),
+                ),
+                ("kernel_dedup_hit_rate".into(), Json::F64(hit_rate)),
+                (
+                    "read_buf_hwm".into(),
+                    Json::U64(self.read_hwm.load(Ordering::Relaxed)),
+                ),
+                (
+                    "write_buf_hwm".into(),
+                    Json::U64(self.write_hwm.load(Ordering::Relaxed)),
+                ),
+            ],
+        )
+    }
+
     /// Oneshot batch mode: handles request lines from `input` until EOF or
     /// a `shutdown` op, writing one reply line each to `output`. Returns
     /// whether a `shutdown` op was seen.
+    ///
+    /// One read buffer and one reply buffer serve the whole stream: both
+    /// are cleared (capacity kept) between requests, so a warm request
+    /// costs no per-line allocation.
     pub fn serve_lines(
         &self,
-        input: impl BufRead,
+        mut input: impl BufRead,
         mut output: impl Write,
     ) -> std::io::Result<bool> {
-        for line in input.lines() {
-            let line = line?;
-            let line = line.trim();
-            if line.is_empty() {
+        let mut line = String::new();
+        let mut out = JsonWriter::new();
+        loop {
+            line.clear();
+            if input.read_line(&mut line)? == 0 {
+                break;
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
                 continue;
             }
-            let reply = self.handle_line(line);
-            writeln!(output, "{}", reply.line)?;
-            if reply.shutdown {
+            out.clear();
+            let shutdown = self.handle_line_into(trimmed, &mut out);
+            output.write_all(out.as_str().as_bytes())?;
+            if shutdown {
                 output.flush()?;
                 return Ok(true);
             }
@@ -250,6 +887,7 @@ impl Server {
         let mut reader = BufReader::new(stream.try_clone()?);
         let mut writer = stream;
         let mut line = String::new();
+        let mut out = JsonWriter::new();
         loop {
             line.clear();
             if reader.read_line(&mut line)? == 0 {
@@ -259,11 +897,11 @@ impl Server {
             if trimmed.is_empty() {
                 continue;
             }
-            let reply = self.handle_line(trimmed);
-            writer.write_all(reply.line.as_bytes())?;
-            writer.write_all(b"\n")?;
+            out.clear();
+            let stop = self.handle_line_into(trimmed, &mut out);
+            writer.write_all(out.as_str().as_bytes())?;
             writer.flush()?;
-            if reply.shutdown {
+            if stop {
                 shutdown.store(true, Ordering::SeqCst);
                 // Unblock the accept loop; the flag makes it exit before
                 // serving the wake-up connection.
@@ -279,6 +917,8 @@ impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
             .field("registry", &self.registry)
+            .field("read_hwm", &self.read_hwm.load(Ordering::Relaxed))
+            .field("write_hwm", &self.write_hwm.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -583,5 +1223,162 @@ mod tests {
             }
             handle.join().unwrap().unwrap();
         });
+    }
+
+    /// Every request in `reqs` sent to a fresh server sequentially, and as
+    /// one `batch` to another fresh server: the reply streams must match
+    /// byte for byte.
+    fn assert_batch_matches_sequential(warm: &dyn Fn() -> Server, reqs: &[String]) {
+        let sequential = warm();
+        let want: String = reqs
+            .iter()
+            .map(|r| {
+                let mut line = sequential.handle_line(r).line;
+                line.push('\n');
+                line
+            })
+            .collect();
+
+        let batched = warm();
+        let batch = format!("{{\"op\":\"batch\",\"ops\":[{}]}}", reqs.join(","));
+        let mut out = JsonWriter::new();
+        assert!(!batched.handle_line_into(&batch, &mut out));
+        assert_eq!(out.as_str(), want);
+    }
+
+    #[test]
+    fn batch_replies_match_sequential_bitwise() {
+        let day = "1".repeat(14_400);
+        let warm = || {
+            let s = server();
+            for host in [0u64, 1, 2, 7, 8] {
+                for d in 0..3 {
+                    let _ = s.handle_line(&format!(
+                        "{{\"op\":\"ingest\",\"host\":{host},\"day_index\":{d},\"states\":\"{day}\"}}"
+                    ));
+                }
+            }
+            s
+        };
+        let reqs: Vec<String> = vec![
+            r#"{"op":"ping"}"#.into(),
+            // A predict run on one coordinate (both inits) — answered from
+            // one curve solve in the batch pipeline.
+            r#"{"op":"predict","host":0,"start":9.0,"hours":2.0}"#.into(),
+            r#"{"op":"predict","host":0,"start":9.0,"hours":2.0,"init":"S2"}"#.into(),
+            // Same coordinate on other hosts and shards.
+            r#"{"op":"predict","host":1,"start":9.0,"hours":2.0}"#.into(),
+            r#"{"op":"predict","host":8,"start":9.0,"hours":2.0}"#.into(),
+            // An ingest between predicts on the same host must stay ordered.
+            format!("{{\"op\":\"ingest\",\"host\":2,\"day_index\":3,\"states\":\"{day}\"}}"),
+            r#"{"op":"predict","host":2,"start":9.0,"hours":2.0}"#.into(),
+            // Error replies ride along without poisoning the batch.
+            r#"{"op":"predict","host":99,"start":9.0,"hours":2.0}"#.into(),
+            r#"{"op":"predict","host":0,"start":9.0,"hours":-1.0}"#.into(),
+            r#"{"op":"nope"}"#.into(),
+            r#"{"op":"sweep","host":7,"start":9.0,"hours":2.0,"points":4}"#.into(),
+        ];
+        assert_batch_matches_sequential(&warm, &reqs);
+    }
+
+    #[test]
+    fn batch_rejects_control_ops_and_empty_sets() {
+        let s = server();
+        let reply = s.handle_line(r#"{"op":"batch","ops":[]}"#);
+        assert_eq!(
+            reply.line,
+            r#"{"ok":false,"error":"batch needs at least one op"}"#
+        );
+        let reply = s.handle_line(
+            r#"{"op":"batch","ops":[{"op":"stats"},{"op":"shutdown"},{"op":"batch","ops":[{"op":"ping"}]},{"op":"ping"}]}"#,
+        );
+        assert!(!reply.shutdown);
+        let lines: Vec<&str> = reply.line.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                r#"{"ok":false,"error":"op `stats` not allowed inside batch"}"#,
+                r#"{"ok":false,"error":"op `shutdown` not allowed inside batch"}"#,
+                r#"{"ok":false,"error":"op `batch` not allowed inside batch"}"#,
+                r#"{"ok":true,"op":"ping"}"#,
+            ]
+        );
+        let reply = s.handle_line(r#"{"op":"batch"}"#);
+        assert_eq!(
+            reply.line,
+            r#"{"ok":false,"error":"json error: missing field `ops`"}"#
+        );
+        let reply = s.handle_line(r#"{"op":"batch","ops":3}"#);
+        assert_eq!(
+            reply.line,
+            r#"{"ok":false,"error":"json error: ops: expected array, found number"}"#
+        );
+    }
+
+    #[test]
+    fn tree_fallback_replies_match_the_fast_path() {
+        // An escaped `"S1"` forces the escape-free scanner to bail; the
+        // tree path must answer with exactly the bytes of the literal twin.
+        let s = warm_server(3, 4);
+        let fast =
+            s.handle_line(r#"{"op":"predict","host":3,"start":9.0,"hours":2.0,"init":"S1"}"#);
+        let slow = s.handle_line(
+            "{\"op\":\"predict\",\"host\":3,\"start\":9.0,\"hours\":2.0,\"init\":\"\\u0053\\u0031\"}",
+        );
+        assert_eq!(fast.line, slow.line);
+
+        // Same equivalence through a batch: escapes anywhere in the line
+        // route the whole batch through the tree path.
+        let fast = s.handle_line(
+            r#"{"op":"batch","ops":[{"op":"ping"},{"op":"predict","host":3,"start":9.0,"hours":2.0,"init":"S1"}]}"#,
+        );
+        let slow = s.handle_line(
+            "{\"op\":\"batch\",\"ops\":[{\"op\":\"ping\"},{\"op\":\"predict\",\"host\":3,\"start\":9.0,\"hours\":2.0,\"init\":\"\\u0053\\u0031\"}]}",
+        );
+        assert_eq!(fast.line, slow.line);
+    }
+
+    #[test]
+    fn stats_reports_dedup_and_buffer_high_water_marks() {
+        let s = warm_server(1, 3);
+        for _ in 0..3 {
+            let _ = s.handle_line(r#"{"op":"predict","host":1,"start":9.0,"hours":2.0}"#);
+        }
+        let stats = s.handle_line(r#"{"op":"stats"}"#);
+        let json = Json::parse(&stats.line).unwrap();
+        let lookups: u64 = json.get("kernel_dedup_lookups").unwrap();
+        let hits: u64 = json.get("kernel_dedup_hits").unwrap();
+        let rate: f64 = json.get("kernel_dedup_hit_rate").unwrap();
+        assert!(lookups >= 1, "{}", stats.line);
+        assert!(hits <= lookups);
+        assert!((0.0..=1.0).contains(&rate));
+        // The ingest lines were the longest requests; the reply high-water
+        // mark covers at least one full predict reply.
+        let read_hwm: u64 = json.get("read_buf_hwm").unwrap();
+        let write_hwm: u64 = json.get("write_buf_hwm").unwrap();
+        assert!(read_hwm >= 14_400, "{}", stats.line);
+        assert!(write_hwm >= 50, "{}", stats.line);
+    }
+
+    #[test]
+    fn pooled_reply_buffer_reuses_capacity_across_requests() {
+        let s = warm_server(4, 3);
+        let mut out = JsonWriter::new();
+        // Warm the buffer, then confirm repeats reuse the same capacity.
+        s.handle_line_into(
+            r#"{"op":"predict","host":4,"start":9.0,"hours":2.0}"#,
+            &mut out,
+        );
+        let first = out.as_str().to_string();
+        let cap = out.capacity();
+        for _ in 0..10 {
+            out.clear();
+            s.handle_line_into(
+                r#"{"op":"predict","host":4,"start":9.0,"hours":2.0}"#,
+                &mut out,
+            );
+            assert_eq!(out.as_str(), first);
+            assert_eq!(out.capacity(), cap);
+        }
     }
 }

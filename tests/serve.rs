@@ -184,6 +184,50 @@ fn tcp_concurrent_clients_share_one_registry() {
     });
 }
 
+#[test]
+fn batch_reply_stream_matches_sequential_bytes() {
+    // The same ops as one pipelined `batch` request and as individual
+    // lines, against fresh identical servers: the reply streams must be
+    // byte-identical (this is the wire contract the CI smoke stage also
+    // enforces over TCP).
+    let (_, lines3) = ingest_stream(3, 6, 3);
+    let (_, lines8) = ingest_stream(8, 6, 8);
+    let mut ops: Vec<String> = Vec::new();
+    ops.extend(lines3);
+    ops.extend(lines8);
+    ops.push(r#"{"op":"ping"}"#.into());
+    for host in [3u64, 8] {
+        for init in ["S1", "S2"] {
+            ops.push(format!(
+                "{{\"op\":\"predict\",\"host\":{host},\"start\":9.0,\"hours\":2.0,\"init\":\"{init}\"}}"
+            ));
+        }
+    }
+    ops.push(r#"{"op":"sweep","host":3,"start":9.0,"hours":2.0,"points":5}"#.into());
+    ops.push(r#"{"op":"predict","host":77,"start":9.0,"hours":2.0}"#.into());
+
+    let sequential = server_with_shards(4);
+    let seq_input = ops.join("\n") + "\n";
+    let mut seq_out = Vec::new();
+    sequential
+        .serve_lines(seq_input.as_bytes(), &mut seq_out)
+        .expect("sequential stream");
+
+    let batched = server_with_shards(4);
+    let batch_input = format!("{{\"op\":\"batch\",\"ops\":[{}]}}\n", ops.join(","));
+    let mut batch_out = Vec::new();
+    batched
+        .serve_lines(batch_input.as_bytes(), &mut batch_out)
+        .expect("batch stream");
+
+    assert_eq!(
+        seq_out.iter().filter(|&&b| b == b'\n').count(),
+        ops.len(),
+        "one reply line per op"
+    );
+    assert_eq!(seq_out, batch_out, "batch replies diverge from sequential");
+}
+
 struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
