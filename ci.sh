@@ -27,6 +27,11 @@ cargo build --release --offline --workspace
 echo "== cargo build --release --offline --examples"
 cargo build --release --offline --workspace --examples
 
+echo "== fgcs lint (static analysis: determinism, unsafe audit, lock order, no-alloc, hermeticity)"
+# Hard gate: any finding that survives lint.allow fails CI. The < 1 s
+# budget is asserted by crates/fgcs-lint/tests/workspace_clean.rs.
+cargo run -q --release --offline --bin fgcs -- lint --timings
+
 echo "== cargo test -q --offline"
 cargo test -q --offline --workspace
 

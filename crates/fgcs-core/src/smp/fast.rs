@@ -115,6 +115,7 @@ impl SolveScratch {
 /// they are combined pairwise at the end. The reassociation (relative to
 /// a strict ascending-event sum) is part of the module's 1e-12 error
 /// budget against the paper-order oracle.
+// lint: no-alloc
 #[inline]
 fn convolve3(events: &[(usize, f64)], other: &[f64], m: usize, direct: [f64; 3]) -> [f64; 3] {
     let [mut a0, mut a1, mut a2] = direct;
@@ -207,6 +208,7 @@ impl<'a> FastSolver<'a> {
 
     /// Runs the recursion into the scratch planes and returns the stream
     /// view. The caller has already validated `steps`.
+    // lint: no-alloc
     fn run<'s>(&self, scratch: &'s mut SolveScratch, steps: usize) -> IntervalStreams<'s> {
         fgcs_runtime::counter_add!("core.solver.fast_runs", 1);
         fgcs_runtime::counter_add!("core.solver.fast_steps", steps as u64);

@@ -1,0 +1,462 @@
+//! A hand-rolled Rust lexer: source text → a flat token stream with line
+//! numbers.
+//!
+//! This is deliberately **not** a full Rust parser. The lint rules only
+//! need to see identifiers, punctuation, literals, and comments in order —
+//! with strings and comments correctly skipped so that `Instant::now`
+//! inside a doc comment or a test fixture string never trips a rule. The
+//! lexer therefore handles exactly the places where a naive substring scan
+//! would lie:
+//!
+//! * line (`//`, `///`, `//!`) and nested block (`/* /* */ */`) comments,
+//! * string, raw string (`r#"…"#`), byte string, and C-string literals,
+//! * char literals vs. lifetimes (`'a'` vs. `'a`),
+//! * numeric literals (so `0..5` does not lex as a float).
+//!
+//! Everything else is a single-character punct token; rules that care
+//! about `::` or `->` match consecutive puncts.
+
+/// What a token is. Keywords are plain [`TokKind::Ident`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// String / char / byte / numeric literal (content opaque to rules).
+    Lit,
+    /// `// …` comment (text without the slashes, trimmed).
+    LineComment,
+    /// `/* … */` comment (inner text).
+    BlockComment,
+    /// `'lifetime` marker.
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// Source text: the identifier, the punct char, the comment body, or
+    /// the raw literal.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punct character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated literals or
+/// comments simply consume to end of input (the compiler, not the linter,
+/// owns rejecting invalid Rust).
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        b: src.as_bytes(),
+        src,
+        i: 0,
+        line: 1,
+        out: Vec::with_capacity(src.len() / 4),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    src: &'a str,
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.quote(),
+                b'r' | b'b' | b'c' if self.raw_or_byte_literal() => {}
+                b'0'..=b'9' => self.number(),
+                c if is_ident_start(c) => self.ident(),
+                _ => {
+                    let start = self.i;
+                    self.i += 1;
+                    // Multi-byte non-ident chars can't appear outside
+                    // literals in valid Rust; consume defensively.
+                    while self.i < self.b.len() && self.b[self.i] >= 0x80 && self.b[start] >= 0x80 {
+                        self.i += 1;
+                    }
+                    self.push(TokKind::Punct, start);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize) {
+        self.push_text(kind, self.src[start..self.i].to_string());
+    }
+
+    fn push_text(&mut self, kind: TokKind, text: String) {
+        self.out.push(Token {
+            kind,
+            text,
+            line: self.line,
+        });
+    }
+
+    fn bump_lines(&mut self, start: usize) {
+        self.line += self.b[start..self.i]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count() as u32;
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+        let text = self.src[start..self.i]
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim()
+            .to_string();
+        self.push_text(TokKind::LineComment, text);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.i;
+        let first_line = self.line;
+        self.i += 2;
+        let mut depth = 1usize;
+        while self.i < self.b.len() && depth > 0 {
+            if self.b[self.i] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.b[self.i] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                self.i += 1;
+            }
+        }
+        self.bump_lines(start);
+        let inner = self.src[start..self.i]
+            .trim_start_matches("/*")
+            .trim_end_matches("*/")
+            .trim()
+            .to_string();
+        self.out.push(Token {
+            kind: TokKind::BlockComment,
+            text: inner,
+            line: first_line,
+        });
+    }
+
+    /// A `"…"` string (with escapes). Assumes `self.i` is at the quote.
+    fn string(&mut self) {
+        let start = self.i;
+        self.i += 1;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i += 2,
+                b'"' => {
+                    self.i += 1;
+                    break;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.bump_lines(start);
+        self.push(TokKind::Lit, start);
+    }
+
+    /// `r"…"`, `r#"…"#`, `br"…"`, `b"…"`, `b'x'`, `c"…"` — or just an
+    /// identifier starting with r/b/c. Returns `false` when it's an ident
+    /// (caller falls through to [`ident`](Lexer::ident)).
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let mut j = self.i;
+        // Optional b/c prefix before r, e.g. br#"…"#.
+        if matches!(self.b[j], b'b' | b'c') {
+            j += 1;
+        }
+        let raw = self.b.get(j) == Some(&b'r');
+        if raw {
+            j += 1;
+        }
+        let mut hashes = 0usize;
+        while self.b.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        match self.b.get(j) {
+            Some(&b'"') if raw => {
+                self.raw_string(j, hashes);
+                true
+            }
+            Some(&b'"') if hashes == 0 && j > self.i => {
+                // b"…" / c"…": escape rules of a normal string, prefix
+                // included in the recorded text.
+                let start = self.i;
+                self.i = j + 1;
+                while self.i < self.b.len() {
+                    match self.b[self.i] {
+                        b'\\' => self.i += 2,
+                        b'"' => {
+                            self.i += 1;
+                            break;
+                        }
+                        _ => self.i += 1,
+                    }
+                }
+                self.bump_lines(start);
+                self.push(TokKind::Lit, start);
+                true
+            }
+            Some(&b'\'') if self.b[self.i] == b'b' && j == self.i + 1 => {
+                // b'x' byte char literal.
+                self.i = j;
+                self.quote();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn raw_string(&mut self, quote: usize, hashes: usize) {
+        let start = self.i;
+        self.i = quote + 1;
+        let mut closer = vec![b'"'];
+        closer.resize(hashes + 1, b'#');
+        while self.i < self.b.len() {
+            if self.b[self.i..].starts_with(&closer) {
+                self.i += closer.len();
+                break;
+            }
+            self.i += 1;
+        }
+        self.bump_lines(start);
+        self.push(TokKind::Lit, start);
+    }
+
+    /// `'a'` char literal vs. `'a` lifetime. Assumes `self.i` is at `'`.
+    fn quote(&mut self) {
+        let start = self.i;
+        self.i += 1;
+        match self.b.get(self.i) {
+            Some(&b'\\') => {
+                // Escaped char literal: consume escape then closing quote.
+                self.i += 2;
+                while self.i < self.b.len() && self.b[self.i] != b'\'' {
+                    self.i += 1;
+                }
+                self.i = (self.i + 1).min(self.b.len());
+                self.push(TokKind::Lit, start);
+            }
+            Some(&c) if is_ident_start(c) => {
+                // One scalar then a quote → char literal; otherwise lifetime.
+                let ch_len = self.src[self.i..].chars().next().map_or(1, char::len_utf8);
+                if self.b.get(self.i + ch_len) == Some(&b'\'') {
+                    self.i += ch_len + 1;
+                    self.push(TokKind::Lit, start);
+                } else {
+                    while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+                        self.i += 1;
+                    }
+                    self.push(TokKind::Lifetime, start);
+                }
+            }
+            Some(_) => {
+                // Non-ident char literal like '1' or '"' or '∀'.
+                let ch_len = self.src[self.i..].chars().next().map_or(1, char::len_utf8);
+                self.i += ch_len;
+                if self.b.get(self.i) == Some(&b'\'') {
+                    self.i += 1;
+                }
+                self.bump_lines(start);
+                self.push(TokKind::Lit, start);
+            }
+            None => self.push(TokKind::Punct, start),
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.i;
+        if self.b[self.i] == b'0' && matches!(self.peek(1), Some(b'x' | b'o' | b'b')) {
+            self.i += 2;
+            while self.i < self.b.len()
+                && (self.b[self.i].is_ascii_alphanumeric() || self.b[self.i] == b'_')
+            {
+                self.i += 1;
+            }
+            self.push(TokKind::Lit, start);
+            return;
+        }
+        while self.i < self.b.len() && (self.b[self.i].is_ascii_digit() || self.b[self.i] == b'_') {
+            self.i += 1;
+        }
+        // Fraction only when the dot is followed by a digit (`0..5` and
+        // `1.max(2)` must not swallow the dot).
+        if self.b.get(self.i) == Some(&b'.') && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+            self.i += 1;
+            while self.i < self.b.len()
+                && (self.b[self.i].is_ascii_digit() || self.b[self.i] == b'_')
+            {
+                self.i += 1;
+            }
+        }
+        // Exponent.
+        if matches!(self.b.get(self.i), Some(&b'e' | &b'E'))
+            && (self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                || (matches!(self.peek(1), Some(b'+' | b'-'))
+                    && self.peek(2).is_some_and(|d| d.is_ascii_digit())))
+        {
+            self.i += 2;
+            while self.i < self.b.len() && self.b[self.i].is_ascii_digit() {
+                self.i += 1;
+            }
+        }
+        // Type suffix (u32, f64, …).
+        while self.i < self.b.len()
+            && (self.b[self.i].is_ascii_alphanumeric() || self.b[self.i] == b'_')
+        {
+            self.i += 1;
+        }
+        self.push(TokKind::Lit, start);
+    }
+
+    fn ident(&mut self) {
+        let start = self.i;
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        self.push(TokKind::Ident, start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_paths() {
+        let toks = kinds("Instant::now()");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "Instant".into()),
+                (TokKind::Punct, ":".into()),
+                (TokKind::Punct, ":".into()),
+                (TokKind::Ident, "now".into()),
+                (TokKind::Punct, "(".into()),
+                (TokKind::Punct, ")".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_do_not_hide_code_and_code_does_not_leak_into_comments() {
+        let toks = lex("// Instant::now()\nlet x = 1; /* SystemTime */");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "x"]);
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert_eq!(toks[0].text, "Instant::now()");
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let toks = kinds(r#"err("Instant::now inside a string")"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || t != "Instant"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r##"let s = r#"unsafe { "quote" }"#; done"##);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || t != "unsafe"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "done"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count();
+        assert_eq!(lifetimes, 2);
+        let lits = toks.iter().filter(|(k, _)| *k == TokKind::Lit).count();
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn numbers_keep_range_dots() {
+        let toks = kinds("for i in 0..5 { let f = 1.5e-3f64; }");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Lit && t == "0"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && t == "."));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lit && t == "1.5e-3f64"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_numbers() {
+        let toks = lex("/* a /* b */ c */\nline2");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert_eq!(toks[1].line, 2);
+        assert!(toks[1].is_ident("line2"));
+    }
+
+    #[test]
+    fn byte_and_cstr_literals() {
+        let toks = kinds(r##"let a = b"bytes"; let c = b'x'; let r = br#"raw"#;"##);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || (t != "bytes" && t != "raw")));
+    }
+}

@@ -1,0 +1,402 @@
+//! `fgcs-lint` — in-tree static analysis for the fgcs workspace.
+//!
+//! Five rules, all running over a hand-rolled token stream (no `syn`, no
+//! dependencies — the linter polices the hermetic policy, so it must
+//! itself be hermetic):
+//!
+//! | rule             | invariant |
+//! |------------------|-----------|
+//! | `nondeterminism` | no wall-clock reads or order-leaking `HashMap` iteration in `fgcs-core`/`fgcs-sim`/`fgcs-trace` |
+//! | `unsafe-audit`   | every `unsafe` carries a `// SAFETY:` comment; all sites inventoried |
+//! | `lock-order`     | the global lock-class order graph is acyclic (no inversion deadlocks) |
+//! | `no-alloc`       | no allocating calls inside `// lint: no-alloc` regions |
+//! | `hermeticity`    | every `Cargo.toml` dependency is a `path` dependency |
+//!
+//! Findings print as `file:line: [rule] message`. Vetted exceptions live
+//! in a versioned `lint.allow` file at the workspace root; see
+//! [`Allowlist`] for the format. Entry points: [`lint_workspace`] (walks a
+//! directory tree) and [`lint_sources`] (pure, for tests).
+
+pub mod lexer;
+pub mod locks;
+pub mod rust;
+pub mod toml;
+
+use rust::UnsafeSite;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// The five enforced rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Wall-clock reads / order-leaking map iteration in deterministic crates.
+    Nondeterminism,
+    /// `unsafe` without a `// SAFETY:` comment.
+    UnsafeAudit,
+    /// Lock-order inversion in the global acquisition graph.
+    LockOrder,
+    /// Allocation inside a `// lint: no-alloc` region.
+    NoAlloc,
+    /// Non-path dependency in a `Cargo.toml`.
+    Hermeticity,
+}
+
+impl Rule {
+    /// All rules, in report order.
+    pub const ALL: [Rule; 5] = [
+        Rule::Nondeterminism,
+        Rule::UnsafeAudit,
+        Rule::LockOrder,
+        Rule::NoAlloc,
+        Rule::Hermeticity,
+    ];
+
+    /// Stable kebab-case name used in output and `lint.allow`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Nondeterminism => "nondeterminism",
+            Rule::UnsafeAudit => "unsafe-audit",
+            Rule::LockOrder => "lock-order",
+            Rule::NoAlloc => "no-alloc",
+            Rule::Hermeticity => "hermeticity",
+        }
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Versioned exception list (`lint.allow` at the workspace root).
+///
+/// One entry per line: `<rule> <path-substring> [message-substring…]`;
+/// `#` starts a comment. An entry suppresses a finding when the rule name
+/// matches exactly, the finding's path contains the path substring, and
+/// (if given) the message contains the remainder of the line.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<(String, String, String)>,
+}
+
+impl Allowlist {
+    /// The empty allowlist.
+    #[must_use]
+    pub fn empty() -> Allowlist {
+        Allowlist::default()
+    }
+
+    /// Parses the `lint.allow` format. Malformed lines are ignored.
+    #[must_use]
+    pub fn parse(text: &str) -> Allowlist {
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let line = line.split('#').next().unwrap_or_default().trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            if let (Some(rule), Some(path)) = (parts.next(), parts.next()) {
+                let needle = parts.next().unwrap_or_default().trim().to_string();
+                entries.push((rule.to_string(), path.to_string(), needle));
+            }
+        }
+        Allowlist { entries }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the list has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn suppresses(&self, f: &Finding) -> bool {
+        self.entries.iter().any(|(rule, path, needle)| {
+            rule == f.rule.name()
+                && f.file.contains(path.as_str())
+                && (needle.is_empty() || f.message.contains(needle.as_str()))
+        })
+    }
+}
+
+/// Result of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations surviving the allowlist, sorted by `(file, line, rule)`.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by `lint.allow` entries.
+    pub suppressed: Vec<Finding>,
+    /// `.rs` + `Cargo.toml` files examined.
+    pub files_scanned: usize,
+    /// Rules evaluated (always [`Rule::ALL`]'s length).
+    pub rules_checked: usize,
+    /// Every `unsafe` site found, commented or not.
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// Aggregate nanoseconds per rule.
+    pub rule_timings_ns: Vec<(&'static str, u64)>,
+    /// Wall-clock nanoseconds for the whole pass.
+    pub elapsed_ns: u64,
+}
+
+impl Report {
+    /// True when no violations survived the allowlist.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// One-line summary, e.g.
+    /// `fgcs-lint: 42 files, 5 rules, 0 violations (0 suppressed) in 31 ms`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "fgcs-lint: {} files, {} rules, {} violation{} ({} suppressed) in {} ms",
+            self.files_scanned,
+            self.rules_checked,
+            self.findings.len(),
+            if self.findings.len() == 1 { "" } else { "s" },
+            self.suppressed.len(),
+            self.elapsed_ns / 1_000_000
+        )
+    }
+}
+
+/// Crates whose `src/` trees sit inside the determinism boundary: their
+/// outputs must be bit-identical across runs, so wall-clock reads and
+/// order-leaking map iteration are banned there.
+const DET_PREFIXES: [&str; 3] = [
+    "crates/fgcs-core/src",
+    "crates/fgcs-sim/src",
+    "crates/fgcs-trace/src",
+];
+
+/// Pure entry point: lints in-memory `(relative-path, source)` pairs.
+#[must_use]
+pub fn lint_sources(
+    rust_files: &[(String, String)],
+    toml_files: &[(String, String)],
+    allow: &Allowlist,
+) -> Report {
+    let start = Instant::now();
+    let mut report = Report {
+        rules_checked: Rule::ALL.len(),
+        files_scanned: rust_files.len() + toml_files.len(),
+        ..Report::default()
+    };
+
+    let mut all = Vec::new();
+    let mut fns = Vec::new();
+    let mut per_rule = [0u64; 4];
+    for (path, src) in rust_files {
+        let det = DET_PREFIXES.iter().any(|p| path.starts_with(p));
+        let mut a = rust::analyze(path, src, det);
+        for (slot, ns) in per_rule.iter_mut().zip(a.rule_ns) {
+            *slot += ns;
+        }
+        all.append(&mut a.findings);
+        report.unsafe_sites.append(&mut a.unsafe_sites);
+        fns.append(&mut a.fns);
+    }
+
+    let t = Instant::now();
+    all.extend(locks::analyze(&fns));
+    let lock_ns = per_rule[3] + t.elapsed().as_nanos() as u64;
+
+    let t = Instant::now();
+    for (path, src) in toml_files {
+        all.extend(toml::check(path, src));
+    }
+    let toml_ns = t.elapsed().as_nanos() as u64;
+
+    report.rule_timings_ns = vec![
+        ("nondeterminism", per_rule[0]),
+        ("unsafe-audit", per_rule[1]),
+        ("no-alloc", per_rule[2]),
+        ("lock-order", lock_ns),
+        ("hermeticity", toml_ns),
+    ];
+
+    all.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    for f in all {
+        if allow.suppresses(&f) {
+            report.suppressed.push(f);
+        } else {
+            report.findings.push(f);
+        }
+    }
+    report.elapsed_ns = start.elapsed().as_nanos() as u64;
+    report
+}
+
+/// Walks `root` and lints every workspace `.rs` and `Cargo.toml` file,
+/// honoring a `lint.allow` at `root` when present.
+///
+/// Skipped: hidden directories, `target`, and any directory containing a
+/// `.lint-skip` marker file (the lint's own known-bad fixtures use this).
+///
+/// # Errors
+/// Propagates I/O failures from the directory walk or file reads.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let allow = match fs::read_to_string(root.join("lint.allow")) {
+        Ok(text) => Allowlist::parse(&text),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Allowlist::empty(),
+        Err(e) => return Err(e),
+    };
+    let mut rust_files = Vec::new();
+    let mut toml_files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<io::Result<_>>()?;
+        entries.sort();
+        if entries
+            .iter()
+            .any(|p| p.file_name().is_some_and(|n| n == ".lint-skip"))
+        {
+            continue;
+        }
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if !name.starts_with('.') && name != "target" {
+                    stack.push(path);
+                }
+                continue;
+            }
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .into_owned();
+            if name.ends_with(".rs") {
+                rust_files.push((rel, fs::read_to_string(&path)?));
+            } else if name == "Cargo.toml" {
+                toml_files.push((rel, fs::read_to_string(&path)?));
+            }
+        }
+    }
+    rust_files.sort_by(|a, b| a.0.cmp(&b.0));
+    toml_files.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(lint_sources(&rust_files, &toml_files, &allow))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(path: &str, src: &str) -> (String, String) {
+        (path.to_string(), src.to_string())
+    }
+
+    #[test]
+    fn clean_sources_produce_a_clean_report() {
+        let r = lint_sources(
+            &[rs("crates/x/src/lib.rs", "pub fn id(x: u32) -> u32 { x }")],
+            &[rs("Cargo.toml", "[package]\nname = \"x\"\n")],
+            &Allowlist::empty(),
+        );
+        assert!(r.is_clean());
+        assert_eq!(r.files_scanned, 2);
+        assert_eq!(r.rules_checked, 5);
+        assert_eq!(r.rule_timings_ns.len(), 5);
+    }
+
+    #[test]
+    fn findings_format_and_sort_stably() {
+        let r = lint_sources(
+            &[
+                rs(
+                    "b.rs",
+                    "fn f() { unsafe { core::hint::unreachable_unchecked() } }",
+                ),
+                rs(
+                    "a.rs",
+                    "fn g() { unsafe { core::hint::unreachable_unchecked() } }",
+                ),
+            ],
+            &[],
+            &Allowlist::empty(),
+        );
+        assert_eq!(r.findings.len(), 2);
+        assert_eq!(r.findings[0].file, "a.rs");
+        let line = r.findings[0].to_string();
+        assert!(line.starts_with("a.rs:1: [unsafe-audit] "), "{line}");
+    }
+
+    #[test]
+    fn allowlist_suppresses_matching_findings_only() {
+        let allow = Allowlist::parse(
+            "# vetted: legacy site\nunsafe-audit b.rs\nnondeterminism a.rs Instant\n",
+        );
+        assert_eq!(allow.len(), 2);
+        let r = lint_sources(
+            &[
+                rs(
+                    "b.rs",
+                    "fn f() { unsafe { core::hint::unreachable_unchecked() } }",
+                ),
+                rs(
+                    "crates/fgcs-core/src/a.rs",
+                    "fn g() -> Instant { Instant::now() }",
+                ),
+            ],
+            &[],
+            &allow,
+        );
+        // b.rs unsafe suppressed; a.rs (full path contains "a.rs") suppressed.
+        assert!(r.is_clean(), "{:?}", r.findings);
+        assert_eq!(r.suppressed.len(), 3); // 1 unsafe + 2 Instant idents
+    }
+
+    #[test]
+    fn det_boundary_applies_only_to_listed_prefixes() {
+        let src = "fn g() { let _ = Instant::now(); }";
+        let flagged = lint_sources(
+            &[rs("crates/fgcs-sim/src/x.rs", src)],
+            &[],
+            &Allowlist::empty(),
+        );
+        assert_eq!(flagged.findings.len(), 1);
+        let clean = lint_sources(
+            &[rs("crates/fgcs-bench/src/x.rs", src)],
+            &[],
+            &Allowlist::empty(),
+        );
+        assert!(clean.is_clean());
+    }
+}

@@ -1,0 +1,302 @@
+//! Global lock-order analysis.
+//!
+//! Consumes the per-function [`FnSummary`] event streams produced by
+//! [`crate::rust`] and builds a directed *lock-class order graph*: an edge
+//! `A → B` means some execution path acquires class `B` while a guard of
+//! class `A` is live. A cycle in that graph is a potential lock-order
+//! inversion — two threads taking the same pair of locks in opposite
+//! orders can deadlock.
+//!
+//! Approximations (all conservative in the "no false negatives on nesting
+//! we can see" direction, and tuned to produce zero false positives on
+//! this workspace):
+//!
+//! - A lock **class** is the receiver identifier at the acquisition site
+//!   (`self.stripes[i].lock()` → class `stripes`). Distinct mutexes that
+//!   share a field name share a class; renamed bindings split a class.
+//! - Guard lifetimes: `let g = …` is held to the end of its block,
+//!   `let _ = …` and inline temporaries to the end of the statement.
+//! - Calls are resolved only for free/path calls and `self.…()` method
+//!   calls, preferring a definition in the same file, falling back to a
+//!   globally unique name, else skipped. The transitive *acquire closure*
+//!   of a resolved callee is treated as acquired at the call site; a
+//!   callee whose signature returns a `MutexGuard`/`RwLock*Guard` leaves
+//!   its closure held in the caller.
+
+use crate::rust::{FnSummary, Hold, LockEvent};
+use crate::{Finding, Rule};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Runs the analysis over every function summary in the workspace.
+#[must_use]
+pub fn analyze(fns: &[FnSummary]) -> Vec<Finding> {
+    let index = build_index(fns);
+    let closures = acquire_closures(fns, &index);
+
+    // Edge set with the first site that created each edge.
+    let mut edges: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+    for f in fns {
+        replay(f, fns, &index, &closures, &mut edges);
+    }
+
+    let adj: BTreeMap<&str, BTreeSet<&str>> =
+        edges.keys().fold(BTreeMap::new(), |mut m, (a, b)| {
+            m.entry(a.as_str()).or_default().insert(b.as_str());
+            m
+        });
+
+    let mut findings = Vec::new();
+    for ((a, b), (file, line)) in &edges {
+        if a == b {
+            findings.push(Finding {
+                file: file.clone(),
+                line: *line,
+                rule: Rule::LockOrder,
+                message: format!(
+                    "nested acquisition of lock class `{a}` while a `{a}` guard is already held"
+                ),
+            });
+        } else if reaches(&adj, b, a) {
+            let counterpart = edges
+                .get(&(b.clone(), a.clone()))
+                .map(|(f, l)| format!(" (opposite order at {f}:{l})"))
+                .unwrap_or_else(|| " (reverse path exists elsewhere)".to_string());
+            findings.push(Finding {
+                file: file.clone(),
+                line: *line,
+                rule: Rule::LockOrder,
+                message: format!(
+                    "lock-order inversion: `{b}` acquired while holding `{a}`{counterpart}"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Name → indices of definitions with that name.
+fn build_index(fns: &[FnSummary]) -> BTreeMap<&str, Vec<usize>> {
+    let mut index: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        index.entry(f.name.as_str()).or_default().push(i);
+    }
+    index
+}
+
+/// Resolves a callee name from `caller_file`: same-file definition wins,
+/// then a globally unique one; ambiguity resolves to nothing.
+fn resolve(
+    index: &BTreeMap<&str, Vec<usize>>,
+    fns: &[FnSummary],
+    caller_file: &str,
+    name: &str,
+) -> Option<usize> {
+    let cands = index.get(name)?;
+    let local: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&i| fns[i].file == caller_file)
+        .collect();
+    match (local.len(), cands.len()) {
+        (1, _) => Some(local[0]),
+        (0, 1) => Some(cands[0]),
+        _ => None,
+    }
+}
+
+/// Fixpoint of "classes a call to fn `i` may acquire, transitively".
+fn acquire_closures(
+    fns: &[FnSummary],
+    index: &BTreeMap<&str, Vec<usize>>,
+) -> Vec<BTreeSet<String>> {
+    let mut closures: Vec<BTreeSet<String>> = fns
+        .iter()
+        .map(|f| {
+            f.events
+                .iter()
+                .filter_map(|e| match e {
+                    LockEvent::Acquire { class, .. } => Some(class.clone()),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..fns.len() {
+            let mut add: Vec<String> = Vec::new();
+            for e in &fns[i].events {
+                if let LockEvent::Call { callee, .. } = e {
+                    if let Some(c) = resolve(index, fns, &fns[i].file, callee) {
+                        add.extend(closures[c].iter().cloned());
+                    }
+                }
+            }
+            for cls in add {
+                changed |= closures[i].insert(cls);
+            }
+        }
+        if !changed {
+            return closures;
+        }
+    }
+}
+
+/// Replays one function's events, recording a `held → acquired` edge for
+/// every acquisition that happens under a live guard.
+fn replay(
+    f: &FnSummary,
+    fns: &[FnSummary],
+    index: &BTreeMap<&str, Vec<usize>>,
+    closures: &[BTreeSet<String>],
+    edges: &mut BTreeMap<(String, String), (String, u32)>,
+) {
+    // (class, hold, block depth at acquisition)
+    let mut held: Vec<(String, Hold, u32)> = Vec::new();
+    let mut depth = 0u32;
+    let mut add_edge = |held: &[(String, Hold, u32)], to: &str, line: u32| {
+        for (from, _, _) in held {
+            edges
+                .entry((from.clone(), to.to_string()))
+                .or_insert_with(|| (f.file.clone(), line));
+        }
+    };
+    for ev in &f.events {
+        match ev {
+            LockEvent::OpenBlock => depth += 1,
+            LockEvent::CloseBlock => {
+                held.retain(|h| h.2 != depth);
+                depth = depth.saturating_sub(1);
+            }
+            LockEvent::EndStatement => {
+                held.retain(|h| !(h.1 == Hold::Statement && h.2 == depth));
+            }
+            LockEvent::Acquire { class, line, hold } => {
+                add_edge(&held, class, *line);
+                held.push((class.clone(), *hold, depth));
+            }
+            LockEvent::Call { callee, line, hold } => {
+                let Some(c) = resolve(index, fns, &f.file, callee) else {
+                    continue;
+                };
+                for cls in &closures[c] {
+                    add_edge(&held, cls, *line);
+                }
+                if fns[c].returns_guard {
+                    for cls in &closures[c] {
+                        held.push((cls.clone(), *hold, depth));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Whether `to` is reachable from `from` in the order graph.
+fn reaches(adj: &BTreeMap<&str, BTreeSet<&str>>, from: &str, to: &str) -> bool {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut stack = vec![from];
+    while let Some(n) = stack.pop() {
+        if n == to {
+            return true;
+        }
+        if !seen.insert(n) {
+            continue;
+        }
+        if let Some(next) = adj.get(n) {
+            stack.extend(next.iter().copied());
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rust::analyze as analyze_file;
+
+    fn fns_of(src: &str) -> Vec<FnSummary> {
+        analyze_file("t.rs", src, false).fns
+    }
+
+    #[test]
+    fn opposite_order_pair_is_flagged_in_both_directions() {
+        let src = "
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+  fn fwd(&self) { let _g = self.a.lock().unwrap(); let _h = self.b.lock().unwrap(); }
+  fn rev(&self) { let _g = self.b.lock().unwrap(); let _h = self.a.lock().unwrap(); }
+}";
+        let findings = analyze(&fns_of(src));
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == Rule::LockOrder));
+        assert!(findings[0].message.contains("inversion"));
+    }
+
+    #[test]
+    fn consistent_order_everywhere_is_clean() {
+        let src = "
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+  fn one(&self) { let _g = self.a.lock().unwrap(); let _h = self.b.lock().unwrap(); }
+  fn two(&self) { let _g = self.a.lock().unwrap(); let _h = self.b.lock().unwrap(); }
+}";
+        assert!(analyze(&fns_of(src)).is_empty());
+    }
+
+    #[test]
+    fn sequential_acquisition_is_not_nesting() {
+        // Each guard is dropped at its statement's end (inline temporary),
+        // so the two classes are never held together.
+        let src = "
+fn seq(a: &Mutex<u32>, b: &Mutex<u32>) {
+  *a.lock().unwrap() += 1;
+  *b.lock().unwrap() += 1;
+  *a.lock().unwrap() += 1;
+}
+fn rev(a: &Mutex<u32>, b: &Mutex<u32>) {
+  *b.lock().unwrap() += 1;
+  *a.lock().unwrap() += 1;
+}";
+        assert!(analyze(&fns_of(src)).is_empty());
+    }
+
+    #[test]
+    fn inversion_through_a_callee_is_caught() {
+        let src = "
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+  fn takes_b(&self) { let _g = self.b.lock().unwrap(); self.takes_a_under_b(); }
+  fn takes_a_under_b(&self) { let _g = self.a.lock().unwrap(); }
+  fn takes_a_then_b(&self) { let _g = self.a.lock().unwrap(); let _h = self.b.lock().unwrap(); }
+}";
+        let findings = analyze(&fns_of(src));
+        assert!(
+            !findings.is_empty(),
+            "call-graph edge b->a should cycle with a->b"
+        );
+    }
+
+    #[test]
+    fn guard_returning_helper_keeps_its_class_held() {
+        let src = "
+struct S { stripes: Vec<Mutex<u32>>, inner: Mutex<u32> }
+impl S {
+  fn stripe(&self) -> MutexGuard<'_, u32> { self.stripes[0].lock().unwrap() }
+  fn uses(&self) { let _g = self.stripe(); let _h = self.inner.lock().unwrap(); }
+  fn other(&self) { let _g = self.inner.lock().unwrap(); let _h = self.stripe(); }
+}";
+        let findings = analyze(&fns_of(src));
+        // stripes→inner and inner→stripes both exist: two inversion reports.
+        assert_eq!(findings.len(), 2, "{findings:?}");
+    }
+
+    #[test]
+    fn loop_scoped_guard_does_not_self_nest() {
+        let src = "
+fn purge(stripes: &[Mutex<u32>]) {
+  for s in stripes { let mut g = s.lock().unwrap(); *g += 1; }
+}";
+        assert!(analyze(&fns_of(src)).is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! Standalone `fgcs-lint` binary: lints a workspace tree and exits
+//! non-zero when violations survive the allowlist.
+//!
+//! ```text
+//! fgcs-lint [ROOT] [--inventory] [--timings] [--quiet]
+//! ```
+//!
+//! `ROOT` defaults to the current directory. `--inventory` prints the
+//! `unsafe` audit inventory, `--timings` the per-rule timing breakdown,
+//! `--quiet` suppresses everything except findings and the exit code.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut inventory = false;
+    let mut timings = false;
+    let mut quiet = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--inventory" => inventory = true,
+            "--timings" => timings = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: fgcs-lint [ROOT] [--inventory] [--timings] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("fgcs-lint: unknown flag `{flag}` (try --help)");
+                return ExitCode::from(2);
+            }
+            path => root = PathBuf::from(path),
+        }
+    }
+
+    let report = match fgcs_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fgcs-lint: cannot lint {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    if inventory && !quiet {
+        println!("unsafe inventory ({} sites):", report.unsafe_sites.len());
+        for s in &report.unsafe_sites {
+            let why = s.safety.as_deref().unwrap_or("<missing SAFETY comment>");
+            println!("  {}:{}: {}", s.file, s.line, why.trim());
+        }
+    }
+    if timings && !quiet {
+        for (rule, ns) in &report.rule_timings_ns {
+            println!("  {rule:<16} {:>8} us", ns / 1_000);
+        }
+    }
+    if !quiet {
+        println!("{}", report.summary());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

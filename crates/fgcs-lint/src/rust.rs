@@ -1,0 +1,907 @@
+//! Per-file Rust rules: determinism, unsafe audit, no-alloc regions — plus
+//! extraction of the per-function lock summaries consumed by the global
+//! [`crate::locks`] analysis.
+//!
+//! Everything here works on the [`crate::lexer`] token stream. The rules
+//! are deliberately approximate (no type information, no name resolution
+//! beyond what identifier patterns give us); the bias is always **no false
+//! positives on the real workspace** — a vetted exception goes in the
+//! allowlist, but the default path must lint clean.
+
+use crate::lexer::{lex, TokKind, Token};
+use crate::{Finding, Rule};
+use std::time::Instant;
+
+/// Record of one `unsafe` keyword site for the audit inventory.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: u32,
+    /// First line of the justifying `// SAFETY:` comment, when present.
+    pub safety: Option<String>,
+}
+
+/// How long an acquired guard is considered held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hold {
+    /// `let g = x.lock()…;` — held to the end of the enclosing block.
+    Block,
+    /// Temporary (or `let _ =`) — held to the end of the statement.
+    Statement,
+}
+
+/// One event in a function body, replayed by the global lock analysis.
+#[derive(Debug, Clone)]
+pub enum LockEvent {
+    /// A direct `x.lock()` / tracked-`RwLock` `.read()`/`.write()`.
+    Acquire {
+        /// Lock class: the receiver identifier (field or binding name).
+        class: String,
+        /// Site line.
+        line: u32,
+        /// Guard lifetime approximation.
+        hold: Hold,
+    },
+    /// A resolvable call (free function, path call, or `self.method()`).
+    Call {
+        /// Bare callee name (resolved against summaries globally).
+        callee: String,
+        /// Site line.
+        line: u32,
+        /// Lifetime given to a guard the callee might return.
+        hold: Hold,
+    },
+    /// `;` at body level — releases [`Hold::Statement`] guards.
+    EndStatement,
+    /// `{` inside the body.
+    OpenBlock,
+    /// `}` inside the body.
+    CloseBlock,
+}
+
+/// Lock-relevant summary of one `fn`.
+#[derive(Debug, Clone)]
+pub struct FnSummary {
+    /// Workspace-relative file the function lives in.
+    pub file: String,
+    /// Bare function name (methods lose their `impl` qualifier).
+    pub name: String,
+    /// Definition line.
+    pub line: u32,
+    /// Whether the return type mentions a guard type (`MutexGuard`,
+    /// `RwLock*Guard`) — callers then hold this function's locks.
+    pub returns_guard: bool,
+    /// Body events in source order.
+    pub events: Vec<LockEvent>,
+}
+
+/// Everything the per-file pass produces.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Local findings (determinism, unsafe audit, no-alloc).
+    pub findings: Vec<Finding>,
+    /// Inventory of every `unsafe` site (flagged or not).
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// Per-function lock summaries for the global pass.
+    pub fns: Vec<FnSummary>,
+    /// Per-rule nanoseconds spent on this file: indices are
+    /// `[nondeterminism, unsafe-audit, no-alloc, fn-extraction]` (the
+    /// last is the per-file share of the lock-order rule).
+    pub rule_ns: [u64; 4],
+}
+
+/// Iterator-consuming methods whose result does not depend on iteration
+/// order — a `HashMap` iteration terminating in one of these is
+/// deterministic even though the visit order is not.
+const ORDER_FREE: &[&str] = &[
+    "sum",
+    "product",
+    "count",
+    "min",
+    "max",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+    "all",
+    "any",
+    "fold",
+];
+
+/// Methods that start an iteration over a map.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Allocating calls banned inside `// lint: no-alloc` regions.
+const ALLOC_METHODS: &[&str] = &["to_string", "to_owned", "to_vec", "clone", "collect"];
+
+/// Keywords that look like calls when followed by `(`.
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "else", "in", "as", "let", "fn", "pub",
+    "impl", "struct", "enum", "trait", "where", "use", "mod", "move", "ref", "mut", "unsafe",
+    "break", "continue", "const", "static", "type", "dyn", "crate", "super", "Self", "self",
+];
+
+/// Runs every per-file rule over `source`.
+///
+/// `det_crate` marks files inside the determinism boundary (`fgcs-core`,
+/// `fgcs-sim`, `fgcs-trace`): only those get the nondeterminism rules.
+#[must_use]
+pub fn analyze(file: &str, source: &str, det_crate: bool) -> FileAnalysis {
+    let toks = lex(source);
+    let mut out = FileAnalysis::default();
+
+    let regions = Regions::collect(&toks);
+    let mut t = Instant::now();
+    let mut lap = |slot: &mut u64| {
+        let now = Instant::now();
+        *slot += now.duration_since(t).as_nanos() as u64;
+        t = now;
+    };
+    if det_crate {
+        timing_rule(file, &toks, &regions, &mut out.findings);
+        hashmap_rule(file, &toks, &mut out.findings);
+    }
+    let mut ns = [0u64; 4];
+    lap(&mut ns[0]);
+    unsafe_audit(file, &toks, &mut out);
+    lap(&mut ns[1]);
+    no_alloc_rule(file, &toks, &regions, &mut out.findings);
+    lap(&mut ns[2]);
+    out.fns = extract_fns(file, &toks);
+    lap(&mut ns[3]);
+    out.rule_ns = ns;
+    out
+}
+
+/// Marker-comment regions: `// lint: no-alloc` (next fn) /
+/// `no-alloc-begin` … `no-alloc-end`, and `allow-timing` …
+/// `end-allow-timing`.
+#[derive(Debug, Default)]
+struct Regions {
+    /// Inclusive line ranges where allocation is banned.
+    no_alloc: Vec<(u32, u32)>,
+    /// Inclusive line ranges where `Instant`/`SystemTime` are permitted.
+    allow_timing: Vec<(u32, u32)>,
+}
+
+impl Regions {
+    fn collect(toks: &[Token]) -> Regions {
+        let mut r = Regions::default();
+        for (i, t) in toks.iter().enumerate() {
+            if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+                continue;
+            }
+            let text = t.text.trim();
+            let Some(directive) = text.strip_prefix("lint:").map(str::trim) else {
+                continue;
+            };
+            match directive {
+                "no-alloc" => {
+                    if let Some(range) = next_fn_body_lines(toks, i + 1) {
+                        r.no_alloc.push(range);
+                    }
+                }
+                "no-alloc-begin" => {
+                    let end = find_end(toks, i + 1, "no-alloc-end");
+                    r.no_alloc.push((t.line, end));
+                }
+                "allow-timing" => {
+                    let end = find_end(toks, i + 1, "end-allow-timing");
+                    r.allow_timing.push((t.line, end));
+                }
+                _ => {}
+            }
+        }
+        r
+    }
+}
+
+fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
+    ranges.iter().any(|&(a, b)| (a..=b).contains(&line))
+}
+
+/// Line of the matching `lint: <end>` comment, or `u32::MAX` when
+/// unterminated (rest of file).
+fn find_end(toks: &[Token], from: usize, end: &str) -> u32 {
+    toks[from..]
+        .iter()
+        .find(|t| {
+            matches!(t.kind, TokKind::LineComment | TokKind::BlockComment)
+                && t.text.trim().strip_prefix("lint:").map(str::trim) == Some(end)
+        })
+        .map_or(u32::MAX, |t| t.line)
+}
+
+/// Line range of the body of the next `fn` after token `from` (skipping
+/// attributes and visibility/qualifier keywords).
+fn next_fn_body_lines(toks: &[Token], from: usize) -> Option<(u32, u32)> {
+    let mut i = from;
+    // Find the `fn` keyword, skipping `#[…]` attributes and qualifiers.
+    loop {
+        let t = toks.get(i)?;
+        match t.kind {
+            TokKind::LineComment | TokKind::BlockComment => i += 1,
+            TokKind::Punct if t.is_punct('#') => {
+                i += 1;
+                if toks.get(i)?.is_punct('[') {
+                    i = skip_balanced(toks, i, '[', ']')?;
+                }
+            }
+            TokKind::Ident if t.text == "fn" => break,
+            TokKind::Ident => i += 1, // pub / const / unsafe / extern …
+            TokKind::Lit => i += 1,   // extern "C"
+            _ => i += 1,              // `(crate)` of pub(crate), generics…
+        }
+    }
+    // Find the body `{` and match it.
+    let open = (i..toks.len()).find(|&j| toks[j].is_punct('{'))?;
+    let close = skip_balanced(toks, open, '{', '}')?;
+    Some((toks[open].line, toks[close - 1].line))
+}
+
+/// Index just past the group closed by the matching `close` for the
+/// `open` punct at `at`.
+fn skip_balanced(toks: &[Token], at: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(at) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j + 1);
+            }
+        }
+    }
+    None
+}
+
+/// Rule `unsafe-audit`: every `unsafe` keyword needs a `SAFETY:` comment
+/// on the same line or within the five preceding lines. All sites are
+/// inventoried either way.
+fn unsafe_audit(file: &str, toks: &[Token], out: &mut FileAnalysis) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        let safety = toks[..i]
+            .iter()
+            .rev()
+            .take_while(|c| c.line + 5 >= t.line)
+            .chain(toks[i..].iter().take_while(|c| c.line == t.line))
+            .find(|c| {
+                matches!(c.kind, TokKind::LineComment | TokKind::BlockComment)
+                    && c.text.contains("SAFETY:")
+            })
+            .map(|c| c.text.lines().next().unwrap_or_default().to_string());
+        if safety.is_none() {
+            out.findings.push(Finding {
+                file: file.to_string(),
+                line: t.line,
+                rule: Rule::UnsafeAudit,
+                message: "`unsafe` without a `// SAFETY:` comment documenting the invariant"
+                    .to_string(),
+            });
+        }
+        out.unsafe_sites.push(UnsafeSite {
+            file: file.to_string(),
+            line: t.line,
+            safety,
+        });
+    }
+}
+
+/// Rule `nondeterminism` (timing half): wall-clock types are banned inside
+/// the determinism boundary except in `lint: allow-timing` regions.
+fn timing_rule(file: &str, toks: &[Token], regions: &Regions, findings: &mut Vec<Finding>) {
+    for t in toks {
+        if t.kind != TokKind::Ident || (t.text != "Instant" && t.text != "SystemTime") {
+            continue;
+        }
+        if in_ranges(&regions.allow_timing, t.line) {
+            continue;
+        }
+        findings.push(Finding {
+            file: file.to_string(),
+            line: t.line,
+            rule: Rule::Nondeterminism,
+            message: format!(
+                "wall-clock type `{}` in a determinism-boundary crate \
+                 (only bench/metrics code inside a `// lint: allow-timing` region may read time)",
+                t.text
+            ),
+        });
+    }
+}
+
+/// Rule `nondeterminism` (iteration half): iterating a `HashMap` inside
+/// the determinism boundary is flagged unless the iteration provably
+/// cannot leak its order — it terminates in an order-free reduction
+/// ([`ORDER_FREE`]) or is collected and then sorted in the same block.
+fn hashmap_rule(file: &str, toks: &[Token], findings: &mut Vec<Finding>) {
+    let code: Vec<&Token> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let maps = hashmap_idents(&code);
+    if maps.is_empty() {
+        return;
+    }
+    let mut i = 0usize;
+    while i + 3 < code.len() {
+        // Pattern: <map-ident> . <iter-method> (
+        let is_iter = code[i].kind == TokKind::Ident
+            && maps.contains(&code[i].text)
+            && code[i + 1].is_punct('.')
+            && code[i + 2].kind == TokKind::Ident
+            && ITER_METHODS.contains(&code[i + 2].text.as_str())
+            && code[i + 3].is_punct('(');
+        if !is_iter {
+            i += 1;
+            continue;
+        }
+        let line = code[i].line;
+        let map_name = code[i].text.clone();
+        let method = code[i + 2].text.clone();
+        // Walk the method chain that follows.
+        let Some(mut j) = skip_balanced_refs(&code, i + 3, '(', ')') else {
+            break;
+        };
+        let mut chain: Vec<String> = vec![method];
+        loop {
+            if j + 1 < code.len() && code[j].is_punct('.') && code[j + 1].kind == TokKind::Ident {
+                chain.push(code[j + 1].text.clone());
+                j += 2;
+                // Skip a turbofish `::<…>` and the call parens.
+                if j + 1 < code.len() && code[j].is_punct(':') && code[j + 1].is_punct(':') {
+                    j += 2;
+                    if j < code.len() && code[j].is_punct('<') {
+                        j = match skip_balanced_refs(&code, j, '<', '>') {
+                            Some(n) => n,
+                            None => break,
+                        };
+                    }
+                }
+                if j < code.len() && code[j].is_punct('(') {
+                    j = match skip_balanced_refs(&code, j, '(', ')') {
+                        Some(n) => n,
+                        None => break,
+                    };
+                }
+            } else {
+                break;
+            }
+        }
+        if chain.iter().any(|m| ORDER_FREE.contains(&m.as_str())) {
+            i = j;
+            continue;
+        }
+        if chain.iter().any(|m| m == "collect") && sorted_after(&code, i, j) {
+            i = j;
+            continue;
+        }
+        findings.push(Finding {
+            file: file.to_string(),
+            line,
+            rule: Rule::Nondeterminism,
+            message: format!(
+                "iteration over `HashMap` `{map_name}` can leak nondeterministic order \
+                 (end the chain in an order-free reduction, or collect and sort)"
+            ),
+        });
+        i = j;
+    }
+}
+
+/// Identifiers declared with a `HashMap` type (or built via
+/// `HashMap::new()`) anywhere in the file — fields, params, and bindings.
+fn hashmap_idents(code: &[&Token]) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        if code[i].kind != TokKind::Ident {
+            continue;
+        }
+        // `name: [&mut] [path::]HashMap<…>` (field, param, or binding).
+        if i + 1 < code.len()
+            && code[i + 1].is_punct(':')
+            && !matches!(code.get(i + 2), Some(t) if t.is_punct(':'))
+        {
+            let mut j = i + 2;
+            let mut steps = 0;
+            while j < code.len() && steps < 10 {
+                let t = code[j];
+                if t.is_ident("HashMap") {
+                    out.push(code[i].text.clone());
+                    break;
+                }
+                let transparent = t.is_punct('&')
+                    || t.is_punct(':')
+                    || t.kind == TokKind::Lifetime
+                    || t.is_ident("mut")
+                    || t.is_ident("std")
+                    || t.is_ident("collections");
+                if !transparent {
+                    break;
+                }
+                j += 1;
+                steps += 1;
+            }
+        }
+        // `name = HashMap::new()`.
+        if i + 2 < code.len() && code[i + 1].is_punct('=') && code[i + 2].is_ident("HashMap") {
+            out.push(code[i].text.clone());
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Whether the `collect` ending at token `end` (statement starting before
+/// `start`) is followed by a `.sort*` call on the collected binding within
+/// the next few statements.
+fn sorted_after(code: &[&Token], start: usize, end: usize) -> bool {
+    // Find the binding name: scan back to `let [mut] name`.
+    let mut k = start;
+    let mut name: Option<&str> = None;
+    while k > 0 {
+        k -= 1;
+        if code[k].is_punct(';') || code[k].is_punct('{') || code[k].is_punct('}') {
+            break;
+        }
+        if code[k].is_ident("let") {
+            let mut n = k + 1;
+            if code.get(n).is_some_and(|t| t.is_ident("mut")) {
+                n += 1;
+            }
+            name = code.get(n).map(|t| t.text.as_str());
+            break;
+        }
+    }
+    let Some(name) = name else { return false };
+    // Look ahead for `name . sort…` before the block closes.
+    let mut j = end;
+    let mut depth = 0i32;
+    while j + 2 < code.len() && j < end + 80 {
+        if code[j].is_punct('{') {
+            depth += 1;
+        } else if code[j].is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return false;
+            }
+        }
+        if code[j].is_ident(name)
+            && code[j + 1].is_punct('.')
+            && code[j + 2].kind == TokKind::Ident
+            && code[j + 2].text.starts_with("sort")
+        {
+            return true;
+        }
+        j += 1;
+    }
+    false
+}
+
+fn skip_balanced_refs(code: &[&Token], at: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in code.iter().enumerate().skip(at) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth = depth.checked_sub(1)?;
+            if depth == 0 {
+                return Some(j + 1);
+            }
+        }
+    }
+    None
+}
+
+/// Rule `no-alloc`: allocating calls inside marked regions.
+fn no_alloc_rule(file: &str, toks: &[Token], regions: &Regions, findings: &mut Vec<Finding>) {
+    if regions.no_alloc.is_empty() {
+        return;
+    }
+    let code: Vec<&Token> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let mut flag = |line: u32, what: &str| {
+        findings.push(Finding {
+            file: file.to_string(),
+            line,
+            rule: Rule::NoAlloc,
+            message: format!("allocating call `{what}` inside a `// lint: no-alloc` region"),
+        });
+    };
+    for i in 0..code.len() {
+        let t = code[i];
+        if !in_ranges(&regions.no_alloc, t.line) || t.kind != TokKind::Ident {
+            continue;
+        }
+        let next_is = |c: char| code.get(i + 1).is_some_and(|n| n.is_punct(c));
+        match t.text.as_str() {
+            "format" | "vec" if next_is('!') => flag(t.line, &format!("{}!", t.text)),
+            "String" | "Vec" | "Box" if next_is(':') => {
+                if let Some(m) = code.get(i + 3).filter(|m| m.kind == TokKind::Ident) {
+                    if matches!(m.text.as_str(), "new" | "from" | "with_capacity") {
+                        flag(t.line, &format!("{}::{}", t.text, m.text));
+                    }
+                }
+            }
+            m if ALLOC_METHODS.contains(&m)
+                && i > 0
+                && code[i - 1].is_punct('.')
+                && (next_is('(') || next_is(':')) =>
+            {
+                flag(t.line, &format!(".{m}()"));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Extracts one [`FnSummary`] per `fn` in the file (nested fns get their
+/// own summaries; their events also count toward the enclosing fn — a
+/// conservative over-approximation).
+fn extract_fns(file: &str, toks: &[Token]) -> Vec<FnSummary> {
+    let code: Vec<&Token> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let rwlocks = rwlock_idents(&code);
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if !code[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = code.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            i += 1; // `fn(…)` pointer type
+            continue;
+        };
+        // Signature: up to the body `{` or a `;` (trait declaration).
+        let mut j = i + 2;
+        let mut returns_guard = false;
+        let mut saw_arrow = false;
+        let mut angle = 0i32;
+        let body_open = loop {
+            let Some(t) = code.get(j) else { break None };
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+                if saw_arrow {
+                    // `->` already seen; a stray `>` is generics noise.
+                }
+            } else if t.is_punct('-') && code.get(j + 1).is_some_and(|n| n.is_punct('>')) {
+                saw_arrow = true;
+                j += 1;
+            } else if t.is_punct('(') {
+                j = match skip_balanced_refs(&code, j, '(', ')') {
+                    Some(n) => n,
+                    None => break None,
+                };
+                continue;
+            } else if t.is_punct(';') {
+                break None;
+            } else if t.is_punct('{') && angle <= 0 {
+                break Some(j);
+            } else if saw_arrow
+                && t.kind == TokKind::Ident
+                && matches!(
+                    t.text.as_str(),
+                    "MutexGuard" | "RwLockReadGuard" | "RwLockWriteGuard"
+                )
+            {
+                returns_guard = true;
+            }
+            j += 1;
+        };
+        let Some(open) = body_open else {
+            i = j.max(i + 2);
+            continue;
+        };
+        let Some(close) = skip_balanced_refs(&code, open, '{', '}') else {
+            break;
+        };
+        out.push(FnSummary {
+            file: file.to_string(),
+            name: name_tok.text.clone(),
+            line: name_tok.line,
+            returns_guard,
+            events: body_events(&code[open + 1..close - 1], &rwlocks),
+        });
+        // Continue past the name only: nested fns are re-discovered.
+        i += 2;
+    }
+    out
+}
+
+/// Identifiers declared with an `RwLock` type — their `.read()`/`.write()`
+/// calls count as acquisitions (plain `.read`/`.write` on anything else is
+/// I/O, not locking).
+fn rwlock_idents(code: &[&Token]) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in 0..code.len().saturating_sub(3) {
+        if code[i].kind == TokKind::Ident && code[i + 1].is_punct(':') && !code[i + 2].is_punct(':')
+        {
+            for j in i + 2..i + 10 {
+                let Some(t) = code.get(j) else { break };
+                if t.is_ident("RwLock") {
+                    out.push(code[i].text.clone());
+                    break;
+                }
+                if !(t.is_punct('&')
+                    || t.is_punct(':')
+                    || t.kind == TokKind::Lifetime
+                    || t.is_ident("mut")
+                    || t.is_ident("std")
+                    || t.is_ident("sync"))
+                {
+                    break;
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Scans one body's code tokens into the event list.
+fn body_events(body: &[&Token], rwlocks: &[String]) -> Vec<LockEvent> {
+    let mut events = Vec::new();
+    let mut stmt_start = 0usize;
+    let mut i = 0usize;
+    while i < body.len() {
+        let t = body[i];
+        if t.is_punct(';') {
+            events.push(LockEvent::EndStatement);
+            stmt_start = i + 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('{') {
+            events.push(LockEvent::OpenBlock);
+            stmt_start = i + 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            events.push(LockEvent::CloseBlock);
+            stmt_start = i + 1;
+            i += 1;
+            continue;
+        }
+        // `<recv> . lock ( )` — or `.read()`/`.write()` on a tracked RwLock.
+        if t.is_punct('.')
+            && body.get(i + 1).is_some_and(|m| m.kind == TokKind::Ident)
+            && body.get(i + 2).is_some_and(|p| p.is_punct('('))
+        {
+            let method = &body[i + 1].text;
+            let zero_args = body.get(i + 3).is_some_and(|p| p.is_punct(')'));
+            let recv = receiver_ident(body, i);
+            let is_lock = method == "lock" && zero_args;
+            let is_rw = matches!(method.as_str(), "read" | "write")
+                && zero_args
+                && recv.is_some_and(|r| rwlocks.iter().any(|w| w == r));
+            if (is_lock || is_rw) && recv.is_some_and(|r| r != "self") {
+                events.push(LockEvent::Acquire {
+                    class: recv.unwrap_or_default().to_string(),
+                    line: body[i + 1].line,
+                    hold: hold_of(body, stmt_start),
+                });
+                i += 3;
+                continue;
+            }
+            if is_lock && recv == Some("self") {
+                // `self.lock()` — a method named `lock`, resolved globally.
+                events.push(LockEvent::Call {
+                    callee: "lock".to_string(),
+                    line: body[i + 1].line,
+                    hold: hold_of(body, stmt_start),
+                });
+                i += 3;
+                continue;
+            }
+        }
+        // Calls we resolve: `name(…)`, `Path::name(…)`, `self.name(…)`.
+        if t.kind == TokKind::Ident
+            && !KEYWORDS.contains(&t.text.as_str())
+            && body.get(i + 1).is_some_and(|p| p.is_punct('('))
+        {
+            let prev = i.checked_sub(1).map(|p| body[p]);
+            let prev2 = i.checked_sub(2).map(|p| body[p]);
+            let resolvable = match prev {
+                // `self . name (` — a method on this type.
+                Some(p) if p.is_punct('.') => {
+                    prev2.is_some_and(|r| r.is_ident("self"))
+                        && !i
+                            .checked_sub(3)
+                            .map(|p| body[p])
+                            .is_some_and(|x| x.is_punct('.'))
+                }
+                // `Qual :: name (` — resolve module paths and `Self::`, but
+                // not alien-type associated calls (`Arc::clone`, `Vec::new`):
+                // a type-qualified name resolving to a same-named method on
+                // an unrelated type would fabricate call edges.
+                Some(p) if p.is_punct(':') => {
+                    let qual = i.checked_sub(3).map(|p| body[p]);
+                    qual.is_some_and(|q| {
+                        q.kind == TokKind::Ident
+                            && (q.text == "Self"
+                                || q.text.chars().next().is_some_and(|c| !c.is_uppercase()))
+                    })
+                }
+                // `fn name (` is a declaration, not a call.
+                Some(p) if p.is_ident("fn") => false,
+                // bare `name (`.
+                _ => true,
+            };
+            if resolvable {
+                events.push(LockEvent::Call {
+                    callee: t.text.clone(),
+                    line: t.line,
+                    hold: hold_of(body, stmt_start),
+                });
+            }
+        }
+        i += 1;
+    }
+    events
+}
+
+/// Receiver identifier of the method call whose `.` is at `dot` —
+/// `self.stripes[h].lock()` → `stripes`; `self.lock()` → `self`.
+fn receiver_ident<'t>(body: &[&'t Token], dot: usize) -> Option<&'t str> {
+    let mut k = dot.checked_sub(1)?;
+    // Skip a balanced index/call group backwards.
+    for (close, open) in [(']', '['), (')', '(')] {
+        if body[k].is_punct(close) {
+            let mut depth = 0i32;
+            loop {
+                if body[k].is_punct(close) {
+                    depth += 1;
+                } else if body[k].is_punct(open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k = k.checked_sub(1)?;
+            }
+            k = k.checked_sub(1)?;
+        }
+    }
+    (body[k].kind == TokKind::Ident).then(|| body[k].text.as_str())
+}
+
+/// Guard-lifetime classification of the statement starting at
+/// `stmt_start`: a `let`-bound guard lives to the end of the block,
+/// anything else to the end of the statement.
+fn hold_of(body: &[&Token], stmt_start: usize) -> Hold {
+    match body.get(stmt_start) {
+        Some(t) if t.is_ident("let") => {
+            // `let _ = …` drops immediately — statement scope.
+            if body.get(stmt_start + 1).is_some_and(|p| p.is_ident("_")) {
+                Hold::Statement
+            } else {
+                Hold::Block
+            }
+        }
+        _ => Hold::Statement,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsafe_without_safety_is_flagged_and_inventoried() {
+        let src = "fn f(b: &[u8]) -> &str { unsafe { std::str::from_utf8_unchecked(b) } }";
+        let a = analyze("x.rs", src, false);
+        assert_eq!(a.findings.len(), 1);
+        assert_eq!(a.findings[0].rule, Rule::UnsafeAudit);
+        assert_eq!(a.unsafe_sites.len(), 1);
+        assert!(a.unsafe_sites[0].safety.is_none());
+    }
+
+    #[test]
+    fn safety_comment_satisfies_the_audit() {
+        let src = "fn f(b: &[u8]) -> &str {\n    // SAFETY: b came from a &str.\n    unsafe { std::str::from_utf8_unchecked(b) }\n}";
+        let a = analyze("x.rs", src, false);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+        assert_eq!(a.unsafe_sites.len(), 1);
+        assert!(a.unsafe_sites[0]
+            .safety
+            .as_deref()
+            .unwrap()
+            .contains("SAFETY:"));
+    }
+
+    #[test]
+    fn instant_flagged_only_in_det_crates_and_not_in_comments() {
+        let src = "// Instant::now() in prose is fine\nfn f() { let t = Instant::now(); }";
+        assert_eq!(analyze("x.rs", src, true).findings.len(), 1);
+        assert!(analyze("x.rs", src, false).findings.is_empty());
+    }
+
+    #[test]
+    fn allow_timing_region_permits_instant() {
+        let src = "// lint: allow-timing\nfn bench() { let t = Instant::now(); }\n// lint: end-allow-timing\nfn bad() { let t = Instant::now(); }";
+        let a = analyze("x.rs", src, true);
+        assert_eq!(a.findings.len(), 1);
+        assert_eq!(a.findings[0].line, 4);
+    }
+
+    #[test]
+    fn hashmap_iteration_order_free_reductions_pass() {
+        let src = "struct S { hosts: HashMap<u64, u32> }\nimpl S {\n  fn total(&self) -> u32 { self.hosts.values().map(|v| *v).sum() }\n}";
+        assert!(analyze("x.rs", src, true).findings.is_empty());
+    }
+
+    #[test]
+    fn hashmap_collect_without_sort_is_flagged_with_sort_passes() {
+        let bad = "struct S { ads: HashMap<u64, u32> }\nimpl S {\n  fn dump(&self) -> Vec<u32> { self.ads.values().copied().collect() }\n}";
+        let a = analyze("x.rs", bad, true);
+        assert_eq!(a.findings.len(), 1, "{:?}", a.findings);
+        assert_eq!(a.findings[0].rule, Rule::Nondeterminism);
+
+        let good = "struct S { ads: HashMap<u64, u32> }\nimpl S {\n  fn dump(&self) -> Vec<u32> {\n    let mut v: Vec<u32> = self.ads.values().copied().collect();\n    v.sort_unstable();\n    v\n  }\n}";
+        assert!(analyze("x.rs", good, true).findings.is_empty());
+    }
+
+    #[test]
+    fn no_alloc_region_bans_format_and_clone() {
+        let src = "// lint: no-alloc\nfn hot(x: &str) -> usize {\n  let y = format!(\"{x}\");\n  let z = y.clone();\n  z.len()\n}\nfn cold() -> String { format!(\"ok\") }";
+        let a = analyze("x.rs", src, false);
+        assert_eq!(a.findings.len(), 2, "{:?}", a.findings);
+        assert!(a.findings.iter().all(|f| f.rule == Rule::NoAlloc));
+    }
+
+    #[test]
+    fn fn_summaries_record_locks_calls_and_guard_returns() {
+        let src = "
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+  fn ga(&self) -> MutexGuard<'_, u32> { self.a.lock().unwrap() }
+  fn both(&self) { let _g = self.a.lock().unwrap(); let _h = self.b.lock().unwrap(); }
+  fn via(&self) { let _g = self.ga(); helper(); }
+}
+fn helper() {}
+";
+        let fns = analyze("x.rs", src, false).fns;
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["ga", "both", "via", "helper"]);
+        assert!(fns[0].returns_guard);
+        let acquires: Vec<&str> = fns[1]
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                LockEvent::Acquire { class, .. } => Some(class.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acquires, vec!["a", "b"]);
+        assert!(fns[2]
+            .events
+            .iter()
+            .any(|e| matches!(e, LockEvent::Call { callee, .. } if callee == "ga")));
+    }
+}

@@ -1,0 +1,208 @@
+//! Rule `hermeticity`: every dependency in every workspace `Cargo.toml`
+//! must be a `path` dependency (or `workspace = true`, which resolves to
+//! one). Anything that could reach a registry or a git remote — bare
+//! version strings, `version =`, `git =`, `registry =` — is rejected.
+//!
+//! This is a purpose-built line scanner, not a TOML parser: it understands
+//! exactly the subset this workspace uses (section headers, `key = value`
+//! lines, inline tables on one line, dotted `key.workspace = true`).
+
+use crate::{Finding, Rule};
+
+/// Scans one `Cargo.toml` (workspace-relative path in `file`).
+#[must_use]
+pub fn check(file: &str, source: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // Current `[section]`, with quotes stripped from target specs.
+    let mut section = String::new();
+    // State for a `[dependencies.<name>]` sub-table.
+    let mut sub: Option<SubDep> = None;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header.trim_end_matches(']').replace(['"', '\''], "");
+            flush_sub(file, &mut sub, &mut findings);
+            if let Some((base, name)) = split_dep_subtable(&header) {
+                sub = Some(SubDep {
+                    name: name.to_string(),
+                    line: line_no,
+                    has_path: false,
+                    bad_key: None,
+                });
+                section = base.to_string();
+            } else {
+                section = header;
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let (key, value) = (key.trim(), value.trim());
+
+        if let Some(s) = sub.as_mut() {
+            match key {
+                "path" | "workspace" => s.has_path = true,
+                "git" | "version" | "registry" | "branch" | "rev" | "tag" => {
+                    s.bad_key.get_or_insert_with(|| (key.to_string(), line_no));
+                }
+                _ => {}
+            }
+            continue;
+        }
+        if !is_dep_section(&section) {
+            continue;
+        }
+        // `name.workspace = true` dotted form.
+        if key.ends_with(".workspace") && value == "true" {
+            continue;
+        }
+        if value.starts_with('{') {
+            if value.contains("path") || value.contains("workspace") {
+                if value.contains("git") || value.contains("registry") {
+                    findings.push(violation(file, line_no, key, "remote source"));
+                }
+            } else {
+                findings.push(violation(file, line_no, key, "no `path`"));
+            }
+        } else {
+            // Bare value: `serde = "1.0"` — a registry version requirement.
+            findings.push(violation(
+                file,
+                line_no,
+                key,
+                "registry version requirement",
+            ));
+        }
+    }
+    flush_sub(file, &mut sub, &mut findings);
+    findings
+}
+
+struct SubDep {
+    name: String,
+    line: u32,
+    has_path: bool,
+    bad_key: Option<(String, u32)>,
+}
+
+fn flush_sub(file: &str, sub: &mut Option<SubDep>, findings: &mut Vec<Finding>) {
+    if let Some(s) = sub.take() {
+        if !s.has_path {
+            let (why, line) = s
+                .bad_key
+                .map_or(("no `path`".to_string(), s.line), |(k, l)| {
+                    (format!("`{k} =`"), l)
+                });
+            findings.push(violation(file, line, &s.name, &why));
+        }
+    }
+}
+
+fn violation(file: &str, line: u32, dep: &str, why: &str) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line,
+        rule: Rule::Hermeticity,
+        message: format!(
+            "dependency `{dep}` is not a path dependency ({why}); \
+             the workspace builds offline — only `path`/`workspace` sources are allowed"
+        ),
+    }
+}
+
+/// `[dependencies.foo]` / `[workspace.dependencies.foo]` /
+/// `[target.'…'.dependencies.foo]` → `(base_section, dep_name)`.
+fn split_dep_subtable(header: &str) -> Option<(&str, &str)> {
+    let (base, name) = header.rsplit_once('.')?;
+    is_dep_section(base).then_some((base, name))
+}
+
+/// Whether a section header names a dependency table.
+fn is_dep_section(section: &str) -> bool {
+    section.rsplit('.').next().is_some_and(|last| {
+        matches!(
+            last,
+            "dependencies" | "dev-dependencies" | "build-dependencies"
+        )
+    })
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let src = r#"
+[package]
+name = "x"
+
+[dependencies]
+fgcs-core = { path = "../fgcs-core" }
+fgcs-runtime.workspace = true
+
+[dev-dependencies]
+fgcs-trace = { path = "../fgcs-trace", default-features = false }
+
+[workspace.dependencies]
+fgcs-core = { path = "crates/fgcs-core" }
+"#;
+        assert!(check("Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn registry_version_is_flagged() {
+        let src = "[dependencies]\nserde = \"1.0\"\n";
+        let f = check("Cargo.toml", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::Hermeticity);
+        assert_eq!(f[0].line, 2);
+        assert!(f[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn git_and_versioned_inline_tables_are_flagged() {
+        let src =
+            "[dependencies]\na = { git = \"https://example.com/a\" }\nb = { version = \"0.3\" }\n";
+        assert_eq!(check("Cargo.toml", src).len(), 2);
+    }
+
+    #[test]
+    fn dep_subtable_without_path_is_flagged() {
+        let src = "[dependencies.serde]\nversion = \"1.0\"\nfeatures = [\"derive\"]\n";
+        let f = check("Cargo.toml", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn dep_subtable_with_path_passes() {
+        let src = "[dependencies.fgcs-core]\npath = \"../fgcs-core\"\nfeatures = [\"smp\"]\n";
+        assert!(check("Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let src = "[package]\nversion = \"0.1.0\"\n\n[features]\ndefault = []\n";
+        assert!(check("Cargo.toml", src).is_empty());
+    }
+}

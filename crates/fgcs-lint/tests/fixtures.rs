@@ -1,0 +1,154 @@
+//! Fixture suite: each known-bad snippet under `tests/fixtures/` must
+//! produce exactly its rule's diagnostic — no more, no less — and the
+//! clean twins embedded in the same files must stay silent.
+//!
+//! The fixtures directory carries a `.lint-skip` marker so the workspace
+//! self-check (`workspace_clean.rs`) never sees these deliberately broken
+//! files.
+
+use fgcs_lint::{lint_sources, Allowlist, Finding, Report, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+/// Lints one fixture as if it lived at `as_path` inside the workspace.
+fn lint_rust(name: &str, as_path: &str) -> Report {
+    lint_sources(
+        &[(as_path.to_string(), fixture(name))],
+        &[],
+        &Allowlist::empty(),
+    )
+}
+
+fn lines_of(report: &Report, rule: Rule) -> Vec<(u32, &str)> {
+    report
+        .findings
+        .iter()
+        .map(|f: &Finding| {
+            assert_eq!(f.rule, rule, "unexpected rule in {f}");
+            (f.line, f.file.as_str())
+        })
+        .collect()
+}
+
+#[test]
+fn nondeterminism_instant_fixture() {
+    let report = lint_rust("nondet_instant.rs", "crates/fgcs-core/src/bad.rs");
+    let lines = lines_of(&report, Rule::Nondeterminism);
+    assert_eq!(
+        lines,
+        vec![
+            (3, "crates/fgcs-core/src/bad.rs"),
+            (5, "crates/fgcs-core/src/bad.rs")
+        ],
+        "{:?}",
+        report.findings
+    );
+    assert!(report.findings[0].message.contains("Instant"));
+}
+
+#[test]
+fn nondeterminism_instant_fixture_is_fine_outside_the_boundary() {
+    let report = lint_rust("nondet_instant.rs", "crates/fgcs-bench/src/ok.rs");
+    assert!(report.is_clean(), "{:?}", report.findings);
+}
+
+#[test]
+fn nondeterminism_hashmap_fixture() {
+    let report = lint_rust("nondet_hashmap.rs", "crates/fgcs-sim/src/bad.rs");
+    let lines = lines_of(&report, Rule::Nondeterminism);
+    // Only `dump` leaks order; `count` (order-free) and `sorted`
+    // (collect-then-sort) are the clean twins.
+    assert_eq!(lines.len(), 1, "{:?}", report.findings);
+    assert_eq!(lines[0].0, 11);
+    assert!(report.findings[0].message.contains("HashMap"));
+}
+
+#[test]
+fn unsafe_audit_fixture() {
+    let report = lint_rust("unsafe_uncommented.rs", "crates/fgcs-runtime/src/bad.rs");
+    let lines = lines_of(&report, Rule::UnsafeAudit);
+    assert_eq!(lines.len(), 1, "{:?}", report.findings);
+    assert_eq!(lines[0].0, 4);
+    assert!(report.findings[0].message.contains("SAFETY"));
+    // Both sites appear in the inventory; only the first lacks a comment.
+    assert_eq!(report.unsafe_sites.len(), 2);
+    assert!(report.unsafe_sites[0].safety.is_none());
+    assert!(report.unsafe_sites[1].safety.is_some());
+}
+
+#[test]
+fn lock_inversion_fixture() {
+    let report = lint_rust("lock_inversion.rs", "crates/fgcs-core/src/bad.rs");
+    let findings: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::LockOrder)
+        .collect();
+    // The a→b and b→a edges each get an inversion report.
+    assert_eq!(findings.len(), 2, "{:?}", report.findings);
+    assert!(findings.iter().all(|f| f.message.contains("inversion")));
+    assert_eq!(
+        findings.len(),
+        report.findings.len(),
+        "only lock-order expected"
+    );
+}
+
+#[test]
+fn alloc_in_region_fixture() {
+    let report = lint_rust("alloc_in_region.rs", "src/bad.rs");
+    let lines = lines_of(&report, Rule::NoAlloc);
+    // `hot` (marked) is flagged at its `format!`; `cold` (unmarked) is not.
+    assert_eq!(lines, vec![(6, "src/bad.rs")], "{:?}", report.findings);
+    assert!(report.findings[0].message.contains("format!"));
+}
+
+#[test]
+fn hermeticity_fixture() {
+    let report = lint_sources(
+        &[],
+        &[(
+            "crates/fixture/Cargo.toml".to_string(),
+            fixture("bad_dep.toml"),
+        )],
+        &Allowlist::empty(),
+    );
+    let lines = lines_of(&report, Rule::Hermeticity);
+    // `serde = "1.0"` is flagged; the path/workspace deps are not.
+    assert_eq!(
+        lines,
+        vec![(9, "crates/fixture/Cargo.toml")],
+        "{:?}",
+        report.findings
+    );
+    assert!(report.findings[0].message.contains("serde"));
+}
+
+#[test]
+fn allowlist_suppresses_a_fixture_diagnostic() {
+    let allow = Allowlist::parse("unsafe-audit crates/fgcs-runtime/src/bad.rs\n");
+    let report = lint_sources(
+        &[(
+            "crates/fgcs-runtime/src/bad.rs".to_string(),
+            fixture("unsafe_uncommented.rs"),
+        )],
+        &[],
+        &allow,
+    );
+    assert!(report.is_clean(), "{:?}", report.findings);
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].rule, Rule::UnsafeAudit);
+}
+
+#[test]
+fn finding_rendering_matches_the_documented_format() {
+    let report = lint_rust("unsafe_uncommented.rs", "crates/fgcs-runtime/src/bad.rs");
+    let rendered = report.findings[0].to_string();
+    assert!(
+        rendered.starts_with("crates/fgcs-runtime/src/bad.rs:4: [unsafe-audit] "),
+        "{rendered}"
+    );
+}

@@ -1,0 +1,11 @@
+// Known-bad fixture: allocation inside a `// lint: no-alloc` region
+// (line 6 flagged); the unmarked twin below must pass.
+
+// lint: no-alloc
+pub fn hot(x: u64) -> String {
+    format!("{x}")
+}
+
+pub fn cold(x: u64) -> String {
+    format!("{x}")
+}

@@ -1,0 +1,22 @@
+// Known-bad fixture: a deliberately inverted two-lock pair. `forward`
+// nests b under a, `backward` nests a under b — the order graph cycles.
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u32 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        *ga - *gb
+    }
+}

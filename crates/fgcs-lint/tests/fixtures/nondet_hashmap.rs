@@ -1,0 +1,25 @@
+// Known-bad fixture: HashMap iteration order leaking into output.
+use std::collections::HashMap;
+
+pub struct Directory {
+    ads: HashMap<u64, String>,
+}
+
+impl Directory {
+    // Order-dependent: the Vec's element order follows HashMap iteration.
+    pub fn dump(&self) -> Vec<String> {
+        self.ads.values().cloned().collect()
+    }
+
+    // Order-free reduction: must NOT be flagged.
+    pub fn count(&self) -> usize {
+        self.ads.values().count()
+    }
+
+    // Collected then sorted: must NOT be flagged.
+    pub fn sorted(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.ads.values().cloned().collect();
+        v.sort();
+        v
+    }
+}

@@ -1,0 +1,7 @@
+// Known-bad fixture: wall-clock read inside the determinism boundary.
+// The lint must flag both `Instant` mentions (lines 3 and 5).
+use std::time::Instant;
+
+pub fn elapsed_secs(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64()
+}

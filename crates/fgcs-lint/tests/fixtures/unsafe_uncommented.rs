@@ -1,0 +1,11 @@
+// Known-bad fixture: `unsafe` without a SAFETY comment (line 4 flagged);
+// the commented twin below must pass.
+pub fn first_byte_bad(b: &[u8]) -> u8 {
+    unsafe { *b.get_unchecked(0) }
+}
+
+pub fn first_byte_good(b: &[u8]) -> u8 {
+    assert!(!b.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *b.get_unchecked(0) }
+}

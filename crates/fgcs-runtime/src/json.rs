@@ -391,6 +391,10 @@ impl<'a> Parser<'a> {
                 Some(_) => {
                     // Consume one UTF-8 scalar (input is a &str, so valid).
                     let rest = &self.bytes[self.pos..];
+                    // SAFETY: `bytes` is the byte view of the input `&str`,
+                    // and `pos` only ever advances past ASCII bytes or whole
+                    // scalars (`c.len_utf8()` below), so `rest` starts on a
+                    // char boundary of valid UTF-8.
                     let s = unsafe { std::str::from_utf8_unchecked(rest) };
                     let c = s.chars().next().unwrap();
                     out.push(c);
@@ -805,7 +809,10 @@ impl<'a> Scan<'a> {
                 b'"' => {
                     let s = &self.b[start..self.i];
                     self.i += 1;
-                    // Input came from a &str, so the slice is valid UTF-8.
+                    // SAFETY: `b` is the byte view of the input `&str`, and
+                    // both slice bounds sit just inside ASCII `"` bytes —
+                    // escape-free string content between two char
+                    // boundaries, hence valid UTF-8.
                     return Some(unsafe { std::str::from_utf8_unchecked(s) });
                 }
                 b'\\' => return None,
@@ -891,12 +898,19 @@ impl<'a> Scan<'a> {
                 ) {
                     self.i += 1;
                 }
+                // SAFETY: every byte consumed since `start` matched the
+                // ASCII number alphabet above, so the slice is all-ASCII
+                // and trivially valid UTF-8 on char boundaries.
                 let text = unsafe { std::str::from_utf8_unchecked(&self.b[start..self.i]) };
                 text.parse::<f64>().ok()?;
             }
             _ => return None,
         }
         let raw = &self.b[start..self.i];
+        // SAFETY: `b` is the byte view of the input `&str`; `start` and `i`
+        // both sit at ASCII structural delimiters (or the ends of nested
+        // values validated above), so the raw slice spans whole scalars of
+        // already-valid UTF-8.
         Some(unsafe { std::str::from_utf8_unchecked(raw) })
     }
 

@@ -39,6 +39,7 @@ fn main() -> ExitCode {
         "encode" => cmd_encode(rest),
         "metrics" => cmd_metrics(rest),
         "chaos" => cmd_chaos(rest),
+        "lint" => cmd_lint(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -94,6 +95,7 @@ USAGE:
   fgcs encode   TRACE.json [--host H]                   (trace days as serve ingest requests)
   fgcs metrics  [--seed N] [--days D]
   fgcs chaos    [--seed N] [--steps T] [--machines M] [--warmup-days D] [--no-faults|--zero-faults]
+  fgcs lint     [ROOT] [--inventory] [--timings] [--quiet]  (static analysis; nonzero on findings)
 
 Any command also accepts --metrics-out PATH: enables the metrics registry
 for the run and dumps its JSON snapshot to PATH on exit.
@@ -306,6 +308,67 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+/// Runs the in-tree static-analysis pass ([`fgcs_lint`]) over the
+/// workspace: determinism, unsafe audit, lock order, no-alloc regions,
+/// hermeticity. Findings go to stdout as `file:line: [rule] message`; the
+/// command fails when any survive the `lint.allow` allowlist. Summary
+/// counters and per-rule timings flow through the metrics registry, so
+/// `fgcs lint --metrics-out PATH` integrates with the observability layer.
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let root = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map_or(".", String::as_str);
+    let report = fgcs_lint::lint_workspace(std::path::Path::new(root))
+        .map_err(|e| format!("linting {root}: {e}"))?;
+
+    let metrics = fgcs::runtime::metrics::registry();
+    metrics
+        .counter("lint.files_scanned")
+        .add(report.files_scanned as u64);
+    metrics
+        .counter("lint.rules_checked")
+        .add(report.rules_checked as u64);
+    metrics
+        .counter("lint.violations")
+        .add(report.findings.len() as u64);
+    metrics
+        .counter("lint.suppressed")
+        .add(report.suppressed.len() as u64);
+    for (rule, ns) in &report.rule_timings_ns {
+        metrics.timing(&format!("lint.rule.{rule}")).record(*ns);
+    }
+    metrics.timing("lint.elapsed").record(report.elapsed_ns);
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    let quiet = flag(args, "--quiet");
+    if flag(args, "--inventory") && !quiet {
+        println!("unsafe inventory ({} sites):", report.unsafe_sites.len());
+        for s in &report.unsafe_sites {
+            let why = s.safety.as_deref().unwrap_or("<missing SAFETY comment>");
+            println!("  {}:{}: {}", s.file, s.line, why.trim());
+        }
+    }
+    if flag(args, "--timings") && !quiet {
+        for (rule, ns) in &report.rule_timings_ns {
+            println!("  {rule:<16} {:>8} us", ns / 1_000);
+        }
+    }
+    if !quiet {
+        println!("{}", report.summary());
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} lint violation(s) — fix them or add vetted entries to lint.allow",
+            report.findings.len()
+        ))
+    }
 }
 
 /// Runs the streaming prediction service — oneshot (stdin → stdout) or as

@@ -1,4 +1,9 @@
 #![warn(missing_docs)]
+// Same policy as fgcs-core: library code (the serve wire path in
+// particular) surfaces errors through typed results instead of panicking.
+// Tests are exempt; doc examples compile as separate crates and keep
+// `unwrap()` for brevity.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! # fgcs — Resource Availability Prediction in Fine-Grained Cycle Sharing Systems
 //!
 //! This is the facade crate of a full reproduction of

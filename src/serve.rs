@@ -229,6 +229,7 @@ fn slice_coords<'a>(s: &JsonSlice<'a>) -> Result<(DayType, TimeWindow, State), W
 
 /// `{"ok":false,"error":…}` with the message rendered straight into the
 /// reply buffer (escaped on the fly, no intermediate `String`).
+// lint: no-alloc
 fn write_error_line(out: &mut JsonWriter, err: &dyn fmt::Display) {
     out.raw("{\"ok\":false,\"error\":");
     out.display_string(err);
@@ -236,6 +237,7 @@ fn write_error_line(out: &mut JsonWriter, err: &dyn fmt::Display) {
 }
 
 /// The `ingest` ack, byte-identical to the tree rendering.
+// lint: no-alloc
 fn write_ingest_line(out: &mut JsonWriter, ack: &IngestAck) {
     out.raw("{\"ok\":true,\"op\":\"ingest\",\"host\":");
     out.u64(ack.host);
@@ -247,6 +249,7 @@ fn write_ingest_line(out: &mut JsonWriter, ack: &IngestAck) {
 }
 
 /// The `predict` reply, byte-identical to the tree rendering.
+// lint: no-alloc
 fn write_predict_line(
     out: &mut JsonWriter,
     host: u64,
@@ -335,6 +338,7 @@ impl Server {
     /// `ping` or cache-hit `predict` request allocates nothing — the line
     /// is scanned in place and the reply is formatted into the pooled
     /// buffer. The caller owns clearing `out` between requests.
+    // lint: no-alloc
     pub fn handle_line_into(&self, line: &str, out: &mut JsonWriter) -> bool {
         self.read_hwm
             .fetch_max(line.len() as u64, Ordering::Relaxed);

@@ -35,21 +35,28 @@ fn note_alloc() {
     });
 }
 
+// SAFETY: a pure pass-through to `System` — the counting hook touches
+// only thread-local `Cell`s and allocates nothing, so every GlobalAlloc
+// contract obligation is inherited unchanged from the system allocator.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards the caller's layout to `System.alloc` verbatim.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         note_alloc();
         System.alloc(layout)
     }
 
+    // SAFETY: forwards the caller's pointer/layout pair to `System`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: forwards pointer, layout, and size to `System.realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         note_alloc();
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: forwards the caller's layout to `System.alloc_zeroed`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         note_alloc();
         System.alloc_zeroed(layout)
