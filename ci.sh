@@ -118,10 +118,7 @@ awk 'NR % 40 == 1 { if (NR > 1) print out "]}"; out = "{\"op\":\"batch\",\"ops\"
      { out = out "," $0 }
      END { if (out != "") print out "]}" }' \
   "$serve_tmp/seq_in.jsonl" > "$serve_tmp/batch_in.jsonl"
-start_server() {
-  : > "$serve_tmp/server.log"
-  timeout 120 "$fgcs_bin" serve --port 0 > "$serve_tmp/server.log" &
-  server_pid=$!
+wait_for_addr() {
   addr=""
   for _ in $(seq 1 100); do
     addr=$(sed -n 's/^listening on //p' "$serve_tmp/server.log" 2>/dev/null || true)
@@ -131,6 +128,12 @@ start_server() {
   if [ -z "$addr" ]; then
     echo "server never announced its address:"; cat "$serve_tmp/server.log"; exit 1
   fi
+}
+start_server() {
+  : > "$serve_tmp/server.log"
+  timeout 120 "$fgcs_bin" serve --port 0 "$@" > "$serve_tmp/server.log" &
+  server_pid=$!
+  wait_for_addr
 }
 start_server
 "$fgcs_bin" query --pipelined "$addr" < "$serve_tmp/seq_in.jsonl" > "$serve_tmp/seq_out.jsonl"
@@ -155,6 +158,52 @@ if [ "$ops_per_sec" -lt 500 ]; then
   echo "batched serve throughput $ops_per_sec ops/sec is below the 500 ops/sec floor"
   exit 1
 fi
+echo "== crash-recovery smoke: kill -9 a durable server mid-stream, recovered sweep == offline replay"
+# Stream the first 6 of 10 encoded days into `serve --data-dir` in lockstep
+# (every sent day is acknowledged), then SIGKILL the server — no flush, no
+# shutdown op. A fresh process recovering from the WAL must hold exactly
+# the 6 acknowledged days, and its sweep must be byte-identical to an
+# offline oneshot replay of the same 6 ingest lines.
+# No `timeout` wrapper here: kill -9 must hit the serve process itself —
+# SIGKILLing a wrapper would orphan the server still holding the WAL (and
+# this stage's stdio pipes, wedging the CI step).
+: > "$serve_tmp/server.log"
+"$fgcs_bin" serve --port 0 --data-dir "$serve_tmp/wal" > "$serve_tmp/server.log" &
+server_pid=$!
+wait_for_addr
+head -6 "$serve_tmp/reqs.jsonl" | "$fgcs_bin" query "$addr" > "$serve_tmp/acks.jsonl"
+acked=$(grep -c '"ok":true' "$serve_tmp/acks.jsonl")
+if [ "$acked" != 6 ]; then
+  echo "expected 6 acknowledged ingests before the kill, got $acked:"
+  cat "$serve_tmp/acks.jsonl"
+  exit 1
+fi
+kill -9 "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+{
+  echo '{"op":"host","host":1}'
+  echo '{"op":"sweep","host":1,"start":9.0,"hours":2.0,"points":12}'
+} | "$fgcs_bin" serve --oneshot --data-dir "$serve_tmp/wal" > "$serve_tmp/recovered.jsonl"
+grep -q '"days":6' "$serve_tmp/recovered.jsonl" || {
+  echo "recovered registry does not hold exactly the 6 acknowledged days:"
+  cat "$serve_tmp/recovered.jsonl"
+  exit 1
+}
+{
+  head -6 "$serve_tmp/reqs.jsonl"
+  echo '{"op":"sweep","host":1,"start":9.0,"hours":2.0,"points":12}'
+} | "$fgcs_bin" serve --oneshot > "$serve_tmp/replayed.jsonl"
+grep '^{"window"' "$serve_tmp/recovered.jsonl" > "$serve_tmp/recovered_sweep.json"
+grep '^{"window"' "$serve_tmp/replayed.jsonl" > "$serve_tmp/replay_sweep.json"
+if ! cmp -s "$serve_tmp/recovered_sweep.json" "$serve_tmp/replay_sweep.json"; then
+  echo "recovered sweep diverged from the offline replay after kill -9:"
+  diff "$serve_tmp/recovered_sweep.json" "$serve_tmp/replay_sweep.json" || true
+  exit 1
+fi
+
+echo "== serve chaos smoke: byte-faulted client + kill -9, recovery invariant enforced by exit code"
+"$fgcs_bin" chaos --serve --seed 20060625 --machines 3 --days 6
+
 rm -rf "$serve_tmp"
 
 echo "== cargo doc --offline --workspace --no-deps (warnings denied)"

@@ -121,7 +121,10 @@ const CLUSTER_HOSTS: u64 = 1000;
 
 /// Absolute p99 gate on registry ingest in the 10k-host serving smoke
 /// (`cluster_serve_10k/ingest_day_p99_ns`), at `machine_factor` 1.0.
-/// Ingest is an append + O(live estimators) incremental sync.
+/// Ingest is an append + O(live estimators) incremental sync — plus, since
+/// the smoke runs durable (`ClusterServeConfig::smoke().durable`), a WAL
+/// append at the default fsync cadence. The crash-safety tax must fit
+/// inside the same gate.
 const SERVE_INGEST_P99_GATE_NS: f64 = 150_000.0;
 
 /// Absolute p99 gate on TR queries in the 10k-host serving smoke

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cluster_serve [--hosts N] [--queries Q] [--shards S] [--seed SEED]
-//!               [--merge BENCH_baseline.json]
+//!               [--durable] [--merge BENCH_baseline.json]
 //! ```
 //!
 //! Prints the run report as JSON. With `--merge PATH`, also folds the
@@ -42,6 +42,7 @@ fn main() -> ExitCode {
         config.queries = parse("--queries", config.queries as u64)? as usize;
         config.shards = parse("--shards", config.shards as u64)? as usize;
         config.seed = parse("--seed", config.seed)?;
+        config.durable = args.iter().any(|a| a == "--durable");
         if config.shards == 0 {
             return Err("--shards must be positive".into());
         }

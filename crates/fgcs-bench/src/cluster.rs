@@ -61,6 +61,11 @@ pub struct ClusterServeConfig {
     pub shards: usize,
     /// Seed for the day pool and query schedule.
     pub seed: u64,
+    /// Run with durability on: a write-ahead log at the default fsync and
+    /// snapshot cadences in a scratch directory, so the measured ingest
+    /// latency includes the WAL append (the crash-safety tax the gate
+    /// keeps bounded).
+    pub durable: bool,
 }
 
 impl ClusterServeConfig {
@@ -73,6 +78,7 @@ impl ClusterServeConfig {
             queries: 10_000,
             shards: 8,
             seed: 2006,
+            durable: true,
         }
     }
 
@@ -86,6 +92,7 @@ impl ClusterServeConfig {
             queries: usize::try_from(hosts).unwrap_or(usize::MAX).min(100_000),
             shards: 16,
             seed: 2006,
+            durable: false,
         }
     }
 
@@ -146,6 +153,7 @@ impl ClusterServeReport {
             ("hosts".into(), Json::U64(self.config.hosts)),
             ("shards".into(), Json::U64(self.config.shards as u64)),
             ("warm_days".into(), Json::U64(self.config.warm_days as u64)),
+            ("durable".into(), Json::Bool(self.config.durable)),
             ("ingests".into(), Json::U64(self.ingests as u64)),
             ("queries".into(), Json::U64(self.queries as u64)),
             ("ingest_day_p50_ns".into(), Json::U64(self.ingest_p50_ns)),
@@ -204,11 +212,26 @@ pub fn run_cluster_serve(config: ClusterServeConfig) -> ClusterServeReport {
     let model = fleet_model();
     let samples_per_day = model.samples_per_day();
     let pool = day_pool(config.seed, samples_per_day);
-    let registry = ShardedRegistry::new(RegistryConfig {
+    // Durable runs write a real WAL into a scratch directory at the default
+    // cadences, so every timed ingest below pays the append (and its share
+    // of fsyncs) exactly as a production `fgcs serve --data-dir` would.
+    let scratch = config.durable.then(|| {
+        let dir = std::env::temp_dir().join(format!(
+            "fgcs-bench-serve-{}-{}-{}",
+            std::process::id(),
+            config.hosts,
+            config.seed
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    });
+    let registry = ShardedRegistry::open(RegistryConfig {
         shards: config.shards,
         model,
+        data_dir: scratch.clone(),
         ..RegistryConfig::default()
-    });
+    })
+    .expect("open bench registry");
     let day_of = |host: u64, day: usize| -> Vec<State> {
         pool[(hash_key(host) as usize).wrapping_add(day) % POOL_DAYS].clone()
     };
@@ -268,6 +291,11 @@ pub fn run_cluster_serve(config: ClusterServeConfig) -> ClusterServeReport {
     assert_eq!(stats.hosts as u64, config.hosts);
     assert_eq!(stats.days, (config.warm_days + 1) * config.hosts as usize);
 
+    drop(registry);
+    if let Some(dir) = scratch {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
     ingest_ns.sort_unstable();
     query_ns.sort_unstable();
     ClusterServeReport {
@@ -294,6 +322,7 @@ mod tests {
             queries: 100,
             shards: 4,
             seed: 7,
+            durable: false,
         });
         assert_eq!(report.ingests, 50);
         assert_eq!(report.queries, 100);
@@ -302,6 +331,23 @@ mod tests {
         let entries = report.baseline_entries();
         assert_eq!(entries.len(), 4);
         assert!(entries[0].0.starts_with("cluster_serve_0k/"));
+    }
+
+    #[test]
+    fn durable_fleet_runs_and_cleans_its_scratch_dir() {
+        let report = run_cluster_serve(ClusterServeConfig {
+            hosts: 20,
+            warm_days: 2,
+            queries: 40,
+            shards: 2,
+            seed: 9,
+            durable: true,
+        });
+        assert_eq!(report.ingests, 20);
+        assert!(report.to_json().to_string().contains("\"durable\":true"));
+        let dir =
+            std::env::temp_dir().join(format!("fgcs-bench-serve-{}-20-9", std::process::id()));
+        assert!(!dir.exists(), "scratch WAL dir must be removed");
     }
 
     #[test]

@@ -73,6 +73,18 @@ pub struct FaultPlan {
     pub blackout_len: u64,
     /// Probability that a day log is truncated (loses its tail).
     pub truncate_day_rate: f64,
+    /// Probability that a WAL append is torn mid-frame (a crash between
+    /// `write` and completion persists only a prefix of the frame).
+    pub wal_torn_write_rate: f64,
+    /// Probability that one bit of a WAL frame is flipped on its way to
+    /// disk (silent media corruption; caught by the frame CRC).
+    pub wal_bit_flip_rate: f64,
+    /// Probability that a crash chops arbitrary bytes off a WAL tail
+    /// (an un-synced page-cache suffix lost by a machine crash).
+    pub wal_truncate_tail_rate: f64,
+    /// Probability that a snapshot file is missing at recovery (crash
+    /// before the tmp-file rename, or snapshot media loss).
+    pub wal_snapshot_loss_rate: f64,
 }
 
 impl_json_struct!(FaultPlan {
@@ -89,6 +101,10 @@ impl_json_struct!(FaultPlan {
     blackout_rate,
     blackout_len,
     truncate_day_rate,
+    wal_torn_write_rate,
+    wal_bit_flip_rate,
+    wal_truncate_tail_rate,
+    wal_snapshot_loss_rate,
 });
 
 impl FaultPlan {
@@ -110,6 +126,10 @@ impl FaultPlan {
             blackout_rate: 0.0,
             blackout_len: 0,
             truncate_day_rate: 0.0,
+            wal_torn_write_rate: 0.0,
+            wal_bit_flip_rate: 0.0,
+            wal_truncate_tail_rate: 0.0,
+            wal_snapshot_loss_rate: 0.0,
         }
     }
 
@@ -132,6 +152,10 @@ impl FaultPlan {
             blackout_rate: 0.0005,
             blackout_len: 200,
             truncate_day_rate: 0.2,
+            wal_torn_write_rate: 0.02,
+            wal_bit_flip_rate: 0.01,
+            wal_truncate_tail_rate: 0.2,
+            wal_snapshot_loss_rate: 0.1,
         }
     }
 
@@ -147,6 +171,10 @@ impl FaultPlan {
             && self.outage_rate == 0.0
             && self.blackout_rate == 0.0
             && self.truncate_day_rate == 0.0
+            && self.wal_torn_write_rate == 0.0
+            && self.wal_bit_flip_rate == 0.0
+            && self.wal_truncate_tail_rate == 0.0
+            && self.wal_snapshot_loss_rate == 0.0
     }
 }
 
@@ -163,6 +191,13 @@ mod salt {
     pub const BLACKOUT: u64 = 0xA076_1D64_95B0_63C2;
     pub const TRUNCATE: u64 = 0xE703_7ED1_A0B4_28DB;
     pub const TRUNCATE_FRAC: u64 = 0x8EBC_6AF0_9C88_C6E3;
+    pub const WAL_TORN: u64 = 0x4CF5_AD43_2745_937F;
+    pub const WAL_TORN_FRAC: u64 = 0x6C62_272E_07BB_0142;
+    pub const WAL_FLIP: u64 = 0x27D4_EB2F_1656_67C5;
+    pub const WAL_FLIP_POS: u64 = 0x9E37_79B9_0000_F00D;
+    pub const WAL_TAIL: u64 = 0xB492_B66F_BE98_F273;
+    pub const WAL_TAIL_FRAC: u64 = 0x9AE1_6A3B_2F90_404F;
+    pub const WAL_SNAP_LOSS: u64 = 0xCBF2_9CE4_8422_2325;
 }
 
 /// Answers fault queries for a [`FaultPlan`]. Cheap to clone (it is just
@@ -326,6 +361,66 @@ impl FaultInjector {
         let keep = ((day_len as f64 * frac) as usize).clamp(1, day_len - 1);
         Some(keep)
     }
+
+    /// If the WAL append of record `index` is torn, the number of frame
+    /// bytes (out of `frame_len`) that survive — a strict prefix, so
+    /// the reader sees a torn tail. `None` when the append completes.
+    pub fn wal_torn_write(&self, stream: u64, index: u64, frame_len: usize) -> Option<usize> {
+        if !self.fires(self.plan.wal_torn_write_rate, salt::WAL_TORN, stream, index) {
+            return None;
+        }
+        crate::counter_add!("runtime.fault.wal_torn_writes", 1);
+        let frac = self.roll(salt::WAL_TORN_FRAC, stream, index);
+        Some(((frame_len as f64 * frac) as usize).min(frame_len.saturating_sub(1)))
+    }
+
+    /// If record `index`'s frame is silently corrupted on its way to
+    /// disk, the `(byte offset, xor mask)` of the flipped bit.
+    pub fn wal_bit_flip(&self, stream: u64, index: u64, frame_len: usize) -> Option<(usize, u8)> {
+        if frame_len == 0 || !self.fires(self.plan.wal_bit_flip_rate, salt::WAL_FLIP, stream, index)
+        {
+            return None;
+        }
+        crate::counter_add!("runtime.fault.wal_bit_flips", 1);
+        let draw = self.roll(salt::WAL_FLIP_POS, stream, index);
+        let bit = (draw * (frame_len * 8) as f64) as usize;
+        let bit = bit.min(frame_len * 8 - 1);
+        Some((bit / 8, 1u8 << (bit % 8)))
+    }
+
+    /// If crash `index` loses an un-synced WAL suffix, the number of
+    /// file bytes (out of `file_len`) that survive. `None` when the
+    /// tail is intact.
+    pub fn wal_tail_keep(&self, stream: u64, index: u64, file_len: u64) -> Option<u64> {
+        if file_len == 0
+            || !self.fires(
+                self.plan.wal_truncate_tail_rate,
+                salt::WAL_TAIL,
+                stream,
+                index,
+            )
+        {
+            return None;
+        }
+        crate::counter_add!("runtime.fault.wal_tail_truncations", 1);
+        let frac = self.roll(salt::WAL_TAIL_FRAC, stream, index);
+        Some((file_len as f64 * frac) as u64)
+    }
+
+    /// Whether snapshot `index` of the stream is missing at recovery
+    /// (crash before the atomic rename, or snapshot media loss).
+    pub fn wal_snapshot_lost(&self, stream: u64, index: u64) -> bool {
+        let hit = self.fires(
+            self.plan.wal_snapshot_loss_rate,
+            salt::WAL_SNAP_LOSS,
+            stream,
+            index,
+        );
+        if hit {
+            crate::counter_add!("runtime.fault.wal_snapshots_lost", 1);
+        }
+        hit
+    }
 }
 
 #[cfg(test)]
@@ -343,8 +438,35 @@ mod tests {
             assert!(!inj.stuck_at(3, i));
             assert!(!inj.in_outage(3, i));
             assert!(!inj.in_blackout(3, i));
+            assert_eq!(inj.wal_torn_write(3, i, 64), None);
+            assert_eq!(inj.wal_bit_flip(3, i, 64), None);
+            assert_eq!(inj.wal_tail_keep(3, i, 64), None);
+            assert!(!inj.wal_snapshot_lost(3, i));
         }
         assert_eq!(inj.truncated_day_len(3, 0, 14_400), None);
+    }
+
+    #[test]
+    fn wal_faults_fire_within_bounds() {
+        let inj = FaultInjector::new(FaultPlan::chaos(17));
+        let mut torn = 0;
+        let mut flips = 0;
+        for i in 0..10_000u64 {
+            if let Some(keep) = inj.wal_torn_write(0, i, 100) {
+                assert!(keep < 100, "torn write must keep a strict prefix");
+                torn += 1;
+            }
+            if let Some((byte, mask)) = inj.wal_bit_flip(0, i, 100) {
+                assert!(byte < 100);
+                assert_eq!(mask.count_ones(), 1);
+                flips += 1;
+            }
+            if let Some(keep) = inj.wal_tail_keep(0, i, 1000) {
+                assert!(keep < 1000);
+            }
+        }
+        assert!(torn > 0, "torn writes never fired at chaos rates");
+        assert!(flips > 0, "bit flips never fired at chaos rates");
     }
 
     #[test]

@@ -1184,6 +1184,17 @@ impl JsonWriter {
         self.buf.clear();
     }
 
+    /// Rolls the buffer back to a previously observed [`len`](JsonWriter::len),
+    /// discarding everything written since — the containment primitive for
+    /// callers that must replace a half-written reply (e.g. after catching
+    /// a panic mid-request). No-op when `len` is not on a char boundary or
+    /// exceeds the current length.
+    pub fn truncate(&mut self, len: usize) {
+        if len <= self.buf.len() && self.buf.is_char_boundary(len) {
+            self.buf.truncate(len);
+        }
+    }
+
     /// Appends pre-serialized JSON text verbatim (the caller vouches for
     /// its validity — punctuation, keys, whole sub-documents).
     pub fn raw(&mut self, s: &str) {

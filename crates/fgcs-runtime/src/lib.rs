@@ -24,6 +24,9 @@
 //! - [`shard`] — deterministic hash-by-key shard routing for the
 //!   partitioned serving registry (replaces ad-hoc `DefaultHasher` use,
 //!   which is not stable across runs).
+//! - [`wal`] — length-prefixed, CRC32-checksummed write-ahead-log
+//!   framing with a configurable fsync cadence and a torn-tail-tolerant
+//!   reader (the durability substrate under the serving registry).
 //! - [`metrics`] — counters, gauges, log2 histograms, span timers and a
 //!   process-wide registry with byte-stable JSON export (replaces
 //!   `metrics` + `prometheus`-style client crates). Compile-time zero-cost
@@ -43,6 +46,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod rng;
 pub mod shard;
+pub mod wal;
 
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use rng::{Rng, Xoshiro256};

@@ -1,0 +1,524 @@
+//! Crash-safe write-ahead log framing.
+//!
+//! A WAL file is a flat sequence of frames:
+//!
+//! ```text
+//! [len: u32 LE][crc: u32 LE][payload: len bytes]
+//! ```
+//!
+//! `crc` is the IEEE CRC-32 of the length prefix *and* the payload, so a
+//! bit flip anywhere in a frame — including one that leaves `len`
+//! plausible — is detected. The reader ([`read_wal`]) never errors on a
+//! damaged file: it returns the longest valid frame prefix and reports
+//! where (and why) it stopped, which is exactly the contract a crash
+//! leaves behind — a torn or half-synced tail record must be discarded,
+//! not propagated as corruption of the whole log.
+//!
+//! [`WalWriter`] appends frames with a configurable fsync cadence
+//! (`fsync_every` records; `1` means every append is durable before it
+//! is acknowledged). Appends `write(2)` immediately — a `kill -9`
+//! loses nothing already appended; only an OS/machine crash can lose
+//! the un-fsynced suffix, and recovery then still sees a clean prefix.
+//!
+//! For crash-point testing the writer accepts a [`FaultInjector`]
+//! (`wal.*` streams): torn writes persist only a prefix of the frame
+//! and report the crash as an I/O error, bit flips corrupt one bit of
+//! the frame on its way to disk. Both are pure functions of
+//! `(seed, stream, record index)`, so a campaign replays bit-for-bit.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::fault::FaultInjector;
+
+/// Bytes of frame header: `len: u32` + `crc: u32`.
+pub const HEADER_BYTES: usize = 8;
+
+/// Hard cap on a single record payload (16 MiB). A `len` beyond this is
+/// treated as tail corruption by the reader and rejected by the writer;
+/// it bounds recovery memory against a corrupt length prefix.
+pub const MAX_RECORD_BYTES: usize = 16 << 20;
+
+/// IEEE CRC-32 lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Streaming IEEE CRC-32 (the polynomial used by zip/png/ethernet).
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh digest.
+    #[must_use]
+    pub fn new() -> Crc32 {
+        Crc32 { state: !0 }
+    }
+
+    /// Folds `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.state;
+        for &b in bytes {
+            c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// The finished checksum.
+    #[must_use]
+    pub fn finish(self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+/// CRC of a frame: length prefix bytes, then payload.
+fn frame_crc(len_le: [u8; 4], payload: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(&len_le);
+    c.update(payload);
+    c.finish()
+}
+
+/// Why [`read_wal`] stopped before the end of the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailDamage {
+    /// Fewer bytes remained than a header or the announced payload —
+    /// the classic torn write of a crashed appender.
+    Torn,
+    /// A full frame was present but its checksum did not match.
+    BadCrc,
+    /// The length prefix was beyond [`MAX_RECORD_BYTES`] — treated as
+    /// corruption rather than trusted.
+    BadLength,
+}
+
+impl std::fmt::Display for TailDamage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TailDamage::Torn => "torn frame",
+            TailDamage::BadCrc => "crc mismatch",
+            TailDamage::BadLength => "implausible length",
+        })
+    }
+}
+
+/// Result of scanning a WAL file: the valid frame prefix plus where and
+/// why the scan stopped, if it stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRead {
+    /// Payloads of every valid frame, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte length of the valid prefix. Reopening a writer must truncate
+    /// the file here first so a damaged tail is never followed by fresh
+    /// frames.
+    pub valid_bytes: u64,
+    /// Damage found after the valid prefix (`None` for a clean file).
+    pub damage: Option<TailDamage>,
+}
+
+/// Scans `path`, returning every valid frame and truncation metadata.
+///
+/// A missing file reads as an empty, undamaged log. Damage — a torn
+/// frame, a checksum mismatch, an implausible length — terminates the
+/// scan at the last valid frame rather than erroring: everything after
+/// the first damaged byte is unrecoverable by construction (frames are
+/// not self-synchronizing), and the crash-recovery contract is to keep
+/// the durable prefix.
+pub fn read_wal(path: &Path) -> io::Result<WalRead> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    Ok(scan_frames(&bytes))
+}
+
+/// Frame scan over an in-memory image (the testable core of [`read_wal`]).
+#[must_use]
+pub fn scan_frames(bytes: &[u8]) -> WalRead {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    let mut damage = None;
+    while at < bytes.len() {
+        let rest = &bytes[at..];
+        if rest.len() < HEADER_BYTES {
+            damage = Some(TailDamage::Torn);
+            break;
+        }
+        let len_le = [rest[0], rest[1], rest[2], rest[3]];
+        let len = u32::from_le_bytes(len_le) as usize;
+        let crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        if len > MAX_RECORD_BYTES {
+            damage = Some(TailDamage::BadLength);
+            break;
+        }
+        if rest.len() < HEADER_BYTES + len {
+            damage = Some(TailDamage::Torn);
+            break;
+        }
+        let payload = &rest[HEADER_BYTES..HEADER_BYTES + len];
+        if frame_crc(len_le, payload) != crc {
+            damage = Some(TailDamage::BadCrc);
+            break;
+        }
+        records.push(payload.to_vec());
+        at += HEADER_BYTES + len;
+    }
+    WalRead {
+        records,
+        valid_bytes: at as u64,
+        damage,
+    }
+}
+
+/// Writes one checksummed frame to `w` (the snapshot-file format: a
+/// meta frame followed by one frame per host).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_RECORD_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame payload exceeds MAX_RECORD_BYTES",
+        ));
+    }
+    let len_le = (payload.len() as u32).to_le_bytes();
+    let crc_le = frame_crc(len_le, payload).to_le_bytes();
+    w.write_all(&len_le)?;
+    w.write_all(&crc_le)?;
+    w.write_all(payload)
+}
+
+/// Appends checksummed frames to a log file with a bounded-staleness
+/// fsync policy.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    /// Frames appended over this writer's lifetime plus the frames that
+    /// already existed when it was opened.
+    records: u64,
+    /// Records covered by the last fsync.
+    synced: u64,
+    /// `sync` after this many un-synced appends (`1` = every append,
+    /// `0` = never implicitly; callers sync explicitly).
+    fsync_every: u64,
+    /// Test-only fault wiring: `(injector, stream)` for the `wal.*`
+    /// decision streams, keyed by record index.
+    faults: Option<(FaultInjector, u64)>,
+}
+
+impl WalWriter {
+    /// Opens (creating if absent) `path` for appending, trusting the
+    /// existing contents. Use [`WalWriter::open_truncated`] after a
+    /// recovery scan so a damaged tail is cut before new frames follow.
+    pub fn open(path: &Path, fsync_every: u64, existing_records: u64) -> io::Result<WalWriter> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(WalWriter {
+            file,
+            records: existing_records,
+            synced: existing_records,
+            fsync_every,
+            faults: None,
+        })
+    }
+
+    /// Opens `path` for appending after truncating it to `valid_bytes`
+    /// (the valid prefix reported by [`read_wal`]); `existing_records`
+    /// is that prefix's frame count.
+    pub fn open_truncated(
+        path: &Path,
+        fsync_every: u64,
+        valid_bytes: u64,
+        existing_records: u64,
+    ) -> io::Result<WalWriter> {
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(path)?;
+        file.set_len(valid_bytes)?;
+        file.sync_data()?;
+        let mut w = WalWriter {
+            file,
+            records: existing_records,
+            synced: existing_records,
+            fsync_every,
+            faults: None,
+        };
+        use std::io::Seek;
+        w.file.seek(io::SeekFrom::End(0))?;
+        Ok(w)
+    }
+
+    /// Arms the `wal.*` fault streams on this writer (test harnesses
+    /// only). `stream` keys the decision coordinates.
+    #[must_use]
+    pub fn with_faults(mut self, injector: FaultInjector, stream: u64) -> WalWriter {
+        self.faults = Some((injector, stream));
+        self
+    }
+
+    /// Frames appended so far (including pre-existing frames).
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Frames covered by the last fsync.
+    #[must_use]
+    pub fn synced_records(&self) -> u64 {
+        self.synced
+    }
+
+    /// Appends one record, returning its index. The frame reaches the
+    /// OS before this returns (a process kill cannot lose it); it
+    /// reaches the platter at the fsync cadence.
+    // lint: no-alloc
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
+        if payload.len() > MAX_RECORD_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "wal record exceeds MAX_RECORD_BYTES",
+            ));
+        }
+        let len_le = (payload.len() as u32).to_le_bytes();
+        let crc_le = frame_crc(len_le, payload).to_le_bytes();
+        let mut header = [0u8; HEADER_BYTES];
+        header[..4].copy_from_slice(&len_le);
+        header[4..].copy_from_slice(&crc_le);
+        if self.faults.is_some() {
+            self.append_faulty(&header, payload)?;
+        } else {
+            self.file.write_all(&header)?;
+            self.file.write_all(payload)?;
+        }
+        let index = self.records;
+        self.records += 1;
+        if self.fsync_every > 0 && self.records - self.synced >= self.fsync_every {
+            self.sync()?;
+        }
+        Ok(index)
+    }
+
+    /// Fault-injected append (cold path): may tear the frame (persist a
+    /// prefix, then report the simulated crash) or flip one bit on its
+    /// way to disk.
+    fn append_faulty(&mut self, header: &[u8; HEADER_BYTES], payload: &[u8]) -> io::Result<()> {
+        let (inj, stream) = self.faults.as_ref().expect("faults armed");
+        let index = self.records;
+        let mut frame = Vec::with_capacity(HEADER_BYTES + payload.len());
+        frame.extend_from_slice(header);
+        frame.extend_from_slice(payload);
+        if let Some((byte, mask)) = inj.wal_bit_flip(*stream, index, frame.len()) {
+            frame[byte] ^= mask;
+        }
+        if let Some(keep) = inj.wal_torn_write(*stream, index, frame.len()) {
+            self.file.write_all(&frame[..keep])?;
+            self.file.sync_data().ok();
+            return Err(io::Error::other("injected torn write (simulated crash)"));
+        }
+        self.file.write_all(&frame)
+    }
+
+    /// Flushes appended frames to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.synced = self.records;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fgcs-wal-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trips_records() {
+        let path = tmp("roundtrip");
+        let mut w = WalWriter::open(&path, 1, 0).expect("open");
+        for i in 0..100u32 {
+            let payload = format!("record-{i}");
+            assert_eq!(w.append(payload.as_bytes()).expect("append"), u64::from(i));
+        }
+        assert_eq!(w.records(), 100);
+        assert_eq!(w.synced_records(), 100);
+        let back = read_wal(&path).expect("read");
+        assert_eq!(back.damage, None);
+        assert_eq!(back.records.len(), 100);
+        assert_eq!(back.records[41], b"record-41");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_reads_empty() {
+        let got = read_wal(&tmp("missing-never-created")).expect("read");
+        assert_eq!(got.records.len(), 0);
+        assert_eq!(got.valid_bytes, 0);
+        assert_eq!(got.damage, None);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_an_error() {
+        let path = tmp("torn");
+        let mut w = WalWriter::open(&path, 1, 0).expect("open");
+        for i in 0..10u32 {
+            w.append(format!("rec-{i}").as_bytes()).expect("append");
+        }
+        drop(w);
+        // Chop 3 bytes off the tail: the last frame is torn.
+        let len = std::fs::metadata(&path).expect("meta").len();
+        let f = OpenOptions::new().write(true).open(&path).expect("open");
+        f.set_len(len - 3).expect("truncate");
+        drop(f);
+        let back = read_wal(&path).expect("read");
+        assert_eq!(back.damage, Some(TailDamage::Torn));
+        assert_eq!(back.records.len(), 9);
+        // Reopening truncated drops the tail; appends continue cleanly.
+        let mut w =
+            WalWriter::open_truncated(&path, 1, back.valid_bytes, back.records.len() as u64)
+                .expect("reopen");
+        assert_eq!(w.records(), 9);
+        w.append(b"rec-9-again").expect("append");
+        let back = read_wal(&path).expect("read");
+        assert_eq!(back.damage, None);
+        assert_eq!(back.records.len(), 10);
+        assert_eq!(back.records[9], b"rec-9-again");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flip_truncates_at_the_damaged_frame() {
+        let path = tmp("flip");
+        let mut w = WalWriter::open(&path, 1, 0).expect("open");
+        for i in 0..10u32 {
+            w.append(format!("rec-{i}").as_bytes()).expect("append");
+        }
+        drop(w);
+        let mut bytes = std::fs::read(&path).expect("read file");
+        // Flip a payload bit inside frame 6 (frames are 8 + 5 bytes).
+        let frame6 = 6 * (HEADER_BYTES + 5);
+        bytes[frame6 + HEADER_BYTES + 2] ^= 0x10;
+        let got = scan_frames(&bytes);
+        assert_eq!(got.damage, Some(TailDamage::BadCrc));
+        assert_eq!(got.records.len(), 6, "frames before the flip survive");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn implausible_length_is_damage() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 64]);
+        let got = scan_frames(&bytes);
+        assert_eq!(got.damage, Some(TailDamage::BadLength));
+        assert_eq!(got.records.len(), 0);
+        assert_eq!(got.valid_bytes, 0);
+    }
+
+    #[test]
+    fn injected_torn_write_leaves_a_recoverable_prefix() {
+        let plan = FaultPlan {
+            // Fires on some record; the writer reports a simulated crash.
+            wal_torn_write_rate: 0.05,
+            ..FaultPlan::none(77)
+        };
+        let inj = FaultInjector::new(plan);
+        let path = tmp("inj-torn");
+        let mut w = WalWriter::open(&path, 1, 0)
+            .expect("open")
+            .with_faults(inj, 3);
+        let mut appended = 0u64;
+        let crash = loop {
+            match w.append(format!("rec-{appended}").as_bytes()) {
+                Ok(_) => appended += 1,
+                Err(_) => break appended,
+            }
+            assert!(appended < 10_000, "torn write never fired");
+        };
+        drop(w);
+        let back = read_wal(&path).expect("read");
+        // Everything acked before the crash survives; the torn frame may
+        // leave damage (unless it tore at a frame boundary of 0 bytes).
+        assert_eq!(back.records.len() as u64, crash);
+        for (i, rec) in back.records.iter().enumerate() {
+            assert_eq!(rec, format!("rec-{i}").as_bytes());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_bit_flip_is_caught_by_crc() {
+        let plan = FaultPlan {
+            wal_bit_flip_rate: 0.05,
+            ..FaultPlan::none(91)
+        };
+        let inj = FaultInjector::new(plan);
+        let path = tmp("inj-flip");
+        let mut w = WalWriter::open(&path, 1, 0)
+            .expect("open")
+            .with_faults(inj.clone(), 9);
+        for i in 0..200u32 {
+            w.append(format!("record-{i}").as_bytes()).expect("append");
+        }
+        drop(w);
+        let first_flip = (0..200u64).find(|&i| inj.wal_bit_flip(9, i, 16).is_some());
+        let back = read_wal(&path).expect("read");
+        match first_flip {
+            Some(i) => {
+                assert_eq!(back.damage, Some(TailDamage::BadCrc));
+                assert_eq!(back.records.len() as u64, i);
+            }
+            None => assert_eq!(back.damage, None),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -91,10 +91,14 @@ USAGE:
   fgcs evaluate TRACE.json [--train A --test B] [--start HOURS] [--hours H]
   fgcs serve    [--shards N] [--max-days D] [--port P]  (TCP; prints `listening on ADDR`)
   fgcs serve    --oneshot [--shards N] [--max-days D]   (request lines stdin -> stdout)
+                serve also accepts: --data-dir DIR (WAL + snapshots; recovers on start)
+                --fsync-every N --snapshot-every N --max-line-bytes N --max-conns N
+                --read-timeout-secs S (0 = never time out)
   fgcs query    HOST:PORT [--pipelined]                  (request lines stdin -> stdout)
   fgcs encode   TRACE.json [--host H]                   (trace days as serve ingest requests)
   fgcs metrics  [--seed N] [--days D]
   fgcs chaos    [--seed N] [--steps T] [--machines M] [--warmup-days D] [--no-faults|--zero-faults]
+  fgcs chaos    --serve [--seed N] [--machines M] [--days D]  (kill -9 a real server, verify recovery)
   fgcs lint     [ROOT] [--inventory] [--timings] [--quiet]  (static analysis; nonzero on findings)
 
 Any command also accepts --metrics-out PATH: enables the metrics registry
@@ -280,6 +284,9 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
 /// scheduling under blackouts) and prints the report as JSON. Exits with
 /// an error when a robustness invariant is violated, so CI can gate on it.
 fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    if flag(args, "--serve") {
+        return cmd_chaos_serve(args);
+    }
     let seed: u64 = parse(args, "--seed", 2006)?;
     let steps: usize = parse(args, "--steps", 10_000)?;
     let machines: usize = parse(args, "--machines", 4)?;
@@ -307,6 +314,37 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
             report.out_of_range, report.tr_min, report.tr_max
         ));
     }
+    Ok(())
+}
+
+/// Crash-recovery chaos (`fgcs chaos --serve`): spawns this very binary as
+/// `fgcs serve --data-dir`, drives it through a byte-faulted client
+/// (partial writes, mid-line and mid-reply disconnects, stalls), SIGKILLs
+/// it mid-stream, restarts it from the WAL, and byte-compares recovered
+/// sweeps against an offline replay (see [`fgcs::serve_chaos`]). Exits
+/// nonzero when the recovery invariant is violated, so CI can gate on it.
+fn cmd_chaos_serve(args: &[String]) -> Result<(), String> {
+    let seed: u64 = parse(args, "--seed", 2006)?;
+    let hosts: u64 = parse(args, "--machines", 3u64)?;
+    let days: usize = parse(args, "--days", 6)?;
+    if hosts == 0 || days == 0 {
+        return Err("--machines and --days must be positive".into());
+    }
+    let server_cmd =
+        std::env::current_exe().map_err(|e| format!("locating the fgcs binary: {e}"))?;
+    let data_dir =
+        std::env::temp_dir().join(format!("fgcs-serve-chaos-{}-{seed}", std::process::id()));
+    let config = fgcs::serve_chaos::ServeChaosConfig {
+        seed,
+        hosts,
+        days,
+        data_dir: data_dir.clone(),
+        server_cmd,
+    };
+    let result = fgcs::serve_chaos::run_serve_chaos(&config);
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let report = result?;
+    println!("{}", report.to_json());
     Ok(())
 }
 
@@ -378,12 +416,26 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if shards == 0 {
         return Err("--shards must be positive".into());
     }
+    let defaults = fgcs::serve::ServeConfig::default();
     let max_days: usize = parse(args, "--max-days", 0)?;
+    let max_line_bytes: usize = parse(args, "--max-line-bytes", defaults.max_line_bytes)?;
+    let max_connections: usize = parse(args, "--max-conns", defaults.max_connections)?;
+    let read_timeout_secs: u64 = parse(args, "--read-timeout-secs", 120)?;
+    let fsync_every: u64 = parse(args, "--fsync-every", defaults.fsync_every)?;
+    let snapshot_every: u64 = parse(args, "--snapshot-every", defaults.snapshot_every)?;
     let config = fgcs::serve::ServeConfig {
         shards,
         max_history_days: (max_days > 0).then_some(max_days),
+        max_line_bytes,
+        read_timeout: (read_timeout_secs > 0)
+            .then(|| std::time::Duration::from_secs(read_timeout_secs)),
+        max_connections,
+        data_dir: opt(args, "--data-dir").map(std::path::PathBuf::from),
+        fsync_every,
+        snapshot_every,
+        debug_ops: flag(args, "--debug-ops"),
     };
-    let server = fgcs::serve::Server::new(&config);
+    let server = fgcs::serve::Server::open(&config).map_err(|e| format!("opening server: {e}"))?;
     if flag(args, "--oneshot") {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
@@ -419,8 +471,15 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         .find(|a| !a.starts_with("--"))
         .ok_or("expected a HOST:PORT argument")?
         .clone();
-    let stream = std::net::TcpStream::connect(addr.as_str())
-        .map_err(|e| format!("connecting {addr}: {e}"))?;
+    // A server that is still binding (or restarting after a crash) answers
+    // ConnectionRefused for a beat; retry with doubling backoff instead of
+    // failing the whole stream on the first attempt.
+    let stream = fgcs::serve::connect_with_retry(
+        &addr,
+        3,
+        std::time::Duration::from_millis(200),
+        &mut std::thread::sleep,
+    )?;
     let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
     if args.iter().any(|a| a == "--pipelined") {
         let mut writer = stream;

@@ -25,7 +25,11 @@
 //!
 //! On top of the re-exports, [`serve`] implements the long-running
 //! prediction service: a JSON-lines protocol (ingest/predict/sweep) over
-//! the sharded streaming registry, served oneshot from stdin or over TCP.
+//! the sharded streaming registry, served oneshot from stdin or over TCP,
+//! with write-ahead durability and crash recovery when a data directory is
+//! configured. [`serve_chaos`] drives a real server process through
+//! byte-level client faults and a `SIGKILL` to verify the recovery
+//! invariant end to end (`fgcs chaos --serve`).
 //!
 //! A command-line front end ships as the `fgcs` binary (`src/bin/fgcs.rs`):
 //! `fgcs generate | stats | predict | sweep | evaluate | serve | query`.
@@ -53,6 +57,7 @@
 //! ```
 
 pub mod serve;
+pub mod serve_chaos;
 
 pub use fgcs_core as core;
 pub use fgcs_math as math;

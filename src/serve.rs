@@ -12,6 +12,8 @@
 //! | `predict` | `host`, `start`, `hours`, opt. `day_type`, `init`            |
 //! | `sweep`   | `host`, `start`, `hours`, opt. `day_type`, `init`, `points`  |
 //! | `batch`   | `ops`: array of `ping`/`ingest`/`predict`/`sweep` requests   |
+//! | `host`    | `host` — stored-day count (readiness probe after recovery)   |
+//! | `health`  | — liveness/durability document for load balancers            |
 //! | `stats`   | —                                                            |
 //! | `shutdown`| —                                                            |
 //!
@@ -55,25 +57,72 @@
 //! * [`Server::serve_tcp`] — a [`TcpListener`] accept loop
 //!   (`fgcs serve`), thread-per-connection over the shared registry, shut
 //!   down cleanly by the `shutdown` op from any connection.
+//!
+//! # Hardened transport
+//!
+//! Both transports read request lines through a bounded reader: a line
+//! longer than [`ServeConfig::max_line_bytes`] is drained (in buffered
+//! chunks, never materialized) and answered with a structured
+//! `{"ok":false,"code":"too_large",…}` reply, after which the connection
+//! keeps working. TCP connections additionally get a per-connection read
+//! and write deadline ([`ServeConfig::read_timeout`]) so a stalled peer
+//! releases its thread, and the accept loop sheds connections beyond
+//! [`ServeConfig::max_connections`] with a one-line `busy` reply instead
+//! of growing without bound. Each request is wrapped in
+//! [`std::panic::catch_unwind`]: a panicking handler yields a structured
+//! `panic` error reply, the half-written reply bytes are rolled back, and
+//! any shard mutex poisoned by the unwind is recovered by the registry —
+//! the shard keeps serving, its predictions tagged `"quality":"stale"`
+//! (the [`fgcs_core::robust::PredictionQuality`] vocabulary) until the
+//! process is restarted. With [`ServeConfig::data_dir`] set the registry
+//! write-ahead-logs every ingest before acknowledging it and the server
+//! fsyncs + snapshots on graceful shutdown; see the fgcs-core registry
+//! docs for the durability model.
 
 use std::fmt;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
 
 use fgcs_core::batch::TrCurve;
-use fgcs_core::registry::{IngestAck, RegistryConfig, ShardedRegistry};
+use fgcs_core::registry::{IngestAck, RegistryConfig, RegistryError, ShardedRegistry};
 use fgcs_core::state::State;
 use fgcs_core::window::{DayType, TimeWindow, SECS_PER_DAY};
 use fgcs_runtime::json::{Json, JsonSlice, JsonSliceArray, JsonWriter, SliceError};
 
-/// Configuration for [`Server::new`].
+/// Configuration for [`Server::new`] / [`Server::open`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Registry shard count (see [`RegistryConfig::shards`]).
     pub shards: usize,
     /// Sliding history bound per host and coordinate (`None` = unbounded).
     pub max_history_days: Option<usize>,
+    /// Longest accepted request line in bytes (newline excluded). Longer
+    /// lines are drained and answered with a `too_large` error reply;
+    /// the read buffer never grows past this bound.
+    pub max_line_bytes: usize,
+    /// Per-TCP-connection read *and* write deadline (`None` = block
+    /// forever). A peer idle past the deadline is disconnected, freeing
+    /// its handler thread.
+    pub read_timeout: Option<Duration>,
+    /// Simultaneous TCP connections served; further accepts are shed with
+    /// a one-line `busy` reply.
+    pub max_connections: usize,
+    /// Durability root (per-shard WAL + snapshots). `None` keeps the
+    /// registry in memory only (see [`RegistryConfig::data_dir`]).
+    pub data_dir: Option<PathBuf>,
+    /// WAL fsync cadence (see [`RegistryConfig::fsync_every`]).
+    pub fsync_every: u64,
+    /// Snapshot cadence in WAL appends (see
+    /// [`RegistryConfig::snapshot_every`]).
+    pub snapshot_every: u64,
+    /// Enables the `debug_panic` op, which panics inside the request
+    /// handler — the chaos/containment test hook. Off in production: the
+    /// op is then an ordinary unknown-op error.
+    pub debug_ops: bool,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +130,13 @@ impl Default for ServeConfig {
         ServeConfig {
             shards: 8,
             max_history_days: None,
+            max_line_bytes: 8 << 20,
+            read_timeout: Some(Duration::from_secs(120)),
+            max_connections: 256,
+            data_dir: None,
+            fsync_every: 256,
+            snapshot_every: 4096,
+            debug_ops: false,
         }
     }
 }
@@ -100,18 +156,48 @@ pub struct Reply {
 const PING_LINE: &str = "{\"ok\":true,\"op\":\"ping\"}\n";
 const SHUTDOWN_LINE: &str = "{\"ok\":true,\"op\":\"shutdown\"}\n";
 const EMPTY_BATCH: &str = "batch needs at least one op";
+/// Shed reply for connections beyond the configured limit.
+const BUSY_LINE: &str =
+    "{\"ok\":false,\"code\":\"busy\",\"error\":\"connection limit reached, retry later\"}\n";
+/// Containment reply when a request handler panicked.
+const PANIC_LINE: &str =
+    "{\"ok\":false,\"code\":\"panic\",\"error\":\"internal error: request handler panicked\"}\n";
+/// Reply for request bytes that are not UTF-8 (the protocol is JSON text).
+const BAD_UTF8_LINE: &str =
+    "{\"ok\":false,\"code\":\"bad_utf8\",\"error\":\"request line is not valid UTF-8\"}\n";
 
 /// The prediction service: a [`ShardedRegistry`] plus the JSON-lines
 /// protocol. Transport-agnostic; see [`Server::serve_lines`] and
 /// [`Server::serve_tcp`].
 pub struct Server {
     registry: ShardedRegistry,
+    /// Request-line length cap (bytes, newline excluded).
+    max_line_bytes: usize,
+    /// Per-connection read/write deadline for the TCP transport.
+    read_timeout: Option<Duration>,
+    /// TCP connection-count limit; excess accepts are shed.
+    max_connections: usize,
+    /// Whether the `debug_panic` containment hook is armed.
+    debug_ops: bool,
     /// Largest request line (bytes) handled so far — the steady-state size
     /// of a pooled read buffer.
     read_hwm: AtomicU64,
     /// Most reply bytes written for a single request — the steady-state
     /// size of a pooled reply buffer.
     write_hwm: AtomicU64,
+    /// Requests handled since startup (the `health` op's logical uptime —
+    /// wall-clock-free, so health replies stay deterministic under test).
+    requests: AtomicU64,
+    /// Request handlers that panicked and were contained.
+    panics: AtomicU64,
+    /// Predict replies answered from a poisoned (degraded) shard.
+    degraded_predictions: AtomicU64,
+    /// Currently open TCP connections.
+    active_connections: AtomicU64,
+    /// Connections shed with the `busy` reply.
+    shed_connections: AtomicU64,
+    /// Request lines rejected for exceeding `max_line_bytes`.
+    oversize_lines: AtomicU64,
 }
 
 /// One request decoded on the borrowed fast path: every field is `Copy` or
@@ -120,6 +206,10 @@ enum Request<'a> {
     Ping,
     Shutdown,
     Stats,
+    Health,
+    Host {
+        host: u64,
+    },
     Ingest {
         host: u64,
         day_index: Option<u64>,
@@ -175,6 +265,10 @@ fn parse_request<'a>(s: &JsonSlice<'a>) -> Result<Request<'a>, WireError<'a>> {
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
         "stats" => Ok(Request::Stats),
+        "health" => Ok(Request::Health),
+        "host" => Ok(Request::Host {
+            host: s.get_u64("host")?,
+        }),
         "ingest" => Ok(Request::Ingest {
             host: s.get_u64("host")?,
             day_index: s.get_opt_u64("day_index")?,
@@ -248,7 +342,10 @@ fn write_ingest_line(out: &mut JsonWriter, ack: &IngestAck) {
     out.raw("}\n");
 }
 
-/// The `predict` reply, byte-identical to the tree rendering.
+/// The `predict` reply, byte-identical to the tree rendering. `degraded`
+/// appends the `"quality":"stale"` tag (the shard answered after poison
+/// recovery); a healthy shard's reply bytes are unchanged from before the
+/// hardening, so byte-compare oracles over healthy servers still hold.
 // lint: no-alloc
 fn write_predict_line(
     out: &mut JsonWriter,
@@ -257,6 +354,7 @@ fn write_predict_line(
     day_type: DayType,
     init: State,
     tr: f64,
+    degraded: bool,
 ) {
     out.raw("{\"ok\":true,\"op\":\"predict\",\"host\":");
     out.u64(host);
@@ -268,6 +366,20 @@ fn write_predict_line(
     out.display_string(&init);
     out.raw(",\"tr\":");
     out.f64(tr);
+    if degraded {
+        out.raw(",\"quality\":\"stale\"");
+    }
+    out.raw("}\n");
+}
+
+/// The `host` readiness reply: how many days the registry stores for one
+/// host (what a recovered server has actually replayed).
+// lint: no-alloc
+fn write_host_line(out: &mut JsonWriter, host: u64, days: usize) {
+    out.raw("{\"ok\":true,\"op\":\"host\",\"host\":");
+    out.u64(host);
+    out.raw(",\"days\":");
+    out.u64(days as u64);
     out.raw("}\n");
 }
 
@@ -296,17 +408,46 @@ enum ShardOp<'a> {
 
 impl Server {
     /// Creates a service with an empty registry.
+    ///
+    /// # Panics
+    /// Panics when [`ServeConfig::data_dir`] is set and opening it fails —
+    /// use [`Server::open`] to handle durability errors.
     #[must_use]
     pub fn new(config: &ServeConfig) -> Server {
-        Server {
-            registry: ShardedRegistry::new(RegistryConfig {
-                shards: config.shards,
-                max_history_days: config.max_history_days,
-                ..RegistryConfig::default()
-            }),
+        Server::open(config).expect("opening the registry data dir")
+    }
+
+    /// Creates a service, recovering any prior state from
+    /// [`ServeConfig::data_dir`] when set (snapshot load + WAL replay; see
+    /// [`ShardedRegistry::open`]).
+    ///
+    /// # Errors
+    /// Returns the registry's error when the data dir cannot be scanned,
+    /// created or replayed.
+    pub fn open(config: &ServeConfig) -> Result<Server, RegistryError> {
+        let registry = ShardedRegistry::open(RegistryConfig {
+            shards: config.shards,
+            max_history_days: config.max_history_days,
+            data_dir: config.data_dir.clone(),
+            fsync_every: config.fsync_every,
+            snapshot_every: config.snapshot_every,
+            ..RegistryConfig::default()
+        })?;
+        Ok(Server {
+            registry,
+            max_line_bytes: config.max_line_bytes,
+            read_timeout: config.read_timeout,
+            max_connections: config.max_connections.max(1),
+            debug_ops: config.debug_ops,
             read_hwm: AtomicU64::new(0),
             write_hwm: AtomicU64::new(0),
-        }
+            requests: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            degraded_predictions: AtomicU64::new(0),
+            active_connections: AtomicU64::new(0),
+            shed_connections: AtomicU64::new(0),
+            oversize_lines: AtomicU64::new(0),
+        })
     }
 
     /// The registry behind the service.
@@ -338,14 +479,29 @@ impl Server {
     /// `ping` or cache-hit `predict` request allocates nothing — the line
     /// is scanned in place and the reply is formatted into the pooled
     /// buffer. The caller owns clearing `out` between requests.
+    ///
+    /// A handler panic is contained here: the half-written reply is rolled
+    /// back and replaced by a structured `panic` error line, so one bad
+    /// request never takes down a transport loop. Any shard mutex poisoned
+    /// by the unwind is recovered by the registry; that shard's predict
+    /// replies carry `"quality":"stale"` from then on.
     // lint: no-alloc
     pub fn handle_line_into(&self, line: &str, out: &mut JsonWriter) -> bool {
+        self.requests.fetch_add(1, Ordering::Relaxed);
         self.read_hwm
             .fetch_max(line.len() as u64, Ordering::Relaxed);
         let before = out.len();
-        let shutdown = match JsonSlice::scan(line) {
+        let shutdown = match catch_unwind(AssertUnwindSafe(|| match JsonSlice::scan(line) {
             Some(slice) => self.dispatch_slice(&slice, out),
             None => self.dispatch_tree(line, out),
+        })) {
+            Ok(shutdown) => shutdown,
+            Err(_) => {
+                self.panics.fetch_add(1, Ordering::Relaxed);
+                out.truncate(before);
+                out.raw(PANIC_LINE);
+                false
+            }
         };
         self.write_hwm
             .fetch_max((out.len() - before) as u64, Ordering::Relaxed);
@@ -354,6 +510,9 @@ impl Server {
 
     /// Fast path: the request parsed as a borrowed slice view.
     fn dispatch_slice(&self, req: &JsonSlice<'_>, out: &mut JsonWriter) -> bool {
+        if self.debug_ops && matches!(req.get_str("op"), Ok("debug_panic")) {
+            panic!("debug_panic op (containment test hook)");
+        }
         match parse_request(req) {
             Err(e) => {
                 write_error_line(out, &e);
@@ -370,6 +529,18 @@ impl Server {
             Ok(Request::Stats) => {
                 out.raw(&self.stats_json().to_string());
                 out.raw_char('\n');
+                false
+            }
+            Ok(Request::Health) => {
+                out.raw(&self.health_json().to_string());
+                out.raw_char('\n');
+                false
+            }
+            Ok(Request::Host { host }) => {
+                match self.registry.host_days(host) {
+                    Some(days) => write_host_line(out, host, days),
+                    None => write_error_line(out, &RegistryError::UnknownHost(host)),
+                }
                 false
             }
             Ok(Request::Ingest {
@@ -398,7 +569,10 @@ impl Server {
                 init,
             }) => {
                 match self.registry.predict(host, day_type, window, init) {
-                    Ok(tr) => write_predict_line(out, host, window, day_type, init, tr),
+                    Ok(tr) => {
+                        let degraded = self.predict_degraded(host);
+                        write_predict_line(out, host, window, day_type, init, tr, degraded);
+                    }
                     Err(e) => write_error_line(out, &e),
                 }
                 false
@@ -463,7 +637,7 @@ impl Server {
                     continue;
                 }
             };
-            if matches!(op, "stats" | "shutdown" | "batch") {
+            if matches!(op, "stats" | "shutdown" | "batch" | "health" | "host") {
                 write_error_line(
                     &mut scratch,
                     &format_args!("op `{op}` not allowed inside batch"),
@@ -525,7 +699,13 @@ impl Server {
                     continue;
                 }
                 // The op gate above already rejected these.
-                Ok(Request::Stats | Request::Shutdown | Request::Batch(_)) => write_error_line(
+                Ok(
+                    Request::Stats
+                    | Request::Shutdown
+                    | Request::Batch(_)
+                    | Request::Health
+                    | Request::Host { .. },
+                ) => write_error_line(
                     &mut scratch,
                     &format_args!("op `{op}` not allowed inside batch"),
                 ),
@@ -629,7 +809,10 @@ impl Server {
                         for (&(j, init), res) in group.iter().zip(results) {
                             scratch.clear();
                             match res {
-                                Ok(tr) => write_predict_line(&mut scratch, h, w, dt, init, tr),
+                                Ok(tr) => {
+                                    let degraded = self.predict_degraded(h);
+                                    write_predict_line(&mut scratch, h, w, dt, init, tr, degraded);
+                                }
                                 Err(e) => write_error_line(&mut scratch, &e),
                             }
                             replies[j] = scratch.as_str().to_string();
@@ -717,13 +900,39 @@ impl Server {
     /// not nest.
     fn handle_op_json(&self, req: &Json, in_batch: bool) -> Result<(Json, bool), String> {
         let op: String = req.get("op").map_err(|e| e.to_string())?;
-        if in_batch && matches!(op.as_str(), "stats" | "shutdown" | "batch") {
+        if self.debug_ops && op == "debug_panic" {
+            panic!("debug_panic op (containment test hook)");
+        }
+        if in_batch
+            && matches!(
+                op.as_str(),
+                "stats" | "shutdown" | "batch" | "health" | "host"
+            )
+        {
             return Err(format!("op `{op}` not allowed inside batch"));
         }
         match op.as_str() {
             "ping" => Ok((ok_reply("ping", vec![]), false)),
             "shutdown" => Ok((ok_reply("shutdown", vec![]), true)),
             "stats" => Ok((self.stats_json(), false)),
+            "health" => Ok((self.health_json(), false)),
+            "host" => {
+                let host: u64 = req.get("host").map_err(|e| e.to_string())?;
+                let days = self
+                    .registry
+                    .host_days(host)
+                    .ok_or_else(|| RegistryError::UnknownHost(host).to_string())?;
+                Ok((
+                    ok_reply(
+                        "host",
+                        vec![
+                            ("host".into(), Json::U64(host)),
+                            ("days".into(), Json::U64(days as u64)),
+                        ],
+                    ),
+                    false,
+                ))
+            }
             "ingest" => {
                 let host: u64 = req.get("host").map_err(|e| e.to_string())?;
                 let day_index: Option<u64> = req.get_opt("day_index").map_err(|e| e.to_string())?;
@@ -752,19 +961,17 @@ impl Server {
                     .registry
                     .predict(host, day_type, window, init)
                     .map_err(|e| e.to_string())?;
-                Ok((
-                    ok_reply(
-                        "predict",
-                        vec![
-                            ("host".into(), Json::U64(host)),
-                            ("window".into(), Json::Str(window.to_string())),
-                            ("day_type".into(), Json::Str(day_type.to_string())),
-                            ("init".into(), Json::Str(init.to_string())),
-                            ("tr".into(), Json::F64(tr)),
-                        ],
-                    ),
-                    false,
-                ))
+                let mut fields = vec![
+                    ("host".into(), Json::U64(host)),
+                    ("window".into(), Json::Str(window.to_string())),
+                    ("day_type".into(), Json::Str(day_type.to_string())),
+                    ("init".into(), Json::Str(init.to_string())),
+                    ("tr".into(), Json::F64(tr)),
+                ];
+                if self.predict_degraded(host) {
+                    fields.push(("quality".into(), Json::Str("stale".into())));
+                }
+                Ok((ok_reply("predict", fields), false))
             }
             "sweep" => {
                 let host: u64 = req.get("host").map_err(|e| e.to_string())?;
@@ -824,46 +1031,149 @@ impl Server {
         )
     }
 
+    /// Whether predict replies for `host` must carry the degraded-quality
+    /// tag: its shard recovered from a lock poisoned by a panicking
+    /// request. Counts every tagged reply.
+    fn predict_degraded(&self, host: u64) -> bool {
+        let degraded = self
+            .registry
+            .shard_poisoned(self.registry.shard_index(host));
+        if degraded {
+            self.degraded_predictions.fetch_add(1, Ordering::Relaxed);
+        }
+        degraded
+    }
+
+    /// The `health` reply document: logical uptime (requests handled, not
+    /// wall clock — byte-stable under test), durability lag, poison and
+    /// containment counters, connection accounting. What a load balancer
+    /// or the chaos harness polls.
+    fn health_json(&self) -> Json {
+        let stats = self.registry.stats();
+        ok_reply(
+            "health",
+            vec![
+                (
+                    "uptime_ticks".into(),
+                    Json::U64(self.requests.load(Ordering::Relaxed)),
+                ),
+                ("shards".into(), Json::U64(stats.shards as u64)),
+                ("hosts".into(), Json::U64(stats.hosts as u64)),
+                ("durable".into(), Json::Bool(stats.durable)),
+                ("wal_records".into(), Json::U64(stats.wal_records)),
+                (
+                    "wal_synced_records".into(),
+                    Json::U64(stats.wal_synced_records),
+                ),
+                ("snapshot_lag".into(), Json::U64(stats.snapshot_lag)),
+                (
+                    "snapshots_written".into(),
+                    Json::U64(stats.snapshots_written),
+                ),
+                (
+                    "poisoned_shards".into(),
+                    Json::U64(stats.poisoned_shards as u64),
+                ),
+                (
+                    "degraded_predictions".into(),
+                    Json::U64(self.degraded_predictions.load(Ordering::Relaxed)),
+                ),
+                (
+                    "panics".into(),
+                    Json::U64(self.panics.load(Ordering::Relaxed)),
+                ),
+                (
+                    "active_connections".into(),
+                    Json::U64(self.active_connections.load(Ordering::Relaxed)),
+                ),
+                (
+                    "shed_connections".into(),
+                    Json::U64(self.shed_connections.load(Ordering::Relaxed)),
+                ),
+                (
+                    "oversize_lines".into(),
+                    Json::U64(self.oversize_lines.load(Ordering::Relaxed)),
+                ),
+            ],
+        )
+    }
+
+    /// Graceful-stop durability hook: fsync the WALs and write fresh
+    /// snapshots so a restart replays nothing. Failures are survivable
+    /// (the WAL already holds every acknowledged ingest) and tracked by
+    /// the registry's snapshot-failure counter.
+    fn finalize(&self) {
+        let _ = self.registry.sync_all();
+        let _ = self.registry.snapshot_all();
+    }
+
     /// Oneshot batch mode: handles request lines from `input` until EOF or
     /// a `shutdown` op, writing one reply line each to `output`. Returns
     /// whether a `shutdown` op was seen.
     ///
     /// One read buffer and one reply buffer serve the whole stream: both
     /// are cleared (capacity kept) between requests, so a warm request
-    /// costs no per-line allocation.
+    /// costs no per-line allocation — and the read buffer never grows past
+    /// `max_line_bytes` (oversized lines are drained and answered with a
+    /// structured `too_large` reply).
     pub fn serve_lines(
         &self,
         mut input: impl BufRead,
         mut output: impl Write,
     ) -> std::io::Result<bool> {
-        let mut line = String::new();
+        let mut buf: Vec<u8> = Vec::new();
         let mut out = JsonWriter::new();
+        let mut saw_shutdown = false;
         loop {
-            line.clear();
-            if input.read_line(&mut line)? == 0 {
-                break;
-            }
-            let trimmed = line.trim();
-            if trimmed.is_empty() {
-                continue;
-            }
             out.clear();
-            let shutdown = self.handle_line_into(trimmed, &mut out);
+            let shutdown = match read_bounded_line(&mut input, &mut buf, self.max_line_bytes)? {
+                LineRead::Eof => break,
+                LineRead::TooLarge => {
+                    self.write_too_large(&mut out);
+                    false
+                }
+                LineRead::Line => match std::str::from_utf8(&buf) {
+                    Err(_) => {
+                        out.raw(BAD_UTF8_LINE);
+                        false
+                    }
+                    Ok(text) => {
+                        let trimmed = text.trim();
+                        if trimmed.is_empty() {
+                            continue;
+                        }
+                        self.handle_line_into(trimmed, &mut out)
+                    }
+                },
+            };
             output.write_all(out.as_str().as_bytes())?;
             if shutdown {
-                output.flush()?;
-                return Ok(true);
+                saw_shutdown = true;
+                break;
             }
         }
         output.flush()?;
-        Ok(false)
+        self.finalize();
+        Ok(saw_shutdown)
+    }
+
+    /// Renders the `too_large` shed reply and counts the rejection.
+    // lint: no-alloc
+    fn write_too_large(&self, out: &mut JsonWriter) {
+        self.oversize_lines.fetch_add(1, Ordering::Relaxed);
+        out.raw("{\"ok\":false,\"code\":\"too_large\",\"error\":\"request line exceeds ");
+        out.u64(self.max_line_bytes as u64);
+        out.raw(" bytes\"}\n");
     }
 
     /// TCP accept loop: one handler thread per connection, all sharing the
     /// registry. Blocks until some connection sends the `shutdown` op
     /// (acknowledged before the listener stops); shutdown then completes
     /// once every other open connection has drained or disconnected.
-    /// Connection-level I/O errors drop that connection only.
+    /// Connection-level I/O errors (including read-deadline expiry) drop
+    /// that connection only. Connections beyond `max_connections` are shed
+    /// with a one-line `busy` reply without spawning a handler. On exit
+    /// the WALs are fsynced and fresh snapshots written.
     pub fn serve_tcp(&self, listener: &TcpListener) -> std::io::Result<()> {
         let addr = listener.local_addr()?;
         let shutdown = AtomicBool::new(false);
@@ -873,12 +1183,24 @@ impl Server {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
+                if self.active_connections.load(Ordering::Acquire) >= self.max_connections as u64 {
+                    self.shed_connections.fetch_add(1, Ordering::Relaxed);
+                    let mut stream = stream;
+                    let _ = stream.write_all(BUSY_LINE.as_bytes());
+                    continue; // dropping the stream closes it
+                }
+                // Only this loop increments, so the check above cannot be
+                // raced past the limit; handler threads decrement through
+                // the slot guard (released even if the handler errors).
+                self.active_connections.fetch_add(1, Ordering::Release);
                 let shutdown = &shutdown;
                 scope.spawn(move || {
+                    let _slot = ConnSlot(&self.active_connections);
                     let _ = self.handle_conn(stream, shutdown, addr);
                 });
             }
         });
+        self.finalize();
         Ok(())
     }
 
@@ -888,21 +1210,47 @@ impl Server {
         shutdown: &AtomicBool,
         addr: SocketAddr,
     ) -> std::io::Result<()> {
+        // Deadlines on both directions: a peer that stops sending *or*
+        // stops draining replies releases this thread at the timeout.
+        stream.set_read_timeout(self.read_timeout)?;
+        stream.set_write_timeout(self.read_timeout)?;
         let mut reader = BufReader::new(stream.try_clone()?);
         let mut writer = stream;
-        let mut line = String::new();
+        let mut buf: Vec<u8> = Vec::new();
         let mut out = JsonWriter::new();
         loop {
-            line.clear();
-            if reader.read_line(&mut line)? == 0 {
-                break;
-            }
-            let trimmed = line.trim();
-            if trimmed.is_empty() {
-                continue;
-            }
             out.clear();
-            let stop = self.handle_line_into(trimmed, &mut out);
+            let stop = match read_bounded_line(&mut reader, &mut buf, self.max_line_bytes) {
+                // Deadline expiry is a *clean* close, not an error: the
+                // peer idled past the read timeout.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    break
+                }
+                Err(e) => return Err(e),
+                Ok(LineRead::Eof) => break,
+                Ok(LineRead::TooLarge) => {
+                    self.write_too_large(&mut out);
+                    false
+                }
+                Ok(LineRead::Line) => match std::str::from_utf8(&buf) {
+                    Err(_) => {
+                        out.raw(BAD_UTF8_LINE);
+                        false
+                    }
+                    Ok(text) => {
+                        let trimmed = text.trim();
+                        if trimmed.is_empty() {
+                            continue;
+                        }
+                        self.handle_line_into(trimmed, &mut out)
+                    }
+                },
+            };
             writer.write_all(out.as_str().as_bytes())?;
             writer.flush()?;
             if stop {
@@ -917,13 +1265,131 @@ impl Server {
     }
 }
 
+/// RAII release of one TCP connection slot; `Drop` runs even when the
+/// handler exits through an error, so abrupt disconnects never leak the
+/// slot.
+struct ConnSlot<'a>(&'a AtomicU64);
+
+impl Drop for ConnSlot<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Outcome of one bounded line read.
+enum LineRead {
+    /// The stream ended before any byte of a new line.
+    Eof,
+    /// `buf` holds one complete line (newline stripped), at most `max`
+    /// bytes long.
+    Line,
+    /// The line exceeded `max` bytes; it has been drained (in buffered
+    /// chunks, never materialized) up to and including its newline.
+    TooLarge,
+}
+
+/// Reads one `\n`-terminated line into `buf`, never retaining more than
+/// `max + 1` bytes: the bounded-memory replacement for
+/// [`BufRead::read_line`] on untrusted transports. Oversized lines are
+/// consumed to their end via [`BufRead::fill_buf`]/`consume` so the
+/// connection can keep serving after the error reply.
+fn read_bounded_line(
+    reader: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> io::Result<LineRead> {
+    buf.clear();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            // EOF: an unterminated final line still counts as a line.
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line
+            });
+        }
+        // Accept at most one byte past `max`: enough to distinguish "fits
+        // exactly" from "too long" without buffering the excess.
+        let room = max + 1 - buf.len();
+        if let Some(i) = chunk.iter().take(room).position(|&b| b == b'\n') {
+            // Content length `buf.len() + i` ≤ `max` by the room bound.
+            buf.extend_from_slice(&chunk[..i]);
+            reader.consume(i + 1);
+            return Ok(LineRead::Line);
+        }
+        let take_n = chunk.len().min(room);
+        buf.extend_from_slice(&chunk[..take_n]);
+        reader.consume(take_n);
+        if buf.len() > max {
+            break;
+        }
+    }
+    // Oversized: drain to the newline (or EOF) without growing `buf`.
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            break;
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                reader.consume(i + 1);
+                break;
+            }
+            None => {
+                let len = chunk.len();
+                reader.consume(len);
+            }
+        }
+    }
+    Ok(LineRead::TooLarge)
+}
+
+/// Connects to `addr` with bounded retry and doubling backoff — the
+/// client-side tolerance for a server still replaying its WAL (or not yet
+/// listening). `sleep` is injected so tests observe the exact schedule
+/// deterministically; production passes `std::thread::sleep`.
+///
+/// # Errors
+/// Returns the last connection error, annotated with the attempt count,
+/// after `attempts` failures.
+pub fn connect_with_retry(
+    addr: &str,
+    attempts: u32,
+    initial_delay: Duration,
+    sleep: &mut dyn FnMut(Duration),
+) -> Result<TcpStream, String> {
+    let mut delay = initial_delay;
+    let mut last_err = String::new();
+    for attempt in 0..attempts.max(1) {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last_err = e.to_string(),
+        }
+        if attempt + 1 < attempts {
+            sleep(delay);
+            delay = delay.saturating_mul(2);
+        }
+    }
+    Err(format!(
+        "connecting {addr}: {last_err} (after {} attempts)",
+        attempts.max(1)
+    ))
+}
+
 impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
             .field("registry", &self.registry)
             .field("read_hwm", &self.read_hwm.load(Ordering::Relaxed))
             .field("write_hwm", &self.write_hwm.load(Ordering::Relaxed))
-            .finish()
+            .field("requests", &self.requests.load(Ordering::Relaxed))
+            .field("panics", &self.panics.load(Ordering::Relaxed))
+            .field(
+                "active_connections",
+                &self.active_connections.load(Ordering::Relaxed),
+            )
+            .finish_non_exhaustive()
     }
 }
 
@@ -1362,6 +1828,288 @@ mod tests {
         let write_hwm: u64 = json.get("write_buf_hwm").unwrap();
         assert!(read_hwm >= 14_400, "{}", stats.line);
         assert!(write_hwm >= 50, "{}", stats.line);
+    }
+
+    #[test]
+    fn oversized_lines_get_structured_reply_and_session_continues() {
+        let s = Server::open(&ServeConfig {
+            max_line_bytes: 64,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let big = "x".repeat(10_000);
+        let input =
+            format!("{{\"op\":\"ingest\",\"host\":1,\"states\":\"{big}\"}}\n{{\"op\":\"ping\"}}\n");
+        let mut out = Vec::new();
+        s.serve_lines(input.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert_eq!(
+            lines[0],
+            "{\"ok\":false,\"code\":\"too_large\",\"error\":\"request line exceeds 64 bytes\"}"
+        );
+        // The oversized line was drained, not buffered: the session goes on.
+        assert_eq!(lines[1], r#"{"ok":true,"op":"ping"}"#);
+        let health = s.handle_line(r#"{"op":"health"}"#);
+        assert!(
+            health.line.contains("\"oversize_lines\":1"),
+            "{}",
+            health.line
+        );
+    }
+
+    #[test]
+    fn line_length_boundary_is_exact() {
+        let s = Server::open(&ServeConfig {
+            max_line_bytes: 32,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        // Exactly at the limit: still parsed (and rejected as non-JSON, not
+        // as oversized). One byte past: the structured `too_large` reply.
+        for (len, too_large) in [(32usize, false), (33, true)] {
+            let input = format!("{}\n", "a".repeat(len));
+            let mut out = Vec::new();
+            s.serve_lines(input.as_bytes(), &mut out).unwrap();
+            let text = String::from_utf8(out).unwrap();
+            assert_eq!(text.contains("too_large"), too_large, "len {len}: {text}");
+        }
+    }
+
+    #[test]
+    fn non_utf8_lines_get_structured_reply() {
+        let s = server();
+        let mut input: Vec<u8> = vec![0xFF, 0xFE, b'\n'];
+        input.extend_from_slice(b"{\"op\":\"ping\"}\n");
+        let mut out = Vec::new();
+        s.serve_lines(&input[..], &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], BAD_UTF8_LINE.trim_end());
+        assert_eq!(lines[1], r#"{"ok":true,"op":"ping"}"#);
+    }
+
+    #[test]
+    fn health_reports_liveness_and_durability_counters() {
+        let s = warm_server(1, 2);
+        let reply = s.handle_line(r#"{"op":"health"}"#);
+        let json = Json::parse(&reply.line).unwrap();
+        assert!(json.get::<bool>("ok").unwrap(), "{}", reply.line);
+        // Logical uptime: two ingests plus this health request.
+        assert_eq!(json.get::<u64>("uptime_ticks").unwrap(), 3);
+        assert!(!json.get::<bool>("durable").unwrap());
+        assert_eq!(json.get::<u64>("wal_records").unwrap(), 0);
+        assert_eq!(json.get::<u64>("poisoned_shards").unwrap(), 0);
+        assert_eq!(json.get::<u64>("degraded_predictions").unwrap(), 0);
+        assert_eq!(json.get::<u64>("panics").unwrap(), 0);
+        assert_eq!(json.get::<u64>("active_connections").unwrap(), 0);
+        assert_eq!(json.get::<u64>("shed_connections").unwrap(), 0);
+    }
+
+    #[test]
+    fn host_op_reports_stored_days() {
+        let s = warm_server(6, 3);
+        let reply = s.handle_line(r#"{"op":"host","host":6}"#);
+        assert_eq!(reply.line, r#"{"ok":true,"op":"host","host":6,"days":3}"#);
+        let reply = s.handle_line(r#"{"op":"host","host":7}"#);
+        assert!(reply.line.starts_with(r#"{"ok":false"#), "{}", reply.line);
+    }
+
+    #[test]
+    fn batch_rejects_health_and_host_ops() {
+        // `health` and `host` answer from cross-shard state; allowing them
+        // inside a batch would break the batch ≡ sequential byte identity.
+        let s = server();
+        let reply = s.handle_line(
+            r#"{"op":"batch","ops":[{"op":"health"},{"op":"host","host":1},{"op":"ping"}]}"#,
+        );
+        let lines: Vec<&str> = reply.line.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                r#"{"ok":false,"error":"op `health` not allowed inside batch"}"#,
+                r#"{"ok":false,"error":"op `host` not allowed inside batch"}"#,
+                r#"{"ok":true,"op":"ping"}"#,
+            ]
+        );
+    }
+
+    #[test]
+    fn poisoned_shard_tags_predictions_stale() {
+        let s = warm_server(9, 3);
+        let healthy = s.handle_line(r#"{"op":"predict","host":9,"start":9.0,"hours":2.0}"#);
+        assert!(!healthy.line.contains("quality"), "{}", healthy.line);
+
+        // Poison the host's shard by panicking while holding its session.
+        let shard = s.registry().shard_index(9);
+        std::thread::scope(|scope| {
+            let _ = scope
+                .spawn(|| {
+                    let _session = s.registry().session(shard);
+                    panic!("deliberate test panic while holding the shard lock");
+                })
+                .join();
+        });
+
+        // Same numeric answer, now tagged as degraded.
+        let degraded = s.handle_line(r#"{"op":"predict","host":9,"start":9.0,"hours":2.0}"#);
+        assert!(
+            degraded.line.ends_with(",\"quality\":\"stale\"}"),
+            "{}",
+            degraded.line
+        );
+        assert_eq!(
+            degraded.line.replace(",\"quality\":\"stale\"", ""),
+            healthy.line
+        );
+        let health = s.handle_line(r#"{"op":"health"}"#);
+        let json = Json::parse(&health.line).unwrap();
+        assert_eq!(json.get::<u64>("poisoned_shards").unwrap(), 1);
+        assert!(json.get::<u64>("degraded_predictions").unwrap() >= 1);
+    }
+
+    #[test]
+    fn panicking_requests_are_contained() {
+        let s = Server::open(&ServeConfig {
+            debug_ops: true,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let reply = s.handle_line(r#"{"op":"debug_panic"}"#);
+        assert_eq!(reply.line, PANIC_LINE.trim_end());
+        assert!(!reply.shutdown);
+        // The session (and the process) continues.
+        assert_eq!(
+            s.handle_line(r#"{"op":"ping"}"#).line,
+            r#"{"ok":true,"op":"ping"}"#
+        );
+        let health = s.handle_line(r#"{"op":"health"}"#);
+        assert!(health.line.contains("\"panics\":1"), "{}", health.line);
+
+        // Without `debug_ops` the hook is an ordinary unknown op.
+        let prod = server();
+        let reply = prod.handle_line(r#"{"op":"debug_panic"}"#);
+        assert!(
+            reply.line.starts_with(r#"{"ok":false"#) && !reply.line.contains("panicked"),
+            "{}",
+            reply.line
+        );
+    }
+
+    #[test]
+    fn panic_rolls_back_half_written_reply_bytes() {
+        let s = Server::open(&ServeConfig {
+            debug_ops: true,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let mut out = JsonWriter::new();
+        out.raw("prefix:");
+        s.handle_line_into(r#"{"op":"debug_panic"}"#, &mut out);
+        assert_eq!(out.as_str(), format!("prefix:{PANIC_LINE}"));
+    }
+
+    #[test]
+    fn connect_with_retry_backs_off_deterministically() {
+        // Bind-then-drop: the freed port refuses connections.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        let mut delays = Vec::new();
+        let err = connect_with_retry(&addr, 3, Duration::from_millis(7), &mut |d| {
+            delays.push(d);
+        })
+        .unwrap_err();
+        // Sleeps only between attempts, doubling: 7ms then 14ms.
+        assert_eq!(
+            delays,
+            vec![Duration::from_millis(7), Duration::from_millis(14)]
+        );
+        assert!(err.contains("after 3 attempts"), "{err}");
+
+        // First-try success never sleeps.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let mut delays = Vec::new();
+        let stream = connect_with_retry(&addr, 3, Duration::from_millis(7), &mut |d| {
+            delays.push(d);
+        });
+        assert!(stream.is_ok());
+        assert!(delays.is_empty());
+    }
+
+    #[test]
+    fn connection_limit_sheds_with_busy_reply() {
+        let s = Server::open(&ServeConfig {
+            max_connections: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| s.serve_tcp(&listener));
+            let first = TcpStream::connect(addr).unwrap();
+            let mut first_reader = BufReader::new(first.try_clone().unwrap());
+            let mut first_writer = first;
+            let mut line = String::new();
+            writeln!(first_writer, "{{\"op\":\"ping\"}}").unwrap();
+            first_reader.read_line(&mut line).unwrap();
+            assert_eq!(line, PING_LINE);
+
+            // The only slot is held: the next connection is shed with a
+            // structured `busy` reply, then closed.
+            let second = TcpStream::connect(addr).unwrap();
+            let mut second_reader = BufReader::new(second);
+            line.clear();
+            second_reader.read_line(&mut line).unwrap();
+            assert_eq!(line, BUSY_LINE);
+            line.clear();
+            assert_eq!(second_reader.read_line(&mut line).unwrap(), 0);
+
+            writeln!(first_writer, "{{\"op\":\"shutdown\"}}").unwrap();
+            line.clear();
+            first_reader.read_line(&mut line).unwrap();
+            handle.join().unwrap().unwrap();
+        });
+        let health = s.handle_line(r#"{"op":"health"}"#);
+        assert!(
+            health.line.contains("\"shed_connections\":1"),
+            "{}",
+            health.line
+        );
+    }
+
+    #[test]
+    fn idle_connections_hit_the_read_deadline() {
+        let s = Server::open(&ServeConfig {
+            read_timeout: Some(Duration::from_millis(50)),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| s.serve_tcp(&listener));
+            // Connect and send nothing: the deadline must disconnect us.
+            let idle = TcpStream::connect(addr).unwrap();
+            let mut idle_reader = BufReader::new(idle);
+            let mut line = String::new();
+            assert_eq!(idle_reader.read_line(&mut line).unwrap(), 0);
+            // The server is still alive for punctual clients.
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            writeln!(writer, "{{\"op\":\"ping\"}}").unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line, PING_LINE);
+            writeln!(writer, "{{\"op\":\"shutdown\"}}").unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            handle.join().unwrap().unwrap();
+        });
     }
 
     #[test]

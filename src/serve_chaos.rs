@@ -1,0 +1,551 @@
+//! Crash-recovery chaos harness for the TCP serving stack: a *real*
+//! `fgcs serve --data-dir` child process driven through a byte-level
+//! faulted client, hard-killed mid-stream, restarted, and checked against
+//! the recovery invariant.
+//!
+//! The faulted client speaks the ordinary JSON-lines protocol but
+//! misbehaves at the byte level, seeded and deterministic:
+//!
+//! * **partial writes** — a request line lands in several separately
+//!   flushed fragments, sometimes with millisecond stalls in between;
+//! * **mid-line disconnects** — the connection is torn down after a strict
+//!   prefix of a line, then the client reconnects and resends;
+//! * **mid-reply disconnects** — the full line is sent but the socket is
+//!   dropped before reading the ack, so the client cannot know whether the
+//!   day was applied (the resend discovers it via the registry's
+//!   monotonic-day check — exactly the at-least-once dedup a real ingester
+//!   relies on).
+//!
+//! After half the planned ingests are acknowledged the server is killed
+//! with `SIGKILL` — no flush, no goodbye. A fresh `--oneshot --data-dir`
+//! process then recovers from the WAL, and the harness asserts the
+//! tentpole invariant end to end:
+//!
+//! 1. every *resolved-applied* day survived (durability: the WAL append
+//!    happens before the ack is written), per host an exact count match;
+//! 2. a `sweep` over the recovered registry is **byte-identical** to the
+//!    same sweep over a fresh in-memory server fed the surviving prefix
+//!    offline (recovery ≡ replay).
+//!
+//! `fgcs chaos --serve` runs this campaign with `fgcs`'s own binary as the
+//! server; `tests/recovery.rs` runs it in-tree via `CARGO_BIN_EXE_fgcs`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use fgcs_runtime::json::Json;
+use fgcs_runtime::rng::{Rng, Xoshiro256};
+use fgcs_runtime::shard::hash_key;
+
+/// Samples per day at the default 6-second monitoring period — the shape
+/// `fgcs serve`'s default model expects on ingest.
+const SAMPLES_PER_DAY: usize = 14_400;
+
+/// Configuration of one serve-chaos campaign.
+#[derive(Debug, Clone)]
+pub struct ServeChaosConfig {
+    /// Seed for the fault schedule and the synthetic day content.
+    pub seed: u64,
+    /// Synthetic hosts streamed.
+    pub hosts: u64,
+    /// Days planned per host (the kill lands halfway through the total).
+    pub days: usize,
+    /// Durability root handed to the server child (created if missing;
+    /// the caller owns cleanup).
+    pub data_dir: PathBuf,
+    /// The `fgcs` binary to spawn as the server (e.g.
+    /// `std::env::current_exe()` or `env!("CARGO_BIN_EXE_fgcs")`).
+    pub server_cmd: PathBuf,
+}
+
+/// What one campaign did and found.
+#[derive(Debug, Clone)]
+pub struct ServeChaosReport {
+    /// Hosts streamed.
+    pub hosts: u64,
+    /// Days planned per host.
+    pub days_per_host: usize,
+    /// Ingests resolved as applied before the kill (acked, or detected as
+    /// applied on resend after a mid-reply disconnect).
+    pub applied: usize,
+    /// Lines re-sent after a connection teardown.
+    pub resends: usize,
+    /// Injected mid-line and mid-reply disconnects.
+    pub disconnects: usize,
+    /// Lines delivered as several separately flushed fragments.
+    pub partial_writes: usize,
+    /// Millisecond stalls injected between fragments.
+    pub stalls: usize,
+    /// Days found per host after recovery (summed).
+    pub recovered_days: usize,
+    /// Sweep replies byte-compared between recovered and offline servers.
+    pub sweeps_compared: usize,
+}
+
+impl ServeChaosReport {
+    /// The campaign report as JSON (what `fgcs chaos --serve` prints).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str("fgcs-serve-chaos/v1".into())),
+            ("hosts".into(), Json::U64(self.hosts)),
+            ("days_per_host".into(), Json::U64(self.days_per_host as u64)),
+            ("applied".into(), Json::U64(self.applied as u64)),
+            ("resends".into(), Json::U64(self.resends as u64)),
+            ("disconnects".into(), Json::U64(self.disconnects as u64)),
+            (
+                "partial_writes".into(),
+                Json::U64(self.partial_writes as u64),
+            ),
+            ("stalls".into(), Json::U64(self.stalls as u64)),
+            (
+                "recovered_days".into(),
+                Json::U64(self.recovered_days as u64),
+            ),
+            (
+                "sweeps_compared".into(),
+                Json::U64(self.sweeps_compared as u64),
+            ),
+        ])
+    }
+}
+
+/// Deterministic synthetic day content: digit-encoded states (`'1'`–`'5'`)
+/// in availability-shaped runs, a pure function of `(seed, host, day)` so
+/// the offline oracle regenerates the exact bytes the chaos client sent.
+#[must_use]
+pub fn day_digits(seed: u64, host: u64, day: usize) -> String {
+    const DIGITS: [u8; 9] = [b'1', b'1', b'1', b'1', b'1', b'2', b'2', b'3', b'4'];
+    let mut rng = Xoshiro256::seed_from_u64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ hash_key(host)
+            ^ (day as u64).wrapping_mul(0x517C_C1B7_2722_0A95),
+    );
+    let mut out = String::with_capacity(SAMPLES_PER_DAY);
+    while out.len() < SAMPLES_PER_DAY {
+        let digit = DIGITS[rng.range_usize(0, DIGITS.len())];
+        let run = rng.range_usize(20, 900).min(SAMPLES_PER_DAY - out.len());
+        for _ in 0..run {
+            out.push(char::from(digit));
+        }
+    }
+    out
+}
+
+/// The ingest request line for one synthetic day (no trailing newline).
+fn ingest_line(seed: u64, host: u64, day: usize) -> String {
+    format!(
+        "{{\"op\":\"ingest\",\"host\":{host},\"day_index\":{day},\"states\":\"{}\"}}",
+        day_digits(seed, host, day)
+    )
+}
+
+/// The fixed sweep probe every host is compared on.
+fn sweep_line(host: u64) -> String {
+    format!("{{\"op\":\"sweep\",\"host\":{host},\"start\":9.0,\"hours\":2.0,\"points\":6}}")
+}
+
+/// One faulted TCP session to the chaos server.
+struct FaultedClient {
+    addr: String,
+    conn: Option<(BufReader<TcpStream>, TcpStream)>,
+}
+
+impl FaultedClient {
+    fn connect(&mut self) -> Result<&mut (BufReader<TcpStream>, TcpStream), String> {
+        if self.conn.is_none() {
+            let stream = crate::serve::connect_with_retry(
+                &self.addr,
+                3,
+                Duration::from_millis(50),
+                &mut std::thread::sleep,
+            )?;
+            let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+            self.conn = Some((reader, stream));
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    fn drop_conn(&mut self) {
+        if let Some((_, stream)) = self.conn.take() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Runs one campaign; see the module docs for the phases and invariants.
+///
+/// # Errors
+/// Returns a description when the harness cannot drive the server (spawn,
+/// connect, protocol) — or when a recovery invariant is violated, which is
+/// the failure CI gates on.
+pub fn run_serve_chaos(config: &ServeChaosConfig) -> Result<ServeChaosReport, String> {
+    std::fs::create_dir_all(&config.data_dir)
+        .map_err(|e| format!("creating {}: {e}", config.data_dir.display()))?;
+    let dir = config
+        .data_dir
+        .to_str()
+        .ok_or("data dir is not valid UTF-8")?
+        .to_string();
+
+    // Phase 1: start the durable server and learn its ephemeral port.
+    let mut child = Command::new(&config.server_cmd)
+        .args(["serve", "--data-dir", &dir, "--port", "0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawning {}: {e}", config.server_cmd.display()))?;
+    let addr = match read_listen_addr(&mut child) {
+        Ok(addr) => addr,
+        Err(e) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(e);
+        }
+    };
+
+    // Phase 2: stream ingests through the faulted client, day-major so the
+    // kill lands across every host's calendar, and SIGKILL the server once
+    // half the plan is applied.
+    let mut rng = Xoshiro256::seed_from_u64(config.seed ^ 0xC4A5);
+    let mut client = FaultedClient { addr, conn: None };
+    let mut report = ServeChaosReport {
+        hosts: config.hosts,
+        days_per_host: config.days,
+        applied: 0,
+        resends: 0,
+        disconnects: 0,
+        partial_writes: 0,
+        stalls: 0,
+        recovered_days: 0,
+        sweeps_compared: 0,
+    };
+    let mut applied_per_host = vec![0usize; config.hosts as usize];
+    let kill_after = (config.hosts as usize * config.days) / 2;
+    let result = (|| -> Result<(), String> {
+        'stream: for day in 0..config.days {
+            for host in 0..config.hosts {
+                let line = ingest_line(config.seed, host, day);
+                send_resolved(&mut client, &mut rng, &line, &mut report)?;
+                applied_per_host[host as usize] += 1;
+                if report.applied >= kill_after {
+                    break 'stream;
+                }
+            }
+        }
+        Ok(())
+    })();
+    client.drop_conn();
+    let _ = child.kill(); // SIGKILL: no flush, no shutdown handshake
+    let _ = child.wait();
+    result?;
+
+    // Phase 3: recover in a fresh process and read back per-host day
+    // counts plus the sweep probes.
+    let mut probe = String::new();
+    for host in 0..config.hosts {
+        probe.push_str(&format!("{{\"op\":\"host\",\"host\":{host}}}\n"));
+        if applied_per_host[host as usize] > 0 {
+            probe.push_str(&sweep_line(host));
+            probe.push('\n');
+        }
+    }
+    let recovered = oneshot(&config.server_cmd, &["--data-dir", &dir], probe.clone())?;
+    let recovered_lines: Vec<&str> = recovered.lines().collect();
+
+    // Phase 4: the offline oracle — a fresh in-memory server fed each
+    // host's surviving prefix, probed identically.
+    let mut line_idx = 0usize;
+    let mut oracle_input = String::new();
+    let mut recovered_sweeps: Vec<(u64, String)> = Vec::new();
+    for host in 0..config.hosts {
+        let host_reply = recovered_lines
+            .get(line_idx)
+            .ok_or("recovered server replied with too few lines")?;
+        line_idx += 1;
+        let days = parse_host_days(host_reply, host, applied_per_host[host as usize])?;
+        report.recovered_days += days;
+        for day in 0..days {
+            oracle_input.push_str(&ingest_line(config.seed, host, day));
+            oracle_input.push('\n');
+        }
+        if applied_per_host[host as usize] > 0 {
+            let sweep_reply = recovered_lines
+                .get(line_idx)
+                .ok_or("recovered server replied with too few lines")?;
+            line_idx += 1;
+            recovered_sweeps.push((host, (*sweep_reply).to_string()));
+        }
+    }
+    for &(host, _) in &recovered_sweeps {
+        oracle_input.push_str(&sweep_line(host));
+        oracle_input.push('\n');
+    }
+    let oracle = oneshot(&config.server_cmd, &[], oracle_input)?;
+    let oracle_sweeps: Vec<&str> = oracle
+        .lines()
+        .filter(|l| l.starts_with("{\"window\":"))
+        .collect();
+    if oracle_sweeps.len() != recovered_sweeps.len() {
+        return Err(format!(
+            "oracle produced {} sweep replies for {} probes",
+            oracle_sweeps.len(),
+            recovered_sweeps.len()
+        ));
+    }
+    for ((host, recovered_sweep), oracle_sweep) in recovered_sweeps.iter().zip(&oracle_sweeps) {
+        if recovered_sweep != oracle_sweep {
+            return Err(format!(
+                "recovery invariant violated: host {host} sweep diverges after kill -9\n\
+                 recovered: {recovered_sweep}\n\
+                 offline:   {oracle_sweep}"
+            ));
+        }
+        report.sweeps_compared += 1;
+    }
+    Ok(report)
+}
+
+/// Delivers one ingest line through the fault schedule until it is
+/// *resolved applied*: either an ok ack arrives, or a resend after a
+/// teardown is answered with the registry's non-monotonic-day error
+/// (proof the original delivery was applied).
+fn send_resolved(
+    client: &mut FaultedClient,
+    rng: &mut Xoshiro256,
+    line: &str,
+    report: &mut ServeChaosReport,
+) -> Result<(), String> {
+    loop {
+        let fault = rng.range_usize(0, 100);
+        let outcome = deliver_once(client, rng, line, fault, report);
+        match outcome {
+            Ok(DeliverOutcome::Acked) => {
+                report.applied += 1;
+                return Ok(());
+            }
+            Ok(DeliverOutcome::AlreadyApplied) => {
+                report.applied += 1;
+                return Ok(());
+            }
+            Ok(DeliverOutcome::Retry) => {
+                report.resends += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+enum DeliverOutcome {
+    Acked,
+    AlreadyApplied,
+    Retry,
+}
+
+fn deliver_once(
+    client: &mut FaultedClient,
+    rng: &mut Xoshiro256,
+    line: &str,
+    fault: usize,
+    report: &mut ServeChaosReport,
+) -> Result<DeliverOutcome, String> {
+    // Mid-line disconnect: a strict prefix (the final `}` can never be
+    // included), then teardown. The server sees an unterminated junk line
+    // at EOF; the day is provably not applied, so the retry is exact.
+    if fault < 12 {
+        let cut = rng.range_usize(1, line.len());
+        let (_, writer) = client.connect()?;
+        let _ = writer.write_all(&line.as_bytes()[..cut]);
+        let _ = writer.flush();
+        client.drop_conn();
+        report.disconnects += 1;
+        return Ok(DeliverOutcome::Retry);
+    }
+    // Mid-reply disconnect: the full line is delivered, but the socket
+    // drops before the ack is read — the client cannot know whether the
+    // day landed. The resend resolves it below.
+    if fault < 20 {
+        let (_, writer) = client.connect()?;
+        let _ = writer.write_all(line.as_bytes());
+        let _ = writer.write_all(b"\n");
+        let _ = writer.flush();
+        client.drop_conn();
+        report.disconnects += 1;
+        return Ok(DeliverOutcome::Retry);
+    }
+    // Clean or fragmented delivery, then an honest ack read.
+    let fragmented = fault < 50;
+    {
+        let (_, writer) = client.connect()?;
+        if fragmented {
+            report.partial_writes += 1;
+        }
+        write_faulted(writer, rng, line, fragmented, &mut report.stalls)
+            .map_err(|e| format!("sending request: {e}"))?;
+    }
+    let (reader, _) = client.connect()?;
+    let mut reply = String::new();
+    match reader.read_line(&mut reply) {
+        Ok(0) | Err(_) => {
+            // The server vanished mid-roundtrip (it may be the kill racing
+            // us, or a reset): reconnect and resolve by resending.
+            client.drop_conn();
+            report.disconnects += 1;
+            Ok(DeliverOutcome::Retry)
+        }
+        Ok(_) if reply.contains("\"ok\":true") => Ok(DeliverOutcome::Acked),
+        Ok(_) if reply.contains("does not advance the calendar") => {
+            // The previous torn delivery *was* applied; the resend is the
+            // at-least-once duplicate the monotonic-day check rejects.
+            Ok(DeliverOutcome::AlreadyApplied)
+        }
+        Ok(_) => Err(format!("unexpected ingest reply: {}", reply.trim_end())),
+    }
+}
+
+/// Writes one request line, optionally as several flushed fragments with
+/// seeded millisecond stalls in between.
+fn write_faulted(
+    writer: &mut TcpStream,
+    rng: &mut Xoshiro256,
+    line: &str,
+    fragmented: bool,
+    stalls: &mut usize,
+) -> std::io::Result<()> {
+    if !fragmented {
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        return writer.flush();
+    }
+    let bytes = line.as_bytes();
+    let pieces = rng.range_usize(2, 5);
+    let mut cuts: Vec<usize> = (0..pieces - 1)
+        .map(|_| rng.range_usize(1, bytes.len()))
+        .collect();
+    cuts.sort_unstable();
+    let mut start = 0usize;
+    for cut in cuts {
+        writer.write_all(&bytes[start..cut])?;
+        writer.flush()?;
+        if rng.range_usize(0, 4) == 0 {
+            *stalls += 1;
+            std::thread::sleep(Duration::from_millis(1 + rng.range_usize(0, 3) as u64));
+        }
+        start = cut;
+    }
+    writer.write_all(&bytes[start..])?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Reads `listening on ADDR` from the server child's stdout.
+fn read_listen_addr(child: &mut Child) -> Result<String, String> {
+    let stdout = child.stdout.as_mut().ok_or("server stdout not captured")?;
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .map_err(|e| format!("reading server banner: {e}"))?;
+    line.trim()
+        .strip_prefix("listening on ")
+        .map(str::to_string)
+        .ok_or_else(|| format!("unexpected server banner: {line:?}"))
+}
+
+/// Parses the `host` readiness reply and checks the durability floor:
+/// every resolved-applied day must have survived, and the registry cannot
+/// hold days that were never sent.
+fn parse_host_days(reply: &str, host: u64, applied: usize) -> Result<usize, String> {
+    let json = Json::parse(reply).map_err(|e| format!("host {host}: bad readiness reply: {e}"))?;
+    if applied == 0 {
+        // A host whose first day never resolved may legitimately be
+        // unknown to the registry.
+        let days: u64 = json.get("days").unwrap_or(0);
+        return Ok(days as usize);
+    }
+    let days: u64 = json
+        .get("days")
+        .map_err(|e| format!("host {host}: readiness reply {reply}: {e}"))?;
+    let days = days as usize;
+    if days != applied {
+        return Err(format!(
+            "durability invariant violated: host {host} resolved {applied} applied days \
+             but the recovered registry holds {days}"
+        ));
+    }
+    Ok(days)
+}
+
+/// Runs `SERVER_CMD serve --oneshot [extra args]` with `input` on stdin,
+/// returning its stdout. Stdin is fed from a thread so large ingest
+/// streams cannot deadlock against the reply pipe.
+fn oneshot(server_cmd: &Path, extra_args: &[&str], input: String) -> Result<String, String> {
+    let mut child = Command::new(server_cmd)
+        .args(["serve", "--oneshot"])
+        .args(extra_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawning oneshot server: {e}"))?;
+    let mut stdin = child.stdin.take().ok_or("oneshot stdin not captured")?;
+    let feeder = std::thread::spawn(move || {
+        let _ = stdin.write_all(input.as_bytes());
+        // Dropping stdin closes the pipe: EOF ends the oneshot session.
+    });
+    let mut stdout = String::new();
+    let read = child
+        .stdout
+        .take()
+        .ok_or("oneshot stdout not captured")?
+        .read_to_string(&mut stdout);
+    let status = child
+        .wait()
+        .map_err(|e| format!("waiting for oneshot server: {e}"))?;
+    let _ = feeder.join();
+    read.map_err(|e| format!("reading oneshot replies: {e}"))?;
+    if !status.success() {
+        return Err(format!("oneshot server exited with {status}"));
+    }
+    Ok(stdout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_digits_are_deterministic_and_full_length() {
+        let a = day_digits(7, 3, 2);
+        let b = day_digits(7, 3, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), SAMPLES_PER_DAY);
+        assert!(a.bytes().all(|b| (b'1'..=b'5').contains(&b)));
+        assert_ne!(a, day_digits(7, 3, 3));
+        assert_ne!(a, day_digits(7, 4, 2));
+        assert_ne!(a, day_digits(8, 3, 2));
+    }
+
+    #[test]
+    fn report_json_has_the_schema_header() {
+        let report = ServeChaosReport {
+            hosts: 2,
+            days_per_host: 4,
+            applied: 4,
+            resends: 1,
+            disconnects: 1,
+            partial_writes: 2,
+            stalls: 1,
+            recovered_days: 4,
+            sweeps_compared: 2,
+        };
+        let json = report.to_json().to_string();
+        assert!(
+            json.starts_with("{\"schema\":\"fgcs-serve-chaos/v1\""),
+            "{json}"
+        );
+        assert!(json.contains("\"sweeps_compared\":2"), "{json}");
+    }
+}

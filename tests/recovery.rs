@@ -1,0 +1,148 @@
+//! Crash-recovery integration tests: a real `fgcs serve --data-dir` child
+//! process killed with `SIGKILL` mid-stream, restarted, and byte-compared
+//! against an offline replay — the durability invariant of the registry
+//! WAL, end to end through the wire layer.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use fgcs::serve::connect_with_retry;
+use fgcs::serve_chaos::{day_digits, run_serve_chaos, ServeChaosConfig};
+
+fn fgcs_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_fgcs"))
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fgcs-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Runs `fgcs serve --oneshot [extra args]` with `input` on stdin and
+/// returns its stdout (stdin fed from a thread to avoid pipe deadlock).
+fn oneshot(extra_args: &[&str], input: String) -> String {
+    let mut child = Command::new(fgcs_bin())
+        .args(["serve", "--oneshot"])
+        .args(extra_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn oneshot server");
+    let mut stdin = child.stdin.take().expect("stdin");
+    let feeder = std::thread::spawn(move || {
+        let _ = stdin.write_all(input.as_bytes());
+    });
+    let mut stdout = String::new();
+    child
+        .stdout
+        .take()
+        .expect("stdout")
+        .read_to_string(&mut stdout)
+        .expect("read replies");
+    assert!(child.wait().expect("wait").success());
+    feeder.join().expect("feeder thread");
+    stdout
+}
+
+fn ingest_line(seed: u64, host: u64, day: usize) -> String {
+    format!(
+        "{{\"op\":\"ingest\",\"host\":{host},\"day_index\":{day},\"states\":\"{}\"}}",
+        day_digits(seed, host, day)
+    )
+}
+
+#[test]
+fn kill_minus_nine_loses_no_acknowledged_ingest() {
+    let dir = scratch_dir("kill9");
+    let dir_str = dir.to_str().expect("utf-8 temp dir");
+
+    // A durable server child on an ephemeral port.
+    let mut child = Command::new(fgcs_bin())
+        .args(["serve", "--data-dir", dir_str, "--port", "0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn server");
+    let mut banner = String::new();
+    BufReader::new(child.stdout.as_mut().expect("stdout"))
+        .read_line(&mut banner)
+        .expect("read banner");
+    let addr = banner
+        .trim()
+        .strip_prefix("listening on ")
+        .expect("listen banner")
+        .to_string();
+
+    // Lockstep ingest: each day is acknowledged before the next is sent,
+    // so after the kill the durable state must hold *exactly* the acked
+    // days — the WAL append happens before the ack.
+    let stream = connect_with_retry(
+        &addr,
+        3,
+        Duration::from_millis(100),
+        &mut std::thread::sleep,
+    )
+    .expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let acked = 4usize;
+    for day in 0..acked {
+        writeln!(writer, "{}", ingest_line(11, 1, day)).expect("send ingest");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read ack");
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+    }
+    child.kill().expect("SIGKILL server"); // no flush, no shutdown op
+    child.wait().expect("reap server");
+
+    // Recover in a fresh process; the surviving calendar is exactly the
+    // acked prefix, and its sweep matches an offline replay bit for bit.
+    let sweep = "{\"op\":\"sweep\",\"host\":1,\"start\":9.0,\"hours\":2.0,\"points\":6}\n";
+    let probe = format!("{{\"op\":\"host\",\"host\":1}}\n{sweep}");
+    let recovered = oneshot(&["--data-dir", dir_str], probe);
+    let lines: Vec<&str> = recovered.lines().collect();
+    assert_eq!(lines.len(), 2, "{recovered}");
+    assert!(
+        lines[0].contains("\"days\":4"),
+        "expected exactly the 4 acked days to survive: {}",
+        lines[0]
+    );
+
+    let mut offline_input = String::new();
+    for day in 0..acked {
+        offline_input.push_str(&ingest_line(11, 1, day));
+        offline_input.push('\n');
+    }
+    offline_input.push_str(sweep);
+    let offline = oneshot(&[], offline_input);
+    let offline_sweep = offline.lines().last().expect("offline sweep reply");
+    assert_eq!(
+        lines[1], offline_sweep,
+        "recovered sweep diverges from offline replay"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_chaos_campaign_upholds_the_recovery_invariant() {
+    let dir = scratch_dir("chaos");
+    let config = ServeChaosConfig {
+        seed: 7,
+        hosts: 2,
+        days: 4,
+        data_dir: dir.clone(),
+        server_cmd: fgcs_bin(),
+    };
+    let result = run_serve_chaos(&config);
+    let _ = std::fs::remove_dir_all(&dir);
+    let report = result.expect("recovery invariant");
+    assert_eq!(report.applied, 4, "kill lands halfway through 2×4 days");
+    assert_eq!(report.recovered_days, report.applied);
+    assert!(report.sweeps_compared >= 1);
+}

@@ -228,6 +228,85 @@ fn batch_reply_stream_matches_sequential_bytes() {
     assert_eq!(seq_out, batch_out, "batch replies diverge from sequential");
 }
 
+#[test]
+fn oversized_tcp_line_is_rejected_and_connection_survives() {
+    // A 100 MB request line (way past the 8 MiB default cap) must not grow
+    // the server's read buffer past the cap, must get a structured
+    // `too_large` reply, and must leave the connection usable.
+    let server = server_with_shards(2);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = listener.local_addr().expect("addr");
+    std::thread::scope(|scope| {
+        let serve = scope.spawn(|| server.serve_tcp(&listener));
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        let chunk = vec![b'a'; 1 << 20];
+        for _ in 0..100 {
+            writer.write_all(&chunk).expect("send oversized body");
+        }
+        writer.write_all(b"\n").expect("terminate oversized line");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("recv");
+        assert!(reply.contains("\"code\":\"too_large\""), "{reply}");
+
+        // Same connection, next request: business as usual.
+        let mut client = Client { reader, writer };
+        let pong = client.roundtrip(r#"{"op":"ping"}"#);
+        assert_eq!(pong, r#"{"ok":true,"op":"ping"}"#);
+        let bye = client.roundtrip(r#"{"op":"shutdown"}"#);
+        assert!(bye.contains("\"op\":\"shutdown\""), "{bye}");
+        serve.join().expect("serve thread").expect("clean shutdown");
+    });
+}
+
+#[test]
+fn abrupt_disconnects_do_not_wedge_the_server() {
+    let server = server_with_shards(2);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = listener.local_addr().expect("addr");
+    std::thread::scope(|scope| {
+        let serve = scope.spawn(|| server.serve_tcp(&listener));
+
+        // Mid-request: a partial line with no newline, then a hard drop.
+        {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .write_all(br#"{"op":"predict","host":1,"sta"#)
+                .expect("partial request");
+            stream.flush().expect("flush");
+        }
+        // Mid-reply: a full request, dropped before reading the answer.
+        {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .write_all(b"{\"op\":\"ping\"}\n{\"op\":\"stats\"}\n")
+                .expect("full requests");
+            stream.flush().expect("flush");
+        }
+
+        // The accept loop survives, and both connection slots drain: poll
+        // `health` until this probe is the only connection left.
+        let mut client = Client::connect(addr);
+        let mut active = u64::MAX;
+        for _ in 0..200 {
+            let health = client.roundtrip(r#"{"op":"health"}"#);
+            let json = Json::parse(&health).expect("health JSON");
+            active = json.get::<u64>("active_connections").expect("active");
+            if active == 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(active, 1, "abandoned connections must release their slots");
+        let pong = client.roundtrip(r#"{"op":"ping"}"#);
+        assert_eq!(pong, r#"{"ok":true,"op":"ping"}"#);
+        let bye = client.roundtrip(r#"{"op":"shutdown"}"#);
+        assert!(bye.contains("\"op\":\"shutdown\""), "{bye}");
+        serve.join().expect("serve thread").expect("clean shutdown");
+    });
+}
+
 struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
